@@ -1,0 +1,33 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module regenerates one of the paper's figures at bench
+scale (see ``repro.experiments.config.bench_scale``) and prints the
+measured rows as a table after timing the core computation with
+pytest-benchmark.  Collected tables are echoed at the end of the session
+so `pytest benchmarks/ --benchmark-only` doubles as the reproduction
+report generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(title: str, table: str) -> None:
+    """Stash a rendered table for the end-of-session report."""
+    _REPORTS.append((title, table))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _echo_reports():
+    yield
+    if not _REPORTS:
+        return
+    print("\n\n" + "=" * 72)
+    print("Reproduction tables (bench scale)")
+    print("=" * 72)
+    for title, table in _REPORTS:
+        print(f"\n--- {title} ---")
+        print(table)

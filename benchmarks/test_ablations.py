@@ -1,0 +1,181 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §5.
+
+Not figures from the paper — these quantify the implementation decisions:
+corner-cache on/off and item-choice policy in MDRC, greedy vs ε-net
+hitting set in MDRRR, K-SETr patience, and the two interval-covering
+greedies in 2DRRR.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.core import md_rrr, mdrc, two_d_rrr
+from repro.evaluation import rank_regret_exact_2d
+from repro.experiments.runner import make_dataset
+from repro.geometry import sample_ksets
+from repro.setcover import epsnet_hitting_set, greedy_hitting_set
+
+
+@pytest.fixture(scope="module")
+def md_dataset():
+    return make_dataset("dot", 800, 3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def two_d_dataset():
+    return make_dataset("dot", 300, 2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def kset_collection(md_dataset):
+    return sample_ksets(md_dataset.values, 8, patience=100, rng=0).ksets
+
+
+class TestMDRCCornerCache:
+    def test_bench_with_cache(self, benchmark, md_dataset):
+        assert benchmark(lambda: mdrc(md_dataset.values, 8, use_cache=True).indices)
+
+    def test_bench_without_cache(self, benchmark, md_dataset):
+        assert benchmark(lambda: mdrc(md_dataset.values, 8, use_cache=False).indices)
+
+    def test_cache_saves_evaluations(self, md_dataset):
+        with_cache = mdrc(md_dataset.values, 8, use_cache=True)
+        without = mdrc(md_dataset.values, 8, use_cache=False)
+        assert with_cache.indices == without.indices
+        assert with_cache.corner_evaluations < without.corner_evaluations
+        record_report(
+            "Ablation: MDRC corner cache",
+            f"| cache | corner evaluations |\n|---|---|\n"
+            f"| on  | {with_cache.corner_evaluations} |\n"
+            f"| off | {without.corner_evaluations} |",
+        )
+
+
+class TestMDRCChoicePolicy:
+    def test_bench_first(self, benchmark, md_dataset):
+        assert benchmark(lambda: mdrc(md_dataset.values, 8, choice="first").indices)
+
+    def test_bench_best_rank(self, benchmark, md_dataset):
+        assert benchmark(
+            lambda: mdrc(md_dataset.values, 8, choice="best-rank").indices
+        )
+
+
+class TestHittingSetEngine:
+    def test_bench_greedy(self, benchmark, kset_collection):
+        assert benchmark(greedy_hitting_set, kset_collection)
+
+    def test_bench_epsnet(self, benchmark, kset_collection):
+        assert benchmark(
+            lambda: epsnet_hitting_set(kset_collection, vc_dimension=3, rng=0)
+        )
+
+    def test_greedy_output_not_larger(self, kset_collection):
+        greedy = greedy_hitting_set(kset_collection)
+        eps = epsnet_hitting_set(kset_collection, vc_dimension=3, rng=0)
+        record_report(
+            "Ablation: hitting-set engine (same k-sets)",
+            f"| engine | output size |\n|---|---|\n"
+            f"| greedy | {len(greedy)} |\n| epsnet | {len(eps)} |",
+        )
+        assert len(greedy) <= len(eps) + 3
+
+
+class TestKSetrPatience:
+    @pytest.mark.parametrize("patience", [25, 100, 400])
+    def test_bench_patience(self, benchmark, md_dataset, patience):
+        outcome = benchmark.pedantic(
+            sample_ksets,
+            args=(md_dataset.values, 8),
+            kwargs={"patience": patience, "rng": 0},
+            rounds=1,
+            iterations=1,
+        )
+        assert outcome.ksets
+
+    def test_more_patience_finds_no_fewer_ksets(self, md_dataset):
+        impatient = sample_ksets(md_dataset.values, 8, patience=25, rng=0)
+        patient = sample_ksets(md_dataset.values, 8, patience=400, rng=0)
+        assert len(patient.ksets) >= len(impatient.ksets)
+
+
+class TestIntervalCoverStrategy:
+    def test_bench_sweep_greedy(self, benchmark, two_d_dataset):
+        assert benchmark(two_d_rrr, two_d_dataset.values, 6, "sweep")
+
+    def test_bench_max_coverage_greedy(self, benchmark, two_d_dataset):
+        assert benchmark(two_d_rrr, two_d_dataset.values, 6, "max-coverage")
+
+    def test_both_strategies_valid(self, two_d_dataset):
+        for strategy in ("sweep", "max-coverage"):
+            chosen = two_d_rrr(two_d_dataset.values, 6, strategy)
+            assert rank_regret_exact_2d(two_d_dataset.values, chosen) <= 12
+
+
+class TestOnionIndex:
+    """Onion (layered maxima) index vs. flat argpartition for repeated
+    top-k probes — the access pattern of MDRC corners and K-SETr."""
+
+    def test_bench_flat_topk(self, benchmark, md_dataset):
+        from repro.ranking import sample_functions, top_k
+
+        probes = sample_functions(3, 100, rng=0)
+        benchmark(lambda: [top_k(md_dataset.values, w, 8) for w in probes])
+
+    def test_bench_onion_topk(self, benchmark, md_dataset):
+        from repro.ranking import OnionIndex, sample_functions
+
+        probes = sample_functions(3, 100, rng=0)
+        index = OnionIndex(md_dataset.values, max_layers=16)
+        benchmark(lambda: [index.top_k(w, 8) for w in probes])
+
+    def test_onion_matches_flat(self, md_dataset):
+        import numpy as np
+
+        from repro.ranking import OnionIndex, sample_functions, top_k
+
+        index = OnionIndex(md_dataset.values, max_layers=16)
+        for w in sample_functions(3, 25, rng=1):
+            assert np.array_equal(
+                index.top_k(w, 8), top_k(md_dataset.values, w, 8)
+            )
+        record_report(
+            "Ablation: onion index",
+            f"| layers | candidates for k=8 | n |\n|---|---|---|\n"
+            f"| {index.num_layers} | {index.candidates(8).size} "
+            f"| {md_dataset.n} |",
+        )
+
+
+class TestHDRRMSGamma:
+    """Faithful gamma-quantized HD-RRMS vs. the idealized continuous
+    binary search — the slack that produces the paper's rank failures."""
+
+    def test_gamma_variants(self, md_dataset):
+        from repro.baselines import hd_rrms
+        from repro.evaluation import rank_regret_sampled
+
+        k = 8
+        faithful = hd_rrms(md_dataset.values, 5, gamma=0.05)
+        idealized = hd_rrms(md_dataset.values, 5, gamma=None)
+        r_faithful = rank_regret_sampled(
+            md_dataset.values, faithful.indices, 2000, rng=0
+        )
+        r_ideal = rank_regret_sampled(
+            md_dataset.values, idealized.indices, 2000, rng=0
+        )
+        record_report(
+            "Ablation: HD-RRMS discretization granularity",
+            f"| variant | epsilon | rank-regret (k={k}) |\n|---|---|---|\n"
+            f"| gamma=0.05 (faithful) | {faithful.epsilon:.4f} | {r_faithful} |\n"
+            f"| continuous (idealized) | {idealized.epsilon:.4f} | {r_ideal} |",
+        )
+        assert faithful.epsilon >= idealized.epsilon - 1e-9
+
+
+class TestMDRRRSamplerReuse:
+    def test_bench_md_rrr_reusing_ksets(self, benchmark, md_dataset, kset_collection):
+        result = benchmark(
+            lambda: md_rrr(md_dataset.values, 8, ksets=kset_collection).indices
+        )
+        assert result

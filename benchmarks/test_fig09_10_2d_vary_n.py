@@ -1,0 +1,51 @@
+"""Figures 9–10: DOT 2-D — efficiency and effectiveness vs dataset size.
+
+Paper shape: 2DRRR and MDRRR share the quadratic sweep cost; MDRC is
+orders of magnitude faster.  All three produce small outputs whose exact
+rank-regret stays at (or well under) k.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.core import mdrc, md_rrr, two_d_rrr
+from repro.experiments import BENCH_EXPERIMENTS, format_experiment_table, run_experiment
+from repro.experiments.runner import make_dataset
+
+CONFIG = BENCH_EXPERIMENTS["fig09_10"]
+LARGEST_N = int(max(CONFIG.values))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset("dot", LARGEST_N, 2, seed=CONFIG.seed)
+
+
+@pytest.fixture(scope="module")
+def k(dataset):
+    return max(1, round(CONFIG.k_fraction * dataset.n))
+
+
+def test_bench_2drrr(benchmark, dataset, k):
+    result = benchmark(two_d_rrr, dataset.values, k)
+    assert result
+
+
+def test_bench_mdrrr(benchmark, dataset, k):
+    result = benchmark(lambda: md_rrr(dataset.values, k, rng=0).indices)
+    assert result
+
+
+def test_bench_mdrc(benchmark, dataset, k):
+    result = benchmark(lambda: mdrc(dataset.values, k).indices)
+    assert result
+
+
+def test_fig09_10_table(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(CONFIG,), rounds=1, iterations=1)
+    record_report("Figures 9-10: DOT 2D, vary n", format_experiment_table(rows))
+    # Effectiveness shape: every proposed algorithm within its guarantee.
+    for row in rows:
+        factor = {"2drrr": 2, "mdrrr": 1, "mdrc": 2}[row.algorithm]
+        assert row.rank_regret <= factor * row.k
+        assert row.output_size < 40

@@ -1,0 +1,36 @@
+"""Figures 11–12: DOT 2-D — efficiency and effectiveness vs k.
+
+Paper shape: 2DRRR/MDRRR runtimes track the sweep; MDRC runs in
+milliseconds at every k; output sizes stay near-optimal with rank-regret
+at or below k for nearly every setting.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.core import two_d_rrr
+from repro.evaluation import rank_regret_exact_2d
+from repro.experiments import BENCH_EXPERIMENTS, format_experiment_table, run_experiment
+from repro.experiments.runner import make_dataset
+
+CONFIG = BENCH_EXPERIMENTS["fig11_12"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset("dot", CONFIG.n, 2, seed=CONFIG.seed)
+
+
+@pytest.mark.parametrize("fraction", CONFIG.values)
+def test_bench_2drrr_by_k(benchmark, dataset, fraction):
+    k = max(1, round(fraction * dataset.n))
+    chosen = benchmark(two_d_rrr, dataset.values, k)
+    assert rank_regret_exact_2d(dataset.values, chosen) <= 2 * k
+
+
+def test_fig11_12_table(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=(CONFIG,), rounds=1, iterations=1)
+    record_report("Figures 11-12: DOT 2D, vary k", format_experiment_table(rows))
+    for row in rows:
+        factor = {"2drrr": 2, "mdrrr": 1, "mdrc": 2}[row.algorithm]
+        assert row.rank_regret <= factor * row.k

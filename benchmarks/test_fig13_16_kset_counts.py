@@ -1,0 +1,41 @@
+"""Figures 13–16: k-set counts vs k and d, on DOT and Blue Nile.
+
+Paper shape: measured |S| is dramatically below the theoretical upper
+bounds, grows with k (toward 50%) and with d; K-SETr's run time grows with
+|S| as the coupon-collector needs more draws.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.experiments import BENCH_EXPERIMENTS, format_kset_table, run_kset_count
+from repro.geometry import sample_ksets
+from repro.experiments.runner import make_dataset
+
+
+@pytest.mark.parametrize("figure", ["fig13", "fig14", "fig15", "fig16"])
+def test_kset_count_tables(benchmark, figure):
+    config = BENCH_EXPERIMENTS[figure]
+    rows = benchmark.pedantic(run_kset_count, args=(config,), rounds=1, iterations=1)
+    titles = {
+        "fig13": "Figure 13: DOT, #k-sets vs k (d=3)",
+        "fig14": "Figure 14: DOT, #k-sets vs d",
+        "fig15": "Figure 15: BN, #k-sets vs k (d=3)",
+        "fig16": "Figure 16: BN, #k-sets vs d",
+    }
+    record_report(titles[figure], format_kset_table(rows))
+    for row in rows:
+        assert row.num_ksets >= 1
+    # Shape: count grows along the sweep axis (k or d) for these scales.
+    counts = [r.num_ksets for r in rows]
+    assert counts[-1] >= counts[0]
+
+
+def test_bench_ksetr_sampler(benchmark):
+    config = BENCH_EXPERIMENTS["fig13"]
+    dataset = make_dataset("dot", config.n, 3, seed=config.seed)
+    k = max(1, round(0.05 * config.n))
+    outcome = benchmark(
+        lambda: sample_ksets(dataset.values, k, patience=config.patience, rng=0)
+    )
+    assert outcome.ksets

@@ -1,0 +1,50 @@
+"""Figures 25–28: MD — efficiency and effectiveness vs k.
+
+Paper shape: MDRRR's cost grows with k (more k-sets to enumerate) while
+MDRC gets *faster* as k grows — larger top-k sets intersect sooner, so the
+recursion terminates earlier.  Rank-regret of the proposed algorithms
+stays within guarantees at every k.
+"""
+
+import pytest
+
+from conftest import record_report
+from repro.core import mdrc
+from repro.experiments import BENCH_EXPERIMENTS, format_experiment_table, run_experiment
+from repro.experiments.runner import make_dataset
+
+DOT_CONFIG = BENCH_EXPERIMENTS["fig25_26"]
+BN_CONFIG = BENCH_EXPERIMENTS["fig27_28"]
+
+
+@pytest.mark.parametrize("fraction", DOT_CONFIG.values)
+def test_bench_mdrc_by_k(benchmark, fraction):
+    dataset = make_dataset("dot", DOT_CONFIG.n, DOT_CONFIG.d, seed=DOT_CONFIG.seed)
+    k = max(1, round(fraction * dataset.n))
+    assert benchmark(lambda: mdrc(dataset.values, k).indices)
+
+
+def test_mdrc_cell_count_shrinks_with_k():
+    """The mechanism behind the paper's 'MDRC gets faster as k grows'."""
+    dataset = make_dataset("dot", DOT_CONFIG.n, 3, seed=0)
+    small_k = mdrc(dataset.values, max(1, round(0.01 * dataset.n)))
+    large_k = mdrc(dataset.values, max(1, round(0.1 * dataset.n)))
+    assert large_k.corner_evaluations <= small_k.corner_evaluations
+
+
+@pytest.mark.parametrize(
+    "config,title",
+    [
+        (DOT_CONFIG, "Figures 25-26: DOT MD, vary k"),
+        (BN_CONFIG, "Figures 27-28: BN MD, vary k"),
+    ],
+    ids=["dot", "bn"],
+)
+def test_fig25_28_tables(benchmark, config, title):
+    rows = benchmark.pedantic(run_experiment, args=(config,), rounds=1, iterations=1)
+    record_report(title, format_experiment_table(rows))
+    for row in rows:
+        if row.algorithm == "mdrrr":
+            assert row.rank_regret <= row.k
+        elif row.algorithm == "mdrc":
+            assert row.rank_regret <= row.d * row.k

@@ -1,0 +1,68 @@
+"""Flight search scenario (paper §1, §6.1): the DOT on-time database.
+
+A travel site wants to precompute a short list of flights such that *any*
+user — whether they care most about departure delay, taxi time, or total
+duration — finds one of their personal top-k in the list.  This script
+compares the three RRR algorithms against the HD-RRMS regret-ratio
+baseline, reproducing the qualitative outcome of Figures 17–18: the
+regret-ratio optimum says nothing about rank.
+
+Run:  python examples/flight_delays.py
+"""
+
+import time
+
+from repro import (
+    hd_rrms,
+    md_rrr,
+    mdrc,
+    rank_regret_sampled,
+    synthetic_dot,
+)
+
+
+def measure(name: str, values, indices, k: int) -> None:
+    regret = rank_regret_sampled(values, indices, num_functions=5000, rng=0)
+    status = "OK " if regret <= k else "MISS"
+    print(f"  {name:<8} size={len(indices):>3}  rank-regret={regret:>5}  "
+          f"[{status} vs k={k}]")
+
+
+def main() -> None:
+    n, d = 2000, 3
+    k = 20  # top-1%
+    data = synthetic_dot(n=n, d=d, seed=7)
+    values = data.values
+    print(f"DOT stand-in: n={n}, d={d} ({', '.join(data.attributes)})")
+    print(f"target rank-regret: k = {k} (top-1%)\n")
+
+    print("MDRC (function-space partitioning):")
+    start = time.perf_counter()
+    mdrc_result = mdrc(values, k)
+    print(f"  solved in {time.perf_counter() - start:.2f}s, "
+          f"{mdrc_result.cells} cells, "
+          f"{mdrc_result.corner_evaluations} corner evaluations")
+    measure("mdrc", values, mdrc_result.indices, k)
+
+    print("\nMDRRR (hitting set over K-SETr k-sets):")
+    start = time.perf_counter()
+    mdrrr_result = md_rrr(values, k, rng=0)
+    print(f"  solved in {time.perf_counter() - start:.2f}s over "
+          f"{len(mdrrr_result.ksets)} k-sets "
+          f"({mdrrr_result.sample_draws} random functions drawn)")
+    measure("mdrrr", values, mdrrr_result.indices, k)
+
+    print("\nHD-RRMS (regret-ratio baseline, same size budget as MDRC):")
+    start = time.perf_counter()
+    baseline = hd_rrms(values, max(1, len(mdrc_result.indices)), rng=0)
+    print(f"  solved in {time.perf_counter() - start:.2f}s, "
+          f"epsilon={baseline.epsilon:.4f}")
+    measure("hd-rrms", values, baseline.indices, k)
+
+    print("\nTakeaway: optimizing score regret (HD-RRMS) can leave some "
+          "users' best choice thousands of ranks away; the RRR algorithms "
+          "bound the *rank* loss directly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""The dual problem (paper §2): fixed output size, minimize rank-regret.
+
+A UI can only show, say, 8 recommended hotels.  What is the best rank
+guarantee 8 slots can buy?  The paper's binary-search reduction answers
+this with log(n) calls to any RRR solver.
+
+Run:  python examples/size_budget.py
+"""
+
+from repro import min_rank_regret_of_size, rank_regret_sampled, synthetic_dot
+
+
+def main() -> None:
+    data = synthetic_dot(n=2000, d=3, seed=11)
+    print(f"DOT stand-in: n={data.n}, d={data.d}\n")
+    print(f"{'budget':>7} | {'k found':>7} | {'size':>4} | "
+          f"{'measured rank-regret':>20} | probes")
+    print("-" * 65)
+    for budget in (2, 4, 8, 16):
+        outcome = min_rank_regret_of_size(data, size=budget, method="mdrc")
+        measured = rank_regret_sampled(
+            data.values, outcome.result.indices, num_functions=5000, rng=0
+        )
+        print(f"{budget:>7} | {outcome.k:>7} | {outcome.result.size:>4} | "
+              f"{measured:>20} | {outcome.probes:>6}")
+    print("\nMore slots buy a smaller k: the guarantee tightens roughly "
+          "geometrically with the budget, at a log(n)-factor search cost.")
+
+
+if __name__ == "__main__":
+    main()

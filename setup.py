@@ -1,0 +1,5 @@
+"""Legacy shim: lets `pip install -e .`/`setup.py develop` work on
+environments without the `wheel` package (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Baselines the paper compares against: HD-RRMS, Cube, greedy regret,
+and the order-1 maxima representations."""
+
+from repro.baselines.cube import cube
+from repro.baselines.greedy_regret import greedy_regret
+from repro.baselines.hd_rrms import HDRRMSResult, hd_rrms
+from repro.baselines.maxima import convex_hull_representative, skyline_representative
+
+__all__ = [
+    "hd_rrms",
+    "HDRRMSResult",
+    "cube",
+    "greedy_regret",
+    "convex_hull_representative",
+    "skyline_representative",
+]

@@ -1,0 +1,31 @@
+"""Maxima representations: the k = 1 reference points of the paper (§1–2).
+
+The convex hull (for linear functions) and the skyline (for monotone
+functions) are the *exact* order-1 representatives; their size is what
+motivates relaxing to k > 1.  These wrappers expose them with the same
+calling convention as the RRR algorithms so examples and benchmarks can
+put sizes side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.hull import maxima_representation
+from repro.geometry.skyline import skyline as _skyline
+
+__all__ = ["convex_hull_representative", "skyline_representative"]
+
+
+def convex_hull_representative(values: np.ndarray) -> list[int]:
+    """The order-1 RRR for linear functions: the dominant hull vertices.
+
+    Guaranteed to contain the top-1 of every function in ``L``; typically
+    large in higher dimensions, which is the paper's motivation (§1).
+    """
+    return [int(i) for i in maxima_representation(np.asarray(values, dtype=np.float64))]
+
+
+def skyline_representative(values: np.ndarray) -> list[int]:
+    """The order-1 representative for monotone functions (the skyline)."""
+    return [int(i) for i in _skyline(np.asarray(values, dtype=np.float64))]

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``represent``
+    Compute a rank-regret representative of a CSV dataset (or a built-in
+    synthetic one) and print the selected tuples plus measured quality.
+``experiment``
+    Run one of the paper's experiments (fig09_10 … fig27_28) at bench or
+    paper scale and print the reproduction table.
+``ksets``
+    Count the k-sets of a dataset with K-SETr (or exactly in 2-D).
+
+Examples
+--------
+::
+
+    python -m repro represent --dataset dot --n 2000 --d 3 --k 0.01
+    python -m repro represent --csv flights.csv --k 25 --method mdrrr
+    python -m repro experiment fig17_18 --scale bench
+    python -m repro ksets --dataset bn --n 500 --d 3 --k 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.api import rank_regret_representative
+from repro.datasets.io import load_csv
+from repro.evaluation.metrics import evaluate_representative
+from repro.experiments.config import BENCH_EXPERIMENTS, PAPER_EXPERIMENTS, KSetCountConfig
+from repro.experiments.report import (
+    format_experiment_table,
+    format_kset_table,
+    summarize_shapes,
+)
+from repro.experiments.runner import make_dataset, run_experiment, run_kset_count
+from repro.exceptions import ReproError
+from repro.geometry.ksets import enumerate_ksets_2d, sample_ksets
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RRR: Rank-Regret Representative (SIGMOD 2019) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("represent", help="compute a rank-regret representative")
+    source = rep.add_mutually_exclusive_group()
+    source.add_argument("--csv", help="path to a CSV dataset (see datasets.io)")
+    source.add_argument(
+        "--dataset", choices=("dot", "bn"), default="dot",
+        help="built-in synthetic dataset (default: dot)",
+    )
+    rep.add_argument("--n", type=int, default=2000, help="synthetic rows")
+    rep.add_argument("--d", type=int, default=3, help="synthetic attributes")
+    rep.add_argument(
+        "--k", type=float, default=0.01,
+        help="rank-regret level: int = absolute, float in (0,1) = fraction",
+    )
+    rep.add_argument(
+        "--method", choices=("auto", "2drrr", "mdrrr", "mdrc"), default="auto"
+    )
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument(
+        "--eval-functions", type=int, default=10_000,
+        help="Monte-Carlo functions for quality measurement",
+    )
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("figure", choices=sorted(PAPER_EXPERIMENTS))
+    exp.add_argument("--scale", choices=("bench", "paper"), default="bench")
+
+    rall = sub.add_parser(
+        "reproduce", help="run every experiment and write EXPERIMENTS.md"
+    )
+    rall.add_argument("--scale", choices=("bench", "paper"), default="bench")
+    rall.add_argument("--out", default=None, help="write the report here")
+
+    ks = sub.add_parser("ksets", help="count k-sets (K-SETr / exact 2-D)")
+    ks.add_argument("--dataset", choices=("dot", "bn"), default="dot")
+    ks.add_argument("--n", type=int, default=500)
+    ks.add_argument("--d", type=int, default=3)
+    ks.add_argument("--k", type=float, default=0.01)
+    ks.add_argument("--patience", type=int, default=100)
+    ks.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _resolve_level(k: float, n: int) -> int | float:
+    return k if 0 < k < 1 else int(k)
+
+
+def _cmd_represent(args: argparse.Namespace, out) -> int:
+    if args.csv:
+        data = load_csv(args.csv).normalized()
+    else:
+        data = make_dataset(args.dataset, args.n, args.d, seed=args.seed)
+    result = rank_regret_representative(
+        data, _resolve_level(args.k, data.n), method=args.method, rng=args.seed
+    )
+    report = evaluate_representative(
+        data.values, result.indices, result.k,
+        num_functions=args.eval_functions, rng=args.seed,
+    )
+    print(f"dataset      : {data.name} (n={data.n}, d={data.d})", file=out)
+    print(f"method       : {result.method}", file=out)
+    print(f"k            : {result.k}", file=out)
+    print(f"guarantee    : rank-regret <= {result.guarantee}", file=out)
+    print(f"output size  : {result.size}", file=out)
+    print(f"measured     : rank-regret={report.rank_regret} "
+          f"({'exact' if report.exact else 'sampled'}), "
+          f"regret-ratio={report.regret_ratio:.4f}", file=out)
+    print(f"meets k      : {'yes' if report.meets_k else 'no'}", file=out)
+    print(f"indices      : {list(result.indices)}", file=out)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace, out) -> int:
+    configs = BENCH_EXPERIMENTS if args.scale == "bench" else PAPER_EXPERIMENTS
+    config = configs[args.figure]
+    if isinstance(config, KSetCountConfig):
+        rows = run_kset_count(config, progress=lambda m: print(m, file=sys.stderr))
+        print(format_kset_table(rows), file=out)
+    else:
+        rows = run_experiment(config, progress=lambda m: print(m, file=sys.stderr))
+        print(format_experiment_table(rows), file=out)
+        shapes = summarize_shapes(rows)
+        print("", file=out)
+        for claim, holds in shapes.items():
+            print(f"shape check {claim}: {'PASS' if holds else 'FAIL'}", file=out)
+    return 0
+
+
+def _cmd_ksets(args: argparse.Namespace, out) -> int:
+    data = make_dataset(args.dataset, args.n, args.d, seed=args.seed)
+    k = max(1, round(args.k * data.n)) if 0 < args.k < 1 else int(args.k)
+    if data.d == 2:
+        ksets = enumerate_ksets_2d(data.values, k)
+        print(f"exact 2-D enumeration: {len(ksets)} k-sets (k={k})", file=out)
+    else:
+        outcome = sample_ksets(
+            data.values, k, patience=args.patience, rng=args.seed
+        )
+        print(
+            f"K-SETr: {len(outcome.ksets)} k-sets (k={k}) in "
+            f"{outcome.draws} draws"
+            f"{' [exhausted]' if outcome.exhausted else ''}",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "represent":
+            return _cmd_represent(args, out)
+        if args.command == "experiment":
+            return _cmd_experiment(args, out)
+        if args.command == "ksets":
+            return _cmd_ksets(args, out)
+        if args.command == "reproduce":
+            from repro.experiments.reproduce import reproduce_all
+
+            report = reproduce_all(
+                scale=args.scale,
+                progress=lambda m: print(m, file=sys.stderr),
+            )
+            if args.out:
+                with open(args.out, "w") as handle:
+                    handle.write(report)
+                print(f"wrote {args.out}", file=out)
+            else:
+                print(report, file=out)
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - unreachable with required subparsers
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""The dual (size-budget) formulation of RRR (§2, "Problem Formulation").
+
+Instead of fixing k and minimizing the set size, a user may fix the output
+size budget ``r`` and ask for the subset with minimum rank-regret.  The
+paper observes that an RRR solver yields a dual solver via binary search
+on k: if RRR(k) returns at most ``r`` tuples, smaller k may also fit;
+otherwise move up — an extra ``log n`` factor in running time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import RRRResult, rank_regret_representative
+from repro.datasets.base import Dataset
+from repro.exceptions import ValidationError
+
+__all__ = ["SizeBudgetResult", "min_rank_regret_of_size"]
+
+
+@dataclass(frozen=True)
+class SizeBudgetResult:
+    """Outcome of the size-budget binary search.
+
+    Attributes
+    ----------
+    result:
+        The representative found at the smallest feasible k.
+    k:
+        That smallest k whose representative fit within the budget.
+    probes:
+        Number of RRR solver invocations performed by the search.
+    """
+
+    result: RRRResult
+    k: int
+    probes: int
+
+
+def min_rank_regret_of_size(
+    data: Dataset | np.ndarray,
+    size: int,
+    method: str = "auto",
+    rng: int | np.random.Generator | None = None,
+    **options: object,
+) -> SizeBudgetResult:
+    """Binary search over k for the smallest rank-regret within ``size``.
+
+    Monotonicity caveat (inherited from the paper): with *approximate*
+    solvers, output size is not perfectly monotone in k, so the search is
+    a heuristic exactly as in §2 — it returns the smallest k probed whose
+    output fit the budget, along with that output.
+    """
+    if isinstance(data, Dataset):
+        n = data.n
+    else:
+        matrix = np.asarray(data)
+        if matrix.ndim != 2:
+            raise ValidationError("data must be a Dataset or an (n, d) matrix")
+        n = matrix.shape[0]
+    size = int(size)
+    if size < 1:
+        raise ValidationError("size budget must be >= 1")
+
+    lo, hi = 1, n
+    best: RRRResult | None = None
+    best_k = n
+    probes = 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        candidate = rank_regret_representative(
+            data, mid, method=method, rng=rng, **options
+        )
+        probes += 1
+        if candidate.size <= size:
+            if mid <= best_k:
+                best, best_k = candidate, mid
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        # Even k = n failed, which cannot happen: RRR(n) is a single tuple.
+        raise ValidationError("no feasible k found (internal error)")
+    return SizeBudgetResult(result=best, k=best_k, probes=probes)

@@ -1,0 +1,80 @@
+"""Exact (exponential-time) RRR solvers for ground truth.
+
+The RRR problem is NP-complete for d ≥ 3 (§2), so these solvers exist for
+*validation*, not production: tests and benchmarks use them to certify
+approximation ratios (Theorem 3's "no larger than optimal", MDRRR's log
+factor) on small instances.
+
+Two oracles are offered:
+
+* :func:`exact_rrr_2d` — smallest subset whose *exact* 2-D rank-regret
+  (dual-sweep oracle) is ≤ k.  Search is organized over the items that
+  ever enter the top-k, in increasing subset size.
+* :func:`exact_rrr_via_ksets` — smallest hitting set of the complete
+  k-set collection (any d).  Exact by Lemma 5: hitting every k-set is
+  necessary and sufficient for rank-regret ≤ k over ``L``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.mdrrr import collect_ksets
+from repro.core.rrr2d import find_ranges
+from repro.evaluation.regret import rank_regret_exact_2d
+from repro.exceptions import ValidationError
+from repro.setcover.hitting_set import exact_hitting_set
+
+__all__ = ["exact_rrr_2d", "exact_rrr_via_ksets"]
+
+_SEARCH_CAP = 24  # candidate-universe cap keeping the search tractable
+
+
+def exact_rrr_2d(values: np.ndarray, k: int, max_size: int | None = None) -> list[int]:
+    """The optimal k-RRR of a small 2-D instance (sorted indices).
+
+    Only items whose Algorithm-1 range is non-empty can be useful (an item
+    never in the top-k covers nothing), which prunes the universe before
+    the subset search.  Raises when the pruned universe exceeds
+    ``_SEARCH_CAP`` items — use the approximation algorithms there.
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != 2:
+        raise ValidationError("exact_rrr_2d expects an (n, 2) matrix")
+    k = int(k)
+    if not 1 <= k <= matrix.shape[0]:
+        raise ValidationError(f"k must be in [1, {matrix.shape[0]}], got {k}")
+    candidates = [int(i) for i in find_ranges(matrix, k).covered_items()]
+    if len(candidates) > _SEARCH_CAP:
+        raise ValidationError(
+            f"instance too large for the exact solver: {len(candidates)} "
+            f"candidates exceed the cap of {_SEARCH_CAP}"
+        )
+    limit = len(candidates) if max_size is None else min(int(max_size), len(candidates))
+    for size in range(1, limit + 1):
+        for combo in itertools.combinations(candidates, size):
+            if rank_regret_exact_2d(matrix, combo) <= k:
+                return sorted(combo)
+    raise ValidationError(
+        f"no subset of size <= {limit} achieves rank-regret {k} (internal error)"
+    )
+
+
+def exact_rrr_via_ksets(
+    values: np.ndarray,
+    k: int,
+    max_size: int | None = None,
+) -> list[int]:
+    """The optimal k-RRR via exact k-set enumeration + exact hitting set.
+
+    Correct in any dimension by Lemma 5.  Exponential twice over (BFS k-set
+    enumeration solves O(|S|·k·n) LPs, then the hitting set is brute
+    forced) — keep n in the low dozens.
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("values must be an (n, d) matrix")
+    ksets, _, _ = collect_ksets(matrix, k, enumerator="exact")
+    return sorted(exact_hitting_set(ksets, max_size=max_size))

@@ -1,0 +1,108 @@
+"""RRR for an arbitrary *finite* set of ranking functions.
+
+Definitions 1–3 of the paper are stated for any function set ``F``; the
+algorithms specialize to the full linear class ``L``.  When ``F`` is a
+finite list — a workload log of actual user queries, a business-defined
+panel of scoring rules, a dense lattice — the problem collapses to a
+plain hitting set over the functions' top-k sets, solvable directly.
+This module provides that: the paper's framework applied to workloads,
+plus the bridge lemma (any representative for ``L`` also serves every
+finite ``F ⊂ L``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ranking.topk import batch_top_k_sets
+from repro.setcover.hitting_set import exact_hitting_set, greedy_hitting_set
+
+__all__ = ["WorkloadRRRResult", "workload_rrr"]
+
+
+@dataclass(frozen=True)
+class WorkloadRRRResult:
+    """Output of :func:`workload_rrr`.
+
+    Attributes
+    ----------
+    indices:
+        The representative (sorted row indices).
+    num_functions:
+        Number of workload functions covered.
+    num_distinct_topk:
+        Distinct top-k sets among them (the hitting-set instance size).
+    exact:
+        Whether the hitting set was solved exactly or greedily.
+    """
+
+    indices: tuple[int, ...]
+    num_functions: int
+    num_distinct_topk: int
+    exact: bool
+
+    @property
+    def size(self) -> int:
+        """Number of representative tuples."""
+        return len(self.indices)
+
+
+def workload_rrr(
+    values: np.ndarray,
+    functions: np.ndarray,
+    k: int,
+    solver: str = "greedy",
+) -> WorkloadRRRResult:
+    """Smallest (approximately) subset containing a top-k item of every
+    function in a finite workload.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` normalized matrix.
+    functions:
+        ``(m, d)`` matrix — one weight vector per workload function.
+    k:
+        Rank-regret level to guarantee *for each workload function*.
+    solver:
+        ``"greedy"`` (log-approximate, default) or ``"exact"``
+        (exponential — small workloads only).
+
+    Notes
+    -----
+    The guarantee is exact for the given workload: every function in
+    ``functions`` finds one of its true top-k in the output.  Functions
+    outside the workload get no promise — use :func:`repro.core.md_rrr`
+    or :func:`repro.core.mdrc` to cover all of ``L``.
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(functions, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("values must be an (n, d) matrix")
+    if weights.ndim != 2 or weights.shape[0] == 0:
+        raise ValidationError("functions must be a non-empty (m, d) matrix")
+    if weights.shape[1] != matrix.shape[1]:
+        raise ValidationError(
+            f"functions have {weights.shape[1]} attributes, data has {matrix.shape[1]}"
+        )
+    k = int(k)
+    if not 1 <= k <= matrix.shape[0]:
+        raise ValidationError(f"k must be in [1, {matrix.shape[0]}], got {k}")
+    topk_sets = list(dict.fromkeys(batch_top_k_sets(matrix, weights, k)))
+    if solver == "greedy":
+        chosen = greedy_hitting_set(topk_sets)
+        exact = False
+    elif solver == "exact":
+        chosen = exact_hitting_set(topk_sets)
+        exact = True
+    else:
+        raise ValidationError(f"unknown solver {solver!r}")
+    return WorkloadRRRResult(
+        indices=tuple(sorted(int(i) for i in chosen)),
+        num_functions=int(weights.shape[0]),
+        num_distinct_topk=len(topk_sets),
+        exact=exact,
+    )

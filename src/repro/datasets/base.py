@@ -1,0 +1,211 @@
+"""Core dataset container used by every algorithm in the library.
+
+The paper (§2) models a database ``D`` of ``n`` tuples over ``d`` numeric
+attributes, where for each attribute either higher or lower values are
+preferred.  Attributes are min-max normalized so that 1 is always best
+(§6.1).  :class:`Dataset` captures exactly that: an immutable, numpy-backed
+matrix plus attribute metadata and normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError, ValidationError
+
+__all__ = ["Dataset"]
+
+
+def _as_matrix(values: object) -> np.ndarray:
+    """Coerce ``values`` to a 2-D float64 matrix, validating shape."""
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    if matrix.ndim != 2:
+        raise ValidationError(
+            f"dataset values must be 2-dimensional, got shape {matrix.shape}"
+        )
+    if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+        raise ValidationError("dataset must contain at least one tuple and one attribute")
+    if not np.all(np.isfinite(matrix)):
+        raise ValidationError("dataset values must be finite (no NaN/inf)")
+    return matrix
+
+
+class Dataset:
+    """An immutable collection of ``n`` tuples over ``d`` numeric attributes.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(n, d)``. Stored as float64 and made read-only.
+    attributes:
+        Optional attribute names; defaults to ``a1 .. ad``.
+    higher_is_better:
+        Per-attribute preference direction. ``True`` means larger raw values
+        are preferred. Defaults to all-``True``.
+    name:
+        Optional human-readable dataset name (used in reports).
+
+    Notes
+    -----
+    Algorithms in this library operate on :attr:`values` directly and assume
+    "higher is better" on every column. Call :meth:`normalized` first when the
+    raw data mixes directions, mirroring the paper's preprocessing (§6.1).
+    """
+
+    __slots__ = ("values", "attributes", "higher_is_better", "name")
+
+    def __init__(
+        self,
+        values: object,
+        attributes: Sequence[str] | None = None,
+        higher_is_better: Sequence[bool] | None = None,
+        name: str = "dataset",
+    ) -> None:
+        matrix = _as_matrix(values)
+        matrix.setflags(write=False)
+        d = matrix.shape[1]
+        if attributes is None:
+            attributes = tuple(f"a{i + 1}" for i in range(d))
+        else:
+            attributes = tuple(str(a) for a in attributes)
+            if len(attributes) != d:
+                raise ValidationError(
+                    f"{len(attributes)} attribute names given for {d} columns"
+                )
+            if len(set(attributes)) != d:
+                raise ValidationError("attribute names must be unique")
+        if higher_is_better is None:
+            higher_is_better = tuple(True for _ in range(d))
+        else:
+            higher_is_better = tuple(bool(b) for b in higher_is_better)
+            if len(higher_is_better) != d:
+                raise ValidationError(
+                    f"{len(higher_is_better)} directions given for {d} columns"
+                )
+        self.values = matrix
+        self.attributes = attributes
+        self.higher_is_better = higher_is_better
+        self.name = str(name)
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of tuples."""
+        return int(self.values.shape[0])
+
+    @property
+    def d(self) -> int:
+        """Number of attributes."""
+        return int(self.values.shape[1])
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        """Return tuple ``index`` as a read-only 1-D array."""
+        return self.values[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset(name={self.name!r}, n={self.n}, d={self.d})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return (
+            self.attributes == other.attributes
+            and self.higher_is_better == other.higher_is_better
+            and self.values.shape == other.values.shape
+            and bool(np.array_equal(self.values, other.values))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, self.higher_is_better, self.values.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def column(self, attribute: str) -> np.ndarray:
+        """Return the raw column for ``attribute``."""
+        try:
+            index = self.attributes.index(attribute)
+        except ValueError:
+            raise DatasetError(
+                f"unknown attribute {attribute!r}; have {self.attributes}"
+            ) from None
+        return self.values[:, index]
+
+    def select_attributes(self, names: Iterable[str]) -> "Dataset":
+        """Project onto a subset of attributes, preserving directions."""
+        names = list(names)
+        indices = []
+        for name in names:
+            if name not in self.attributes:
+                raise DatasetError(
+                    f"unknown attribute {name!r}; have {self.attributes}"
+                )
+            indices.append(self.attributes.index(name))
+        return Dataset(
+            self.values[:, indices],
+            attributes=names,
+            higher_is_better=[self.higher_is_better[i] for i in indices],
+            name=self.name,
+        )
+
+    def take(self, indices: Sequence[int]) -> "Dataset":
+        """Return a new dataset containing only the rows in ``indices``."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.ndim != 1:
+            raise ValidationError("row indices must be one-dimensional")
+        return Dataset(
+            self.values[idx],
+            attributes=self.attributes,
+            higher_is_better=self.higher_is_better,
+            name=self.name,
+        )
+
+    def head(self, count: int) -> "Dataset":
+        """Return the first ``count`` rows."""
+        if count < 1:
+            raise ValidationError("head() needs count >= 1")
+        return self.take(range(min(count, self.n)))
+
+    def normalized(self) -> "Dataset":
+        """Min-max normalize every attribute so that 1 is always preferred.
+
+        Mirrors §6.1 of the paper: a higher-preferred value ``v`` maps to
+        ``(v - min) / (max - min)`` and a lower-preferred value to
+        ``(max - v) / (max - min)``. Constant columns map to 0.5 (any
+        constant works: the column then never affects relative order).
+        """
+        matrix = np.array(self.values, dtype=np.float64, copy=True)
+        lo = matrix.min(axis=0)
+        hi = matrix.max(axis=0)
+        span = hi - lo
+        constant = span <= 0
+        span = np.where(constant, 1.0, span)
+        scaled = (matrix - lo) / span
+        for j, higher in enumerate(self.higher_is_better):
+            if not higher:
+                scaled[:, j] = 1.0 - scaled[:, j]
+        scaled[:, constant] = 0.5
+        return Dataset(
+            scaled,
+            attributes=self.attributes,
+            higher_is_better=[True] * self.d,
+            name=self.name,
+        )
+
+    @property
+    def is_normalized(self) -> bool:
+        """True when every value lies in [0, 1] and all directions are up."""
+        return (
+            all(self.higher_is_better)
+            and bool(np.all(self.values >= 0.0))
+            and bool(np.all(self.values <= 1.0))
+        )

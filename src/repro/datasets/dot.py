@@ -1,0 +1,153 @@
+"""Synthetic stand-in for the US DOT flight on-time performance dataset.
+
+The paper evaluates on the Department of Transportation flight-delay
+database: 457,892 rows over eight scalar attributes (§6.1).  That data
+requires network access to ``transtats.bts.gov``, which this environment
+does not have, so we generate a synthetic dataset that reproduces the
+*structure* the RRR algorithms are sensitive to:
+
+* the schema and preference directions (``Air-Time`` and ``Distance``
+  higher-preferred, everything else lower-preferred);
+* realistic marginal skew (delays are heavy-tailed and mostly small,
+  taxi times are log-normal-ish, distances are multi-modal);
+* the cross-attribute correlation web (air time is essentially distance over
+  cruise speed, arrival delay tracks departure delay, elapsed time is
+  air time plus taxi overheads, scheduled elapsed tracks actual elapsed).
+
+What matters for RRR difficulty is exactly this correlation/skew structure —
+it controls how many tuples compete near the top of each linear ranking —
+so the substitution preserves the qualitative behaviour of every experiment
+(see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import ValidationError
+
+__all__ = ["DOT_ATTRIBUTES", "DOT_HIGHER_IS_BETTER", "synthetic_dot"]
+
+DOT_ATTRIBUTES: tuple[str, ...] = (
+    "dep_delay",
+    "taxi_out",
+    "actual_elapsed_time",
+    "arrival_delay",
+    "air_time",
+    "distance",
+    "taxi_in",
+    "crs_elapsed_time",
+)
+
+# Paper §6.1: "For Air-time and Distance higher values are preferred while
+# for the rest of attributes lower values are better."
+DOT_HIGHER_IS_BETTER: tuple[bool, ...] = (
+    False,  # dep_delay
+    False,  # taxi_out
+    False,  # actual_elapsed_time
+    False,  # arrival_delay
+    True,   # air_time
+    True,   # distance
+    False,  # taxi_in
+    False,  # crs_elapsed_time
+)
+
+
+def synthetic_dot(
+    n: int = 10_000,
+    d: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+    normalize: bool = True,
+) -> Dataset:
+    """Generate a synthetic DOT-like flight performance dataset.
+
+    Parameters
+    ----------
+    n:
+        Number of flights (the paper uses up to 457,892).
+    d:
+        If given, keep only the first ``d`` attributes (the paper's
+        experiments vary ``d`` from 2 to 6 this way).
+    seed:
+        RNG seed or generator for reproducibility.
+    normalize:
+        When True (default) return the min-max normalized dataset with all
+        attributes higher-is-better, which is what the algorithms consume.
+    """
+    if n < 1:
+        raise ValidationError(f"need n >= 1, got {n}")
+    if d is not None and not 1 <= d <= len(DOT_ATTRIBUTES):
+        raise ValidationError(
+            f"d must be in [1, {len(DOT_ATTRIBUTES)}], got {d}"
+        )
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    # Distance: mixture of short-haul, medium and long-haul routes (miles).
+    component = rng.choice(3, size=n, p=[0.55, 0.35, 0.10])
+    distance = np.where(
+        component == 0,
+        rng.gamma(4.0, 90.0, size=n),          # short-haul ~ 360 mi
+        np.where(
+            component == 1,
+            rng.gamma(6.0, 180.0, size=n),     # medium ~ 1080 mi
+            2000.0 + rng.gamma(3.0, 300.0, size=n),  # long-haul
+        ),
+    )
+    distance = np.clip(distance, 60.0, 5000.0)
+
+    # Air time: distance over ~7.5 miles/min cruise plus climb overhead.
+    air_time = distance / rng.normal(7.5, 0.4, size=n).clip(6.0, 9.0)
+    air_time = air_time + rng.normal(18.0, 6.0, size=n)
+    air_time = np.clip(air_time, 15.0, None)
+
+    # Taxi times: right-skewed, airport-congestion driven.
+    taxi_out = np.clip(rng.lognormal(np.log(15.0), 0.45, size=n), 4.0, 120.0)
+    taxi_in = np.clip(rng.lognormal(np.log(7.0), 0.5, size=n), 2.0, 60.0)
+
+    # Departure delay: mostly near zero, heavy right tail (minutes).
+    delayed = rng.random(n) < 0.35
+    dep_delay = np.where(
+        delayed,
+        rng.exponential(35.0, size=n),
+        rng.normal(-4.0, 4.0, size=n),
+    )
+    dep_delay = np.clip(dep_delay, -25.0, 1200.0)
+
+    # Arrival delay tracks departure delay with en-route makeup/slippage.
+    arrival_delay = dep_delay + rng.normal(-3.0, 12.0, size=n)
+    arrival_delay = np.clip(arrival_delay, -60.0, 1300.0)
+
+    actual_elapsed = air_time + taxi_out + taxi_in
+    # Scheduled elapsed: actual minus the en-route component of the delay,
+    # with scheduling padding noise.
+    crs_elapsed = actual_elapsed - (arrival_delay - dep_delay) + rng.normal(
+        5.0, 8.0, size=n
+    )
+    crs_elapsed = np.clip(crs_elapsed, 25.0, None)
+
+    # The real DOT data is discretized: delays and durations are whole
+    # minutes, distances whole miles.  This creates the massive ties /
+    # dense score bands near the top that make rank-regret diverge from
+    # score-regret (the paper's central observation) — keep them.
+    columns = np.column_stack(
+        [
+            np.round(dep_delay),
+            np.round(taxi_out),
+            np.round(actual_elapsed),
+            np.round(arrival_delay),
+            np.round(air_time),
+            np.round(distance),
+            np.round(taxi_in),
+            np.round(crs_elapsed),
+        ]
+    )
+    dataset = Dataset(
+        columns,
+        attributes=DOT_ATTRIBUTES,
+        higher_is_better=DOT_HIGHER_IS_BETTER,
+        name="synthetic-dot",
+    )
+    if d is not None:
+        dataset = dataset.select_attributes(DOT_ATTRIBUTES[:d])
+    return dataset.normalized() if normalize else dataset

@@ -1,0 +1,150 @@
+"""Synthetic workload generators.
+
+These follow the standard multi-attribute benchmark distributions introduced
+by Borzsony et al. (the skyline paper, [9] in RRR) and used throughout the
+regret-minimization literature: *independent*, *correlated*,
+*anti-correlated*, and *clustered* point sets, plus the 7-point running
+example from Figure 1 of the paper.
+
+All generators are deterministic given a ``seed`` and return normalized
+:class:`~repro.datasets.base.Dataset` objects (values in ``[0, 1]``, higher
+is better), which is the form every RRR algorithm consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "paper_example",
+    "independent",
+    "correlated",
+    "anticorrelated",
+    "clustered",
+    "on_sphere",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _check_nd(n: int, d: int) -> None:
+    if n < 1:
+        raise ValidationError(f"need n >= 1, got {n}")
+    if d < 1:
+        raise ValidationError(f"need d >= 1, got {d}")
+
+
+def paper_example() -> Dataset:
+    """The 7-point, 2-attribute running example of the paper (Figure 1).
+
+    Used by the paper to illustrate the dual space (Fig. 3), the top-k angle
+    ranges (Fig. 4), and the 2-sets (Fig. 6: ``{t1,t7}, {t7,t3}, {t3,t5}``).
+    Row ``i`` holds tuple ``t_{i+1}``.
+    """
+    values = np.array(
+        [
+            [0.80, 0.28],  # t1
+            [0.54, 0.45],  # t2
+            [0.67, 0.60],  # t3
+            [0.32, 0.42],  # t4
+            [0.46, 0.72],  # t5
+            [0.23, 0.52],  # t6
+            [0.91, 0.43],  # t7
+        ]
+    )
+    return Dataset(values, attributes=("x1", "x2"), name="paper-example")
+
+
+def independent(n: int, d: int, seed: int | np.random.Generator | None = 0) -> Dataset:
+    """Uniform, independently distributed attributes in ``[0, 1]^d``."""
+    _check_nd(n, d)
+    rng = _rng(seed)
+    return Dataset(rng.random((n, d)), name=f"independent-{n}x{d}")
+
+
+def correlated(
+    n: int,
+    d: int,
+    seed: int | np.random.Generator | None = 0,
+    spread: float = 0.15,
+) -> Dataset:
+    """Positively correlated attributes.
+
+    Each tuple has a latent quality ``q ~ U(0,1)``; every attribute is ``q``
+    plus truncated Gaussian noise of scale ``spread``. Good tuples are good
+    everywhere, so maxima representations are tiny — the easy case for RRR.
+    """
+    _check_nd(n, d)
+    if spread < 0:
+        raise ValidationError("spread must be non-negative")
+    rng = _rng(seed)
+    quality = rng.random((n, 1))
+    noise = rng.normal(0.0, spread, size=(n, d))
+    return Dataset(
+        np.clip(quality + noise, 0.0, 1.0), name=f"correlated-{n}x{d}"
+    )
+
+
+def anticorrelated(
+    n: int,
+    d: int,
+    seed: int | np.random.Generator | None = 0,
+    spread: float = 0.1,
+) -> Dataset:
+    """Anti-correlated attributes (points scattered around a hyperplane).
+
+    Tuples good in one attribute are bad in the others: points concentrate
+    around the plane ``sum(x) = d/2``. This maximizes skyline/convex-hull
+    size and is the hard case for compact representatives.
+    """
+    _check_nd(n, d)
+    if spread < 0:
+        raise ValidationError("spread must be non-negative")
+    rng = _rng(seed)
+    # Start from a uniform point, then project toward the anti-diagonal
+    # plane with Gaussian perpendicular jitter (classic skyline benchmark).
+    base = rng.random((n, d))
+    shift = (d / 2.0 - base.sum(axis=1, keepdims=True)) / d
+    points = base + shift + rng.normal(0.0, spread, size=(n, d))
+    return Dataset(np.clip(points, 0.0, 1.0), name=f"anticorrelated-{n}x{d}")
+
+
+def clustered(
+    n: int,
+    d: int,
+    clusters: int = 5,
+    seed: int | np.random.Generator | None = 0,
+    spread: float = 0.05,
+) -> Dataset:
+    """Gaussian clusters with uniformly placed centers."""
+    _check_nd(n, d)
+    if clusters < 1:
+        raise ValidationError("need at least one cluster")
+    if spread < 0:
+        raise ValidationError("spread must be non-negative")
+    rng = _rng(seed)
+    centers = rng.random((clusters, d))
+    assignment = rng.integers(0, clusters, size=n)
+    points = centers[assignment] + rng.normal(0.0, spread, size=(n, d))
+    return Dataset(np.clip(points, 0.0, 1.0), name=f"clustered-{n}x{d}")
+
+
+def on_sphere(n: int, d: int, seed: int | np.random.Generator | None = 0) -> Dataset:
+    """Points on the positive orthant of the unit sphere.
+
+    Every point is on the convex hull, so the order-1 representative is the
+    whole dataset — the worst case motivating rank-regret (§1 of the paper).
+    """
+    _check_nd(n, d)
+    rng = _rng(seed)
+    raw = np.abs(rng.normal(size=(n, d)))
+    norms = np.linalg.norm(raw, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return Dataset(raw / norms, name=f"sphere-{n}x{d}")

@@ -1,0 +1,51 @@
+"""Theoretical k-set count upper bounds (§5.1, §7 and Figures 13–16).
+
+The paper contrasts the measured k-set counts against the best known
+combinatorial upper bounds:
+
+* 2-D: ``O(n·k^{1/3})``  (Dey 1998),
+* 3-D: ``O(n·k^{3/2})``  (Sharir, Smorodinsky & Tardos 2000),
+* d ≥ 4: ``O(n^{d−ε})`` for a small constant ε > 0 (Alon et al. 1992).
+
+These are asymptotic; following the paper's plots we evaluate them with
+unit constants, which is what Figures 13–16 visualize on log scale.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+__all__ = ["kset_upper_bound", "trivial_kset_bound"]
+
+_EPSILON_HIGH_D = 0.01  # "a small constant" in the O(n^{d-eps}) bound
+
+
+def kset_upper_bound(n: int, k: int, d: int) -> float:
+    """Best known upper bound on the number of k-sets of n points in R^d."""
+    if n < 1 or k < 1 or d < 1:
+        raise ValidationError("n, k, d must all be >= 1")
+    if k > n:
+        raise ValidationError(f"k={k} cannot exceed n={n}")
+    if d == 1:
+        return 1.0
+    if d == 2:
+        return float(n) * float(k) ** (1.0 / 3.0)
+    if d == 3:
+        return float(n) * float(k) ** 1.5
+    return float(n) ** (d - _EPSILON_HIGH_D)
+
+
+def trivial_kset_bound(n: int, k: int) -> float:
+    """The binomial coefficient C(n, k): every k-subset, separable or not.
+
+    Used in tests as a sanity ceiling for small instances where the
+    asymptotic bounds (with unit constants) can dip below the truth.
+    """
+    if n < 1 or k < 1:
+        raise ValidationError("n and k must be >= 1")
+    if k > n:
+        raise ValidationError(f"k={k} cannot exceed n={n}")
+    result = 1.0
+    for i in range(min(k, n - k)):
+        result *= (n - i) / (i + 1)
+    return result

@@ -1,0 +1,120 @@
+"""Distributional analysis of rank-regret over the function space.
+
+The paper reports only the *maximum* rank-regret; for practical adoption
+it matters how the regret is distributed — a set whose 99th percentile is
+1 but whose max is k tells a very different story than one pinned at k
+everywhere.  This module estimates the full distribution and identifies
+the adversarial (worst) functions, which is also a handy debugging lens
+on the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ranking.sampling import sample_functions
+
+__all__ = ["RegretDistribution", "rank_regret_distribution", "worst_functions"]
+
+
+@dataclass(frozen=True)
+class RegretDistribution:
+    """Summary of a set's rank-regret distribution over sampled functions.
+
+    Attributes
+    ----------
+    maximum:
+        The sampled RR_L estimate (what the paper plots).
+    mean, median:
+        Central tendency of per-function rank-regret.
+    percentiles:
+        Mapping percentile → value for (50, 90, 99, 100).
+    satisfied_fraction:
+        Fraction of sampled functions whose rank-regret is ≤ the k the
+        distribution was computed against.
+    k:
+        The reference k.
+    samples:
+        Number of functions sampled.
+    """
+
+    maximum: int
+    mean: float
+    median: float
+    percentiles: dict[int, int]
+    satisfied_fraction: float
+    k: int
+    samples: int
+
+
+def _per_function_regrets(
+    values: np.ndarray,
+    subset: Iterable[int],
+    num_functions: int,
+    rng: int | np.random.Generator | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("values must be an (n, d) matrix")
+    members = sorted({int(i) for i in subset})
+    if not members:
+        raise ValidationError("subset must be non-empty")
+    if members[0] < 0 or members[-1] >= matrix.shape[0]:
+        raise ValidationError("subset indices out of range")
+    if num_functions < 1:
+        raise ValidationError("num_functions must be >= 1")
+    weights = sample_functions(matrix.shape[1], num_functions, rng)
+    score_matrix = matrix @ weights.T
+    subset_best = score_matrix[members].max(axis=0)
+    regrets = (score_matrix > subset_best[None, :]).sum(axis=0) + 1
+    return regrets.astype(np.int64), weights
+
+
+def rank_regret_distribution(
+    values: np.ndarray,
+    subset: Iterable[int],
+    k: int,
+    num_functions: int = 10_000,
+    rng: int | np.random.Generator | None = 0,
+) -> RegretDistribution:
+    """Estimate the distribution of RR_f(X) over uniform random f."""
+    regrets, _ = _per_function_regrets(values, subset, num_functions, rng)
+    k = int(k)
+    if k < 1:
+        raise ValidationError("k must be >= 1")
+    percentiles = {
+        p: int(np.percentile(regrets, p, method="higher"))
+        for p in (50, 90, 99, 100)
+    }
+    return RegretDistribution(
+        maximum=int(regrets.max()),
+        mean=float(regrets.mean()),
+        median=float(np.median(regrets)),
+        percentiles=percentiles,
+        satisfied_fraction=float(np.mean(regrets <= k)),
+        k=k,
+        samples=int(num_functions),
+    )
+
+
+def worst_functions(
+    values: np.ndarray,
+    subset: Iterable[int],
+    count: int = 5,
+    num_functions: int = 10_000,
+    rng: int | np.random.Generator | None = 0,
+) -> list[tuple[np.ndarray, int]]:
+    """The ``count`` sampled functions with the largest rank-regret.
+
+    Returns (weight vector, rank-regret) pairs, worst first — the
+    adversarial directions a representative fails hardest on.
+    """
+    if count < 1:
+        raise ValidationError("count must be >= 1")
+    regrets, weights = _per_function_regrets(values, subset, num_functions, rng)
+    order = np.argsort(-regrets, kind="stable")[:count]
+    return [(weights[i], int(regrets[i])) for i in order]

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, range, or type)."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be constructed, loaded, or normalized."""
+
+
+class GeometryError(ReproError):
+    """A geometric computation failed (degenerate input, no hull, ...)."""
+
+
+class InfeasibleError(ReproError):
+    """A requested optimization or cover has no feasible solution."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm exhausted its iteration budget."""

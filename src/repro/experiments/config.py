@@ -1,0 +1,196 @@
+"""Experiment definitions mapping the paper's figures to runnable configs.
+
+Paper defaults (§6.1): ``n = 10,000``, ``d = 3``, ``k = top-1%``; rank
+regret estimated over 10,000 random functions; K-SETr patience 100.
+
+Two scales are provided for every experiment:
+
+* ``paper_scale()`` — parameters matching the paper's sweeps (minutes to
+  hours of compute, meant for a full reproduction run);
+* ``bench_scale()`` — reduced sizes that preserve every qualitative shape
+  and finish in seconds, used by the pytest-benchmark harness and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+__all__ = [
+    "ExperimentConfig",
+    "KSetCountConfig",
+    "paper_scale",
+    "bench_scale",
+    "PAPER_EXPERIMENTS",
+    "BENCH_EXPERIMENTS",
+]
+
+DEFAULT_N = 10_000
+DEFAULT_D = 3
+DEFAULT_K_FRACTION = 0.01
+DEFAULT_EVAL_FUNCTIONS = 10_000
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One algorithm-comparison experiment (a time/effectiveness figure pair).
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier tying the config to the paper ("fig17_18", ...).
+    dataset:
+        ``"dot"`` or ``"bn"`` (the synthetic stand-ins).
+    algorithms:
+        Algorithm names understood by :mod:`repro.experiments.runner`.
+    vary:
+        Which axis the experiment sweeps: ``"n"``, ``"d"``, or ``"k"``.
+    values:
+        The sweep values. For ``vary="k"`` these are *fractions* of n.
+    n, d, k_fraction:
+        Fixed values for the axes not swept.
+    eval_functions:
+        Monte-Carlo sample size for rank-regret measurement.
+    seed:
+        Base RNG seed (dataset generation and randomized algorithms).
+    """
+
+    experiment_id: str
+    dataset: str
+    algorithms: tuple[str, ...]
+    vary: str
+    values: tuple[float, ...]
+    n: int = DEFAULT_N
+    d: int = DEFAULT_D
+    k_fraction: float = DEFAULT_K_FRACTION
+    eval_functions: int = DEFAULT_EVAL_FUNCTIONS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vary not in ("n", "d", "k"):
+            raise ValueError(f"vary must be n/d/k, got {self.vary!r}")
+        if self.dataset not in ("dot", "bn"):
+            raise ValueError(f"dataset must be dot/bn, got {self.dataset!r}")
+
+
+@dataclass(frozen=True)
+class KSetCountConfig:
+    """A k-set count experiment (Figures 13–16)."""
+
+    experiment_id: str
+    dataset: str
+    vary: str  # "k" or "d"
+    values: tuple[float, ...]
+    n: int = DEFAULT_N
+    d: int = DEFAULT_D
+    k_fraction: float = DEFAULT_K_FRACTION
+    patience: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vary not in ("d", "k"):
+            raise ValueError(f"vary must be d/k, got {self.vary!r}")
+
+
+_MD_ALGOS = ("mdrc", "mdrrr", "hd_rrms")
+_2D_ALGOS = ("2drrr", "mdrrr", "mdrc")
+
+
+def paper_scale() -> dict[str, ExperimentConfig | KSetCountConfig]:
+    """The experiments at (close to) the paper's parameters."""
+    return {
+        "fig09_10": ExperimentConfig(
+            "fig09_10", "dot", _2D_ALGOS, vary="n",
+            values=(1_000, 10_000, 100_000, 400_000), d=2,
+        ),
+        "fig11_12": ExperimentConfig(
+            "fig11_12", "dot", _2D_ALGOS, vary="k",
+            values=(0.002, 0.01, 0.1), d=2,
+        ),
+        "fig13": KSetCountConfig(
+            "fig13", "dot", vary="k", values=(0.001, 0.01, 0.1), d=3,
+        ),
+        "fig14": KSetCountConfig(
+            "fig14", "dot", vary="d", values=(2, 3, 4, 5, 6),
+        ),
+        "fig15": KSetCountConfig(
+            "fig15", "bn", vary="k", values=(0.001, 0.01, 0.1), d=3,
+        ),
+        "fig16": KSetCountConfig(
+            "fig16", "bn", vary="d", values=(2, 3, 4, 5),
+        ),
+        "fig17_18": ExperimentConfig(
+            "fig17_18", "dot", _MD_ALGOS, vary="n",
+            values=(1_000, 10_000, 100_000, 400_000),
+        ),
+        "fig19_20": ExperimentConfig(
+            "fig19_20", "bn", _MD_ALGOS, vary="n",
+            values=(1_000, 10_000, 100_000),
+        ),
+        "fig21_22": ExperimentConfig(
+            "fig21_22", "dot", _MD_ALGOS, vary="d", values=(3, 4, 5, 6),
+        ),
+        "fig23_24": ExperimentConfig(
+            "fig23_24", "bn", _MD_ALGOS, vary="d", values=(3, 4, 5),
+        ),
+        "fig25_26": ExperimentConfig(
+            "fig25_26", "dot", _MD_ALGOS, vary="k",
+            values=(0.001, 0.01, 0.1),
+        ),
+        "fig27_28": ExperimentConfig(
+            "fig27_28", "bn", _MD_ALGOS, vary="k",
+            values=(0.001, 0.01, 0.1),
+        ),
+    }
+
+
+def bench_scale() -> dict[str, ExperimentConfig | KSetCountConfig]:
+    """Reduced-size variants preserving all qualitative shapes.
+
+    Sweep-based algorithms (2DRRR / exact 2-D enumeration) are quadratic
+    pure-Python, so n is capped in the hundreds; MD experiments cap n at a
+    few thousand.  The paper's *relative* outcomes — who wins, whose
+    rank-regret explodes — are insensitive to this (§6.2 reports the same
+    ordering at every scale it could run).
+    """
+    paper = paper_scale()
+    out: dict[str, ExperimentConfig | KSetCountConfig] = {}
+    out["fig09_10"] = replace(
+        paper["fig09_10"], values=(100, 200, 400), n=200,
+        eval_functions=2_000,
+    )
+    out["fig11_12"] = replace(
+        paper["fig11_12"], values=(0.02, 0.05, 0.1), n=300,
+        eval_functions=2_000,
+    )
+    out["fig13"] = replace(paper["fig13"], values=(0.01, 0.05, 0.1), n=400)
+    out["fig14"] = replace(paper["fig14"], values=(2, 3, 4, 5, 6), n=400)
+    out["fig15"] = replace(paper["fig15"], values=(0.01, 0.05, 0.1), n=400)
+    out["fig16"] = replace(paper["fig16"], values=(2, 3, 4, 5), n=400)
+    out["fig17_18"] = replace(
+        paper["fig17_18"], values=(500, 1_000, 2_000), n=1_000,
+        eval_functions=2_000,
+    )
+    out["fig19_20"] = replace(
+        paper["fig19_20"], values=(500, 1_000, 2_000), n=1_000,
+        eval_functions=2_000,
+    )
+    out["fig21_22"] = replace(
+        paper["fig21_22"], n=800, eval_functions=2_000,
+    )
+    out["fig23_24"] = replace(
+        paper["fig23_24"], n=800, eval_functions=2_000,
+    )
+    out["fig25_26"] = replace(
+        paper["fig25_26"], values=(0.005, 0.01, 0.1), n=800,
+        eval_functions=2_000,
+    )
+    out["fig27_28"] = replace(
+        paper["fig27_28"], values=(0.005, 0.01, 0.1), n=800,
+        eval_functions=2_000,
+    )
+    return out
+
+
+PAPER_EXPERIMENTS = paper_scale()
+BENCH_EXPERIMENTS = bench_scale()

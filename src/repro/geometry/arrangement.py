@@ -1,0 +1,178 @@
+"""The top-k border of the 2-D dual arrangement (§3, Figure 3).
+
+The dual lines of the tuples dissect the plane into an *arrangement*; the
+facets at level k form the **top-k border**: for any function (ray), the
+lines crossing the ray on or below the border are exactly its top-k.  Two
+facts from §3 drive this module's API:
+
+* the border is piecewise — one tuple "owns" rank k on each angular
+  segment — so it is fully described by a list of (θ-interval, tuple)
+  pairs (:func:`k_border_segments`);
+* a tuple's dual line can contribute *multiple* disjoint segments (the
+  paper's d(t3) example), so a tuple's exact top-k region is a union of
+  intervals (:func:`exact_topk_intervals`) — the thing Algorithm 1's
+  convex closure deliberately over-approximates (Theorem 3's proof
+  distinguishes exactly these two).
+
+Everything is computed from one angular sweep, so it is exact, including
+degenerate (tied / duplicated) inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.geometry.sweep import AngularSweep
+
+__all__ = [
+    "BorderSegment",
+    "k_border_segments",
+    "exact_topk_intervals",
+    "topk_region_measure",
+    "rank_at_angle_profile",
+]
+
+_HALF_PI = float(np.pi / 2)
+
+
+@dataclass(frozen=True)
+class BorderSegment:
+    """One maximal angular segment of the top-k border.
+
+    Attributes
+    ----------
+    start, end:
+        The θ-interval on which ``item`` sits exactly at rank k.
+    item:
+        The row index owning the border on this segment.
+    """
+
+    start: float
+    end: float
+    item: int
+
+    @property
+    def width(self) -> float:
+        """Angular width of the segment."""
+        return self.end - self.start
+
+
+def _validated(values: np.ndarray, k: int) -> tuple[np.ndarray, int]:
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != 2:
+        raise ValidationError("expected an (n, 2) matrix")
+    k = int(k)
+    if not 1 <= k <= matrix.shape[0]:
+        raise ValidationError(f"k must be in [1, {matrix.shape[0]}], got {k}")
+    return matrix, k
+
+
+def k_border_segments(values: np.ndarray, k: int) -> list[BorderSegment]:
+    """The top-k border as maximal (θ-interval, owner) segments.
+
+    The owner changes exactly when an exchange involves rank k — either
+    with rank k+1 (a line crosses the border from above/below) or with
+    rank k−1 (the border hops to the adjacent line of the same top-k set).
+    Zero-width segments produced by coincident events are dropped.
+    """
+    matrix, k = _validated(values, k)
+    sweep = AngularSweep(matrix)
+    segments: list[BorderSegment] = []
+    current_owner = int(sweep.order[k - 1])
+    current_start = 0.0
+    for event in sweep.events():
+        # Rank k is 0-based position k-1; an exchange at positions
+        # (k-2, k-1) or (k-1, k) changes who sits at position k-1.
+        if event.position in (k - 2, k - 1):
+            new_owner = int(sweep.order[k - 1])
+            if new_owner != current_owner:
+                if event.theta > current_start:
+                    segments.append(
+                        BorderSegment(current_start, event.theta, current_owner)
+                    )
+                current_owner = new_owner
+                current_start = event.theta
+    if _HALF_PI > current_start:
+        segments.append(BorderSegment(current_start, _HALF_PI, current_owner))
+    return segments
+
+
+def exact_topk_intervals(
+    values: np.ndarray, k: int
+) -> dict[int, list[tuple[float, float]]]:
+    """Per tuple, the *exact* (possibly fragmented) top-k angular region.
+
+    Returns a mapping from row index to a list of disjoint, maximal
+    closed θ-intervals on which the tuple's rank is ≤ k.  Tuples never in
+    the top-k are absent.  The union of an item's intervals is a subset of
+    Algorithm 1's convex closure ``[b[t], e[t]]`` — equality holds exactly
+    when the region is a single interval.
+    """
+    matrix, k = _validated(values, k)
+    sweep = AngularSweep(matrix)
+    open_since: dict[int, float] = {
+        int(i): 0.0 for i in sweep.order[:k]
+    }
+    intervals: dict[int, list[tuple[float, float]]] = {}
+
+    def close(item: int, theta: float) -> None:
+        start = open_since.pop(item)
+        existing = intervals.setdefault(item, [])
+        # Merge with the previous interval when the item re-entered at the
+        # exact angle it left (coincident events): regions are closed sets.
+        if existing and existing[-1][1] >= start:
+            existing[-1] = (existing[-1][0], theta)
+        else:
+            existing.append((start, theta))
+
+    for event in sweep.events():
+        if event.position != k - 1:
+            continue
+        entering, leaving = event.lower, event.upper
+        if entering not in open_since:
+            open_since[entering] = event.theta
+        close(leaving, event.theta)
+    for item in list(open_since):
+        close(item, _HALF_PI)
+    return intervals
+
+
+def topk_region_measure(values: np.ndarray, k: int) -> dict[int, float]:
+    """Per tuple, the total angular measure of its exact top-k region.
+
+    This is the probability weight a *uniformly random 2-D function* gives
+    the tuple's top-k membership (up to the 2/π normalization) — the
+    quantity that drives K-SETr's coupon-collector behaviour (§5.2.1).
+    """
+    return {
+        item: sum(end - start for start, end in spans)
+        for item, spans in exact_topk_intervals(values, k).items()
+    }
+
+
+def rank_at_angle_profile(
+    values: np.ndarray, item: int, resolution: int = 256
+) -> np.ndarray:
+    """The rank of ``item`` sampled on a uniform θ-grid (diagnostic helper).
+
+    Used by tests and notebooks to visualize Theorem 1: between two angles
+    where the rank is ≤ k, it never exceeds the sum of the endpoint ranks.
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != 2:
+        raise ValidationError("expected an (n, 2) matrix")
+    if not 0 <= int(item) < matrix.shape[0]:
+        raise ValidationError("item index out of range")
+    if resolution < 2:
+        raise ValidationError("resolution must be >= 2")
+    from repro.ranking.topk import ranks
+
+    thetas = np.linspace(0.0, _HALF_PI, resolution)
+    out = np.empty(resolution, dtype=np.int64)
+    for position, theta in enumerate(thetas):
+        w = np.array([np.cos(theta), np.sin(theta)])
+        out[position] = ranks(matrix, w)[int(item)]
+    return out

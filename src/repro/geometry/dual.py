@@ -1,0 +1,94 @@
+"""The dual transformation of §3.
+
+Each tuple ``t ∈ R^d`` maps to the hyperplane ``d(t): Σ t[i]·x_i = 1``
+(Eq. 2).  A linear function's ray stays put under the transform, and the
+ordering of tuples along a ray is the ordering of the ray's intersections
+with the dual hyperplanes — *closer to the origin ranks higher*.
+
+These helpers make the correspondence executable; the sweep and k-set
+modules, and several tests, rely on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GeometryError, ValidationError
+
+__all__ = [
+    "dual_hyperplane",
+    "ray_intersection_distance",
+    "order_along_ray",
+    "crossing_angle_2d",
+]
+
+
+def dual_hyperplane(point: object) -> np.ndarray:
+    """Coefficients of the dual hyperplane ``Σ t[i]·x_i = 1`` of ``point``.
+
+    The coefficient vector *is* the point (Eq. 2); this function exists to
+    make call sites self-documenting and to validate the input.
+    """
+    t = np.asarray(point, dtype=np.float64).reshape(-1)
+    if t.size == 0 or not np.all(np.isfinite(t)):
+        raise ValidationError("point must be a non-empty finite vector")
+    return t
+
+
+def ray_intersection_distance(point: object, weights: object) -> float:
+    """Distance from the origin to where the ray of ``weights`` meets ``d(point)``.
+
+    The ray is ``x = s·w`` for ``s ≥ 0``; it meets ``Σ t_i x_i = 1`` at
+    ``s = 1 / (t·w)``.  Tuples with larger score ``t·w`` intersect closer to
+    the origin, hence rank higher — the duality the paper builds on (§3).
+    """
+    t = dual_hyperplane(point)
+    w = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if w.size != t.size:
+        raise ValidationError("point and weights must have matching dimension")
+    dot = float(t @ w)
+    if dot <= 0:
+        raise GeometryError(
+            "the ray never crosses the dual hyperplane (non-positive score)"
+        )
+    return 1.0 / dot
+
+
+def order_along_ray(values: np.ndarray, weights: object) -> np.ndarray:
+    """Row indices ordered by dual-intersection distance (closest first).
+
+    By duality this equals the score-descending ranking; exposed so tests
+    can assert that equivalence directly.  Ties broken by row index.
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("values must be an (n, d) matrix")
+    w = np.asarray(weights, dtype=np.float64).reshape(-1)
+    dots = matrix @ w
+    if np.any(dots <= 0):
+        raise GeometryError(
+            "every tuple must have positive score for the dual ordering"
+        )
+    distances = 1.0 / dots
+    return np.lexsort((np.arange(matrix.shape[0]), distances))
+
+
+def crossing_angle_2d(a: object, b: object) -> float | None:
+    """Angle θ ∈ [0, π/2] at which 2-D points ``a`` and ``b`` score equally.
+
+    Scores tie when ``cosθ·(a_x − b_x) + sinθ·(a_y − b_y) = 0``, i.e.
+    ``tanθ = (a_x − b_x) / (b_y − a_y)`` — the ordering-exchange angle of
+    Algorithm 1.  Returns None when the points never exchange inside the
+    open sweep interval (0, π/2): one (weakly) dominates the other, or
+    they are identical.  An exchange exists exactly when one point is
+    strictly better on x and the other strictly better on y.
+    """
+    pa = np.asarray(a, dtype=np.float64).reshape(-1)
+    pb = np.asarray(b, dtype=np.float64).reshape(-1)
+    if pa.size != 2 or pb.size != 2:
+        raise ValidationError("crossing_angle_2d expects 2-D points")
+    dx = pa[0] - pb[0]
+    dy = pb[1] - pa[1]
+    if (dx > 0 and dy > 0) or (dx < 0 and dy < 0):
+        return float(np.arctan2(abs(dx), abs(dy)))
+    return None

@@ -1,0 +1,124 @@
+"""Convex hulls and the order-1 maxima representation.
+
+The paper motivates RRR by the size of the *maxima representation*: the
+convex hull is the smallest subset guaranteed to contain the top-1 of every
+linear function (§1–2), and it can approach the full dataset.  This module
+provides:
+
+* :func:`convex_hull_2d` — Andrew's monotone chain, implemented from
+  scratch (no dependency) for 2-D;
+* :func:`convex_hull` — general-dimension hull vertices via Qhull
+  (scipy.spatial), falling back to the 2-D chain;
+* :func:`maxima_representation` — the subset of hull vertices that are
+  top-1 for at least one *non-negative-weight* linear function, i.e. the
+  exact order-1 RRR for the paper's function class ``L``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GeometryError, ValidationError
+from repro.geometry.halfspace import best_for_some_function
+
+__all__ = ["convex_hull_2d", "convex_hull", "maxima_representation"]
+
+
+def _as_points(values: np.ndarray, d: int | None = None) -> np.ndarray:
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("expected an (n, d) matrix of points")
+    if d is not None and matrix.shape[1] != d:
+        raise ValidationError(f"expected {d}-dimensional points, got {matrix.shape[1]}")
+    if not np.all(np.isfinite(matrix)):
+        raise ValidationError("points must be finite")
+    return matrix
+
+
+def _cross(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+    return float((a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]))
+
+
+def convex_hull_2d(values: np.ndarray) -> np.ndarray:
+    """Indices of the 2-D convex hull vertices, counter-clockwise.
+
+    Andrew's monotone chain in O(n log n); collinear interior points are
+    excluded.  Degenerate inputs (all points collinear) return the two
+    extreme points, or the single distinct point.
+    """
+    points = _as_points(values, d=2)
+    n = points.shape[0]
+    order = np.lexsort((points[:, 1], points[:, 0]))
+    # Deduplicate identical points, keeping the smallest row index
+    # (consistent with the library-wide tie-breaker).
+    unique: list[int] = []
+    seen: set[tuple[float, float]] = set()
+    for idx in order:
+        key = (points[idx, 0], points[idx, 1])
+        if key not in seen:
+            seen.add(key)
+            unique.append(int(idx))
+    if len(unique) == 1:
+        return np.asarray(unique, dtype=np.intp)
+    if len(unique) == 2:
+        return np.asarray(unique, dtype=np.intp)
+
+    def half(indices: list[int]) -> list[int]:
+        chain: list[int] = []
+        for idx in indices:
+            while (
+                len(chain) >= 2
+                and _cross(points[chain[-2]], points[chain[-1]], points[idx]) <= 0
+            ):
+                chain.pop()
+            chain.append(idx)
+        return chain
+
+    lower = half(unique)
+    upper = half(unique[::-1])
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 2:  # fully collinear input
+        hull = [unique[0], unique[-1]]
+    return np.asarray(hull, dtype=np.intp)
+
+
+def convex_hull(values: np.ndarray) -> np.ndarray:
+    """Indices of convex hull vertices in any dimension (sorted ascending).
+
+    Uses Qhull via scipy for d ≥ 3 (with joggle on degenerate input) and
+    the scratch-built monotone chain for d = 2 / trivial handling for d = 1.
+    """
+    points = _as_points(values)
+    n, d = points.shape
+    if d == 1:
+        return np.unique([int(np.argmin(points[:, 0])), int(np.argmax(points[:, 0]))])
+    if d == 2:
+        return np.sort(convex_hull_2d(points))
+    if n <= d:
+        return np.arange(n)
+    try:
+        from scipy.spatial import ConvexHull  # deferred: optional heavy import
+
+        try:
+            hull = ConvexHull(points)
+        except Exception:
+            hull = ConvexHull(points, qhull_options="QJ")
+        return np.sort(np.asarray(hull.vertices, dtype=np.intp))
+    except ImportError as exc:  # pragma: no cover - scipy is a dependency
+        raise GeometryError("scipy is required for hulls with d >= 3") from exc
+
+
+def maxima_representation(values: np.ndarray) -> np.ndarray:
+    """Indices of tuples that are top-1 for some non-negative linear function.
+
+    This is the exact order-1 rank-regret representative for the paper's
+    class ``L`` (§2, "maxima representation").  Computed by filtering the
+    convex hull vertices with a per-vertex LP feasibility check
+    (:func:`repro.geometry.halfspace.best_for_some_function`).
+    """
+    points = _as_points(values)
+    candidates = convex_hull(points)
+    keep = [
+        int(idx) for idx in candidates if best_for_some_function(points, int(idx))
+    ]
+    return np.asarray(sorted(keep), dtype=np.intp)

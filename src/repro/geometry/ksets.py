@@ -1,0 +1,218 @@
+"""k-set enumeration: exact 2-D sweep, randomized K-SETr, and graph BFS.
+
+A *k-set* is a set of exactly k points strictly separable from the rest by
+a hyperplane with non-negative normal (§5.1).  Lemma 5: the collection of
+k-sets equals the collection of all possible top-k results over the linear
+function class ``L`` — which is why hitting the k-sets solves RRR.
+
+Three enumerators, mirroring the paper:
+
+* :func:`enumerate_ksets_2d` — exact, follows the k-border with the
+  angular sweep (the "ray sweeping algorithm similar to Algorithm 1", §6.2);
+* :func:`sample_ksets` — K-SETr (Algorithm 4): coupon-collector sampling of
+  random functions until no new k-set shows up for ``patience`` draws;
+* :func:`enumerate_ksets_bfs` — Algorithm 6: BFS over the k-set graph with
+  LP validity checks (exact but only practical for small n, as the paper
+  notes in §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.geometry.halfspace import is_separable
+from repro.geometry.sweep import AngularSweep
+from repro.ranking.sampling import sample_functions
+from repro.ranking.topk import top_k_set
+
+__all__ = [
+    "enumerate_ksets_2d",
+    "sample_ksets",
+    "KSetSampleResult",
+    "enumerate_ksets_bfs",
+    "kset_graph_edges",
+]
+
+
+def _validate(values: np.ndarray, k: int, d: int | None = None) -> tuple[np.ndarray, int]:
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("values must be an (n, d) matrix")
+    if d is not None and matrix.shape[1] != d:
+        raise ValidationError(f"expected d={d}, got {matrix.shape[1]}")
+    k = int(k)
+    if not 1 <= k <= matrix.shape[0]:
+        raise ValidationError(f"k must be in [1, {matrix.shape[0]}], got {k}")
+    return matrix, k
+
+
+def enumerate_ksets_2d(values: np.ndarray, k: int) -> list[frozenset[int]]:
+    """All k-sets of a 2-D dataset, exactly, in sweep (angle) order.
+
+    Sweeps θ from 0 to π/2 tracking the top-k prefix; the top-k changes
+    exactly when an exchange crosses the k-border (positions k−1/k), and by
+    Lemma 5 each distinct top-k along the way is a k-set — and every k-set
+    of the positive-weight function class appears.
+    """
+    matrix, k = _validate(values, k, d=2)
+    sweep = AngularSweep(matrix)
+    collected: list[frozenset[int]] = []
+    seen: set[frozenset[int]] = set()
+    current = frozenset(int(i) for i in sweep.order[:k])
+    collected.append(current)
+    seen.add(current)
+    for event in sweep.events():
+        if event.position == k - 1:
+            current = frozenset(int(i) for i in sweep.order[:k])
+            if current not in seen:
+                seen.add(current)
+                collected.append(current)
+    return collected
+
+
+@dataclass
+class KSetSampleResult:
+    """Outcome of K-SETr (Algorithm 4).
+
+    Attributes
+    ----------
+    ksets:
+        The distinct k-sets discovered, in discovery order.
+    functions:
+        For each discovered k-set, one witness weight vector that produced it.
+    draws:
+        Total number of random functions drawn.
+    exhausted:
+        True when the sampler stopped because ``max_draws`` was hit rather
+        than by the patience rule (the collection may then be less complete).
+    """
+
+    ksets: list[frozenset[int]]
+    functions: list[np.ndarray] = field(default_factory=list)
+    draws: int = 0
+    exhausted: bool = False
+
+
+def sample_ksets(
+    values: np.ndarray,
+    k: int,
+    patience: int = 100,
+    rng: int | np.random.Generator | None = None,
+    max_draws: int = 1_000_000,
+    batch_size: int = 256,
+) -> KSetSampleResult:
+    """K-SETr (Algorithm 4): randomized k-set collection.
+
+    Repeatedly draws uniform random linear functions (Marsaglia sampling),
+    takes their top-k as a k-set, and stops after ``patience`` consecutive
+    draws that discover nothing new — the coupon-collector termination rule
+    with the paper's default ``c = 100`` (§6.1).
+
+    Functions are drawn in batches and scored with one matrix product per
+    batch; the patience rule is still applied draw-by-draw, so results are
+    identical to the scalar loop for any given RNG stream.
+    """
+    matrix, k = _validate(values, k)
+    if patience < 1:
+        raise ValidationError("patience must be >= 1")
+    if max_draws < 1:
+        raise ValidationError("max_draws must be >= 1")
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    n = matrix.shape[0]
+    result = KSetSampleResult(ksets=[])
+    seen: set[frozenset[int]] = set()
+    misses = 0
+    index_key = np.arange(n)
+    while result.draws < max_draws:
+        batch = min(batch_size, max_draws - result.draws)
+        weights = sample_functions(matrix.shape[1], batch, generator)
+        score_matrix = matrix @ weights.T
+        done = False
+        for column in range(batch):
+            score = score_matrix[:, column]
+            result.draws += 1
+            if k >= n:
+                members = index_key
+            else:
+                kth = np.partition(score, n - k)[n - k]
+                candidates = np.flatnonzero(score >= kth)
+                order = np.lexsort((candidates, -score[candidates]))
+                members = candidates[order[:k]]
+            kset = frozenset(int(i) for i in members)
+            if kset in seen:
+                misses += 1
+                if misses >= patience:
+                    done = True
+                    break
+            else:
+                seen.add(kset)
+                result.ksets.append(kset)
+                result.functions.append(weights[column])
+                misses = 0
+        if done:
+            return result
+    result.exhausted = True
+    return result
+
+
+def enumerate_ksets_bfs(values: np.ndarray, k: int) -> list[frozenset[int]]:
+    """Algorithm 6: exact k-set enumeration by BFS over the k-set graph.
+
+    Starts from the top-k on the first attribute, then repeatedly swaps one
+    member for one non-member and keeps the candidates validated as k-sets
+    by the separability LP (Eq. 4).  Correct because the k-set graph is
+    connected (Theorem 7).  Cost is O(|S| · k · (n−k)) LP solves — use only
+    for small instances, exactly as the paper concludes (§5.2).
+    """
+    matrix, k = _validate(values, k)
+    n = matrix.shape[0]
+    start = top_k_set(matrix, _first_attribute_weights(matrix.shape[1]), k)
+    discovered: set[frozenset[int]] = {start}
+    ordered: list[frozenset[int]] = [start]
+    queue: list[frozenset[int]] = [start]
+    while queue:
+        current = queue.pop(0)
+        outside = [i for i in range(n) if i not in current]
+        for member in sorted(current):
+            base = current - {member}
+            for candidate in outside:
+                neighbor = base | {candidate}
+                if neighbor in discovered:
+                    continue
+                if is_separable(matrix, neighbor):
+                    discovered.add(neighbor)
+                    ordered.append(neighbor)
+                    queue.append(neighbor)
+    return ordered
+
+
+def _first_attribute_weights(d: int) -> np.ndarray:
+    """A weight vector concentrating on attribute 1 (BFS seed of Alg. 6).
+
+    Strictly speaking ``(1, 0, …, 0)`` sits on the boundary of ``L``; we
+    keep it because the library's deterministic tie-breaker makes its top-k
+    well-defined, matching line 1 of Algorithm 6.
+    """
+    weights = np.zeros(d)
+    weights[0] = 1.0
+    return weights
+
+
+def kset_graph_edges(ksets: list[frozenset[int]]) -> list[tuple[int, int]]:
+    """Edges of the k-set graph (Definition 4) over the given collection.
+
+    Vertices are positions in ``ksets``; an edge joins two k-sets whose
+    intersection has exactly k − 1 members.  Theorem 7 guarantees the graph
+    over the *complete* collection is connected — a property the test suite
+    checks via networkx.
+    """
+    edges: list[tuple[int, int]] = []
+    for i in range(len(ksets)):
+        for j in range(i + 1, len(ksets)):
+            k = len(ksets[i])
+            if len(ksets[i] & ksets[j]) == k - 1:
+                edges.append((i, j))
+    return edges

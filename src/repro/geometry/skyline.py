@@ -1,0 +1,112 @@
+"""Skyline (Pareto-optimal set) operators.
+
+The skyline is the maxima representation for the class of all *monotonic*
+ranking functions (§1–2): no tuple outside it can be top-1 for any
+monotone preference.  The paper uses it as the motivating "too big"
+representative; we implement the two classic algorithms so the examples
+and benchmarks can contrast skyline size against RRR output size.
+
+All operators assume higher-is-better on every attribute (normalize first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["dominates", "skyline_bnl", "skyline_sfs", "skyline", "dominance_count"]
+
+
+def _as_points(values: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("expected an (n, d) matrix")
+    return matrix
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when ``a`` dominates ``b``: ≥ everywhere and > somewhere."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if a.size != b.size:
+        raise ValidationError("points must have the same dimension")
+    return bool(np.all(a >= b) and np.any(a > b))
+
+
+def skyline_bnl(values: np.ndarray) -> np.ndarray:
+    """Skyline via Block-Nested-Loop (Borzsony et al.), returned sorted.
+
+    Maintains a window of currently undominated tuples; each incoming tuple
+    is compared against the window.  O(n²) worst case but fast when the
+    skyline is small.  Duplicate points: the smallest row index is kept.
+    """
+    points = _as_points(values)
+    window: list[int] = []
+    for i in range(points.shape[0]):
+        candidate = points[i]
+        dominated = False
+        survivors: list[int] = []
+        for j in window:
+            if dominated:
+                survivors.append(j)
+                continue
+            other = points[j]
+            if np.all(other >= candidate):
+                # `other` dominates or duplicates `candidate`; earlier index wins.
+                dominated = True
+                survivors.append(j)
+            elif np.all(candidate >= other) and np.any(candidate > other):
+                continue  # candidate dominates `other`: drop it
+            else:
+                survivors.append(j)
+        if not dominated:
+            survivors.append(i)
+        window = survivors
+    return np.asarray(sorted(window), dtype=np.intp)
+
+
+def skyline_sfs(values: np.ndarray) -> np.ndarray:
+    """Skyline via Sort-Filter-Skyline, returned sorted.
+
+    Pre-sorts by descending attribute sum so that a tuple can only be
+    dominated by tuples seen earlier; each survivor needs one pass over the
+    current skyline.  Same output as :func:`skyline_bnl`.
+    """
+    points = _as_points(values)
+    n = points.shape[0]
+    order = np.lexsort((np.arange(n), -points.sum(axis=1)))
+    result: list[int] = []
+    for idx in order:
+        candidate = points[idx]
+        dominated = False
+        for j in result:
+            other = points[j]
+            if np.all(other >= candidate) and (
+                np.any(other > candidate) or j < idx
+            ):
+                dominated = True
+                break
+        if not dominated:
+            result.append(int(idx))
+    return np.asarray(sorted(result), dtype=np.intp)
+
+
+def skyline(values: np.ndarray) -> np.ndarray:
+    """Default skyline operator (SFS)."""
+    return skyline_sfs(values)
+
+
+def dominance_count(values: np.ndarray) -> np.ndarray:
+    """For each tuple, the number of tuples that dominate it.
+
+    Useful diagnostic: tuples with count 0 form the skyline.
+    """
+    points = _as_points(values)
+    n = points.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        ge = np.all(points >= points[i], axis=1)
+        gt = np.any(points > points[i], axis=1)
+        counts[i] = int(np.count_nonzero(ge & gt))
+    return counts

@@ -1,0 +1,172 @@
+"""The 2-D angular sweep over the dual arrangement (backbone of Algorithm 1).
+
+A ray anchored at the origin sweeps from the x-axis (θ = 0) to the y-axis
+(θ = π/2).  At each angle, the score of tuple ``t`` is
+``t_x·cosθ + t_y·sinθ`` and the ranking is the score-descending order.  As
+θ grows the ranking changes only by *adjacent transpositions*, each at the
+crossing angle of the two tuples' dual lines (§3, Figure 3).
+
+:class:`AngularSweep` maintains the ranking as a kinetic sorted list with an
+event heap, yielding every ordering exchange as a :class:`SweepEvent`.  The
+consumers built on top of it:
+
+* :func:`repro.core.rrr2d.find_ranges` — per-item first/last top-k angle;
+* :func:`repro.geometry.ksets.enumerate_ksets_2d` — exact 2-D k-sets;
+* :func:`repro.geometry.arrangement.k_border_segments` — the top-k border;
+* :func:`repro.evaluation.regret.rank_regret_exact_2d` — exact rank-regret.
+
+Ties are handled by the library-wide deterministic tie-breaker (smaller row
+index wins), and exchanges at identical angles are processed with lazy
+event validation, so the sweep is exact even on degenerate inputs.
+
+The event loop runs O(n²) times in the worst case, so the inner crossing
+computation deliberately uses plain Python floats and :func:`math.atan2`
+instead of numpy scalars — per-event numpy overhead dominates otherwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["SweepEvent", "AngularSweep", "initial_order_2d"]
+
+_HALF_PI = math.pi / 2
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One ordering exchange between two adjacent tuples.
+
+    Attributes
+    ----------
+    theta:
+        Angle of the exchange, in ``(0, π/2)``.
+    upper:
+        Row index of the tuple ranked better *before* the exchange.
+    lower:
+        Row index of the tuple ranked better *after* the exchange.
+    position:
+        0-based rank position of ``upper`` before the exchange; after it,
+        ``lower`` occupies ``position`` and ``upper`` is at ``position + 1``.
+    """
+
+    theta: float
+    upper: int
+    lower: int
+    position: int
+
+
+def initial_order_2d(values: np.ndarray) -> np.ndarray:
+    """Ranking of the tuples for θ → 0⁺ (best first).
+
+    For an infinitesimally positive angle the score is ``x + θ·y``, so the
+    order is x-descending with y-descending as secondary key and row index
+    as the final deterministic tie-breaker.
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != 2:
+        raise ValidationError("initial_order_2d expects an (n, 2) matrix")
+    n = matrix.shape[0]
+    return np.lexsort((np.arange(n), -matrix[:, 1], -matrix[:, 0]))
+
+
+class AngularSweep:
+    """Kinetic sorted list sweeping θ from 0 to π/2 over a 2-D dataset.
+
+    Parameters
+    ----------
+    values:
+        ``(n, 2)`` matrix of (normalized) tuples.
+
+    Usage
+    -----
+    Iterate :meth:`events` and inspect :attr:`order` / :attr:`position`
+    between events; both are kept consistent with the most recent event
+    yielded.  ``order[p]`` is the row index at rank ``p`` (0-based) and
+    ``position[i]`` is the rank position of row ``i``.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        matrix = np.asarray(values, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != 2:
+            raise ValidationError("AngularSweep expects an (n, 2) matrix")
+        if not np.all(np.isfinite(matrix)):
+            raise ValidationError("sweep input must be finite")
+        self.values = matrix
+        self.n = matrix.shape[0]
+        self.order = initial_order_2d(matrix)
+        self.position = np.empty(self.n, dtype=np.intp)
+        self.position[self.order] = np.arange(self.n)
+        self.theta = 0.0
+        # Hot-path copies: plain Python floats/lists are several times
+        # faster than per-event numpy scalar access in the event loop.
+        self._xs: list[float] = matrix[:, 0].tolist()
+        self._ys: list[float] = matrix[:, 1].tolist()
+        self._order: list[int] = [int(i) for i in self.order]
+        self._position: list[int] = [int(p) for p in self.position]
+        self._heap: list[tuple[float, int, int]] = []
+        self._pushed: set[int] = set()
+        for p in range(self.n - 1):
+            self._push_candidate(self._order[p], self._order[p + 1])
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
+    def _push_candidate(self, upper: int, lower: int) -> None:
+        """Queue the exchange of adjacent pair (upper above lower), if any.
+
+        Only exchanges where ``lower`` genuinely overtakes ``upper`` at an
+        angle not yet swept are queued; each ordered pair crosses at most
+        once in (0, π/2), so a pushed-pairs set suffices to avoid
+        duplicates.  The crossing test is the sign condition of
+        :func:`repro.geometry.dual.crossing_angle_2d`, inlined on floats.
+        """
+        dx = self._xs[upper] - self._xs[lower]
+        dy = self._ys[lower] - self._ys[upper]
+        if (dx > 0.0) == (dy > 0.0) and dx != 0.0 and dy != 0.0:
+            theta = math.atan2(abs(dx), abs(dy))
+            if theta <= 0.0 or theta >= _HALF_PI or theta < self.theta:
+                return
+            key = upper * self.n + lower
+            if key in self._pushed:
+                return
+            self._pushed.add(key)
+            heapq.heappush(self._heap, (theta, upper, lower))
+
+    def events(self) -> Iterator[SweepEvent]:
+        """Yield every ordering exchange in non-decreasing angle order."""
+        heap = self._heap
+        order = self._order
+        position = self._position
+        pub_order = self.order
+        pub_position = self.position
+        n = self.n
+        while heap:
+            theta, upper, lower = heapq.heappop(heap)
+            pu = position[upper]
+            if pu + 1 >= n or order[pu + 1] != lower:
+                continue  # stale event: the pair is no longer adjacent
+            # Perform the adjacent transposition.
+            self.theta = theta
+            order[pu], order[pu + 1] = lower, upper
+            position[upper] = pu + 1
+            position[lower] = pu
+            pub_order[pu], pub_order[pu + 1] = lower, upper
+            pub_position[upper] = pu + 1
+            pub_position[lower] = pu
+            # New adjacencies may create future exchanges.
+            if pu > 0:
+                self._push_candidate(order[pu - 1], lower)
+            if pu + 2 < n:
+                self._push_candidate(upper, order[pu + 2])
+            yield SweepEvent(theta=theta, upper=upper, lower=lower, position=pu)
+
+    def run(self) -> list[SweepEvent]:
+        """Exhaust the sweep and return all events as a list."""
+        return list(self.events())

@@ -1,0 +1,34 @@
+"""Linear ranking substrate: functions, top-k evaluation, sampling."""
+
+from repro.ranking.functions import (
+    LinearFunction,
+    angles_from_weights,
+    weights_from_angles,
+)
+from repro.ranking.onion import OnionIndex
+from repro.ranking.sampling import grid_functions, sample_functions
+from repro.ranking.topk import (
+    batch_top_k_sets,
+    rank_of,
+    ranking,
+    ranks,
+    scores,
+    top_k,
+    top_k_set,
+)
+
+__all__ = [
+    "LinearFunction",
+    "weights_from_angles",
+    "angles_from_weights",
+    "sample_functions",
+    "grid_functions",
+    "scores",
+    "ranking",
+    "top_k",
+    "top_k_set",
+    "ranks",
+    "rank_of",
+    "batch_top_k_sets",
+    "OnionIndex",
+]

@@ -1,0 +1,152 @@
+"""Linear ranking functions and the weight ⇄ angle parameterization.
+
+The paper models user preferences as linear functions
+``f(t) = Σ w_i · t[i]`` with positive weights (§2, Eq. 1), and views each
+function geometrically as an origin-starting ray identified by ``d − 1``
+angles (§3, §5.3).  :class:`LinearFunction` packages a weight vector;
+:func:`weights_from_angles` / :func:`angles_from_weights` implement the
+spherical parameterization MDRC partitions over.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "LinearFunction",
+    "weights_from_angles",
+    "angles_from_weights",
+]
+
+
+def _as_weights(weights: object) -> np.ndarray:
+    vector = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if vector.size == 0:
+        raise ValidationError("weight vector must be non-empty")
+    if not np.all(np.isfinite(vector)):
+        raise ValidationError("weights must be finite")
+    if np.any(vector < 0):
+        raise ValidationError("the paper restricts to non-negative weights")
+    if not np.any(vector > 0):
+        raise ValidationError("at least one weight must be positive")
+    return vector
+
+
+class LinearFunction:
+    """A linear ranking function ``f(t) = Σ w_i · t[i]`` (paper Eq. 1).
+
+    Weight vectors that differ only by a positive scalar induce the same
+    ranking, so :attr:`weights` is stored L2-normalized.  Instances are
+    immutable, hashable on the normalized weights, and callable.
+    """
+
+    __slots__ = ("weights",)
+
+    def __init__(self, weights: object) -> None:
+        vector = _as_weights(weights)
+        vector = vector / np.linalg.norm(vector)
+        vector.setflags(write=False)
+        self.weights = vector
+
+    @classmethod
+    def from_angles(cls, angles: Sequence[float]) -> "LinearFunction":
+        """Build the function whose ray has the given ``d − 1`` angles."""
+        return cls(weights_from_angles(angles))
+
+    @property
+    def d(self) -> int:
+        """Number of attributes the function scores."""
+        return int(self.weights.size)
+
+    @property
+    def angles(self) -> np.ndarray:
+        """The ``d − 1`` ray angles of this function (each in [0, π/2])."""
+        return angles_from_weights(self.weights)
+
+    def __call__(self, points: object) -> np.ndarray | float:
+        """Score one point (1-D input) or a matrix of points (2-D input)."""
+        array = np.asarray(points, dtype=np.float64)
+        if array.ndim == 1:
+            if array.size != self.d:
+                raise ValidationError(
+                    f"point has {array.size} attributes, function expects {self.d}"
+                )
+            return float(array @ self.weights)
+        if array.ndim == 2:
+            if array.shape[1] != self.d:
+                raise ValidationError(
+                    f"points have {array.shape[1]} attributes, function expects {self.d}"
+                )
+            return array @ self.weights
+        raise ValidationError("points must be 1- or 2-dimensional")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearFunction):
+            return NotImplemented
+        return self.weights.shape == other.weights.shape and bool(
+            np.allclose(self.weights, other.weights)
+        )
+
+    def __hash__(self) -> int:
+        return hash(np.round(self.weights, 12).tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearFunction({np.array2string(self.weights, precision=4)})"
+
+
+def weights_from_angles(angles: Sequence[float]) -> np.ndarray:
+    """Map ``d − 1`` angles in ``[0, π/2]`` to a unit weight vector in R^d.
+
+    Uses the spherical parameterization
+
+    ``w_1 = cos θ_1``
+    ``w_i = cos θ_i · Π_{j<i} sin θ_j``   (1 < i < d)
+    ``w_d = Π_j sin θ_j``
+
+    which bijectively covers the first orthant of the unit sphere — exactly
+    the paper's "set of d − 1 angles" identification of the function space
+    (§3, §5.3).  For ``d = 2`` this is ``(cos θ, sin θ)`` with the sweep
+    starting at the x-axis, matching Figures 2–4.
+    """
+    theta = np.asarray(angles, dtype=np.float64).reshape(-1)
+    if theta.size == 0:
+        raise ValidationError("need at least one angle (d >= 2)")
+    if not np.all(np.isfinite(theta)):
+        raise ValidationError("angles must be finite")
+    if np.any(theta < -1e-12) or np.any(theta > np.pi / 2 + 1e-12):
+        raise ValidationError("angles must lie in [0, pi/2]")
+    theta = np.clip(theta, 0.0, np.pi / 2)
+    d = theta.size + 1
+    weights = np.empty(d, dtype=np.float64)
+    sin_prefix = 1.0
+    for i in range(d - 1):
+        weights[i] = sin_prefix * np.cos(theta[i])
+        sin_prefix *= np.sin(theta[i])
+    weights[d - 1] = sin_prefix
+    # Guard against tiny negative values from rounding.
+    np.clip(weights, 0.0, None, out=weights)
+    return weights
+
+
+def angles_from_weights(weights: object) -> np.ndarray:
+    """Inverse of :func:`weights_from_angles` for non-negative vectors."""
+    vector = _as_weights(weights)
+    if vector.size < 2:
+        raise ValidationError("angles are only defined for d >= 2")
+    vector = vector / np.linalg.norm(vector)
+    d = vector.size
+    theta = np.empty(d - 1, dtype=np.float64)
+    sin_prefix = 1.0
+    for i in range(d - 1):
+        if sin_prefix <= 1e-300:
+            # The remaining coordinates are all zero; any angle works.
+            theta[i:] = 0.0
+            break
+        ratio = np.clip(vector[i] / sin_prefix, -1.0, 1.0)
+        theta[i] = np.arccos(ratio)
+        sin_prefix *= np.sin(theta[i])
+    return np.clip(theta, 0.0, np.pi / 2)

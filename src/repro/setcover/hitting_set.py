@@ -1,0 +1,91 @@
+"""Hitting-set solvers over finite set systems.
+
+MDRRR (§5.2) reduces RRR to the *minimum hitting set* problem over the
+collection of k-sets: pick the fewest tuples intersecting every k-set.
+The problem is NP-complete [Karp 1972]; we provide:
+
+* :func:`greedy_hitting_set` — the classic ln-approximation: repeatedly
+  pick the element hitting the most unhit sets;
+* :func:`exact_hitting_set` — exhaustive search by increasing size, for
+  cross-checking approximation ratios on small instances in tests.
+
+The ε-net based Brönnimann–Goodrich solver (what Algorithm 3 literally
+runs) lives in :mod:`repro.setcover.epsnet`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.exceptions import InfeasibleError, ValidationError
+
+__all__ = ["greedy_hitting_set", "exact_hitting_set", "is_hitting_set"]
+
+
+def _normalize(sets: Iterable[Iterable[int]]) -> list[frozenset[int]]:
+    family = [frozenset(int(i) for i in s) for s in sets]
+    for members in family:
+        if not members:
+            raise InfeasibleError("an empty set can never be hit")
+    return family
+
+
+def is_hitting_set(sets: Iterable[Iterable[int]], chosen: Iterable[int]) -> bool:
+    """True when ``chosen`` intersects every set in ``sets``."""
+    picked = {int(i) for i in chosen}
+    return all(picked & frozenset(int(i) for i in s) for s in sets)
+
+
+def greedy_hitting_set(sets: Sequence[Iterable[int]]) -> list[int]:
+    """Greedy minimum hitting set: O(log |sets|)-approximate.
+
+    At every step selects the element contained in the largest number of
+    not-yet-hit sets (ties: smallest element, for determinism).  Returns
+    the chosen elements in selection order.
+    """
+    family = _normalize(sets)
+    if not family:
+        return []
+    alive: set[int] = set(range(len(family)))
+    containing: dict[int, set[int]] = {}
+    for set_index, members in enumerate(family):
+        for element in members:
+            containing.setdefault(element, set()).add(set_index)
+    chosen: list[int] = []
+    while alive:
+        best_element = -1
+        best_hits = 0
+        for element, where in containing.items():
+            hits = len(where & alive)
+            if hits > best_hits or (hits == best_hits and hits > 0 and element < best_element):
+                best_hits = hits
+                best_element = element
+        if best_hits == 0:  # pragma: no cover - impossible: sets are non-empty
+            raise InfeasibleError("no element hits the remaining sets")
+        chosen.append(best_element)
+        alive -= containing[best_element]
+    return chosen
+
+
+def exact_hitting_set(
+    sets: Sequence[Iterable[int]], max_size: int | None = None
+) -> list[int]:
+    """Smallest hitting set by exhaustive search (testing/ground-truth only).
+
+    Tries all candidate subsets of the participating elements in increasing
+    size; exponential, so cap the instance or pass ``max_size``.
+    """
+    family = _normalize(sets)
+    if not family:
+        return []
+    universe = sorted(set().union(*family))
+    limit = len(universe) if max_size is None else int(max_size)
+    if limit < 1:
+        raise ValidationError("max_size must be >= 1")
+    for size in range(1, limit + 1):
+        for combo in itertools.combinations(universe, size):
+            picked = set(combo)
+            if all(picked & members for members in family):
+                return list(combo)
+    raise InfeasibleError(f"no hitting set of size <= {limit} exists")

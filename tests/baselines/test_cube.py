@@ -1,0 +1,47 @@
+"""Unit tests for the Cube baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import cube
+from repro.datasets import independent
+from repro.evaluation import regret_ratio_sampled
+from repro.exceptions import ValidationError
+
+
+class TestCube:
+    def test_respects_budget(self):
+        values = independent(100, 3, seed=0).values
+        for size in (1, 4, 9, 16):
+            assert len(cube(values, size)) <= size
+
+    def test_selected_items_maximize_last_attribute_per_cell(self):
+        values = independent(100, 2, seed=1).values
+        chosen = cube(values, 4)
+        t = 4  # size^(1/(d-1))
+        lo, hi = values[:, 0].min(), values[:, 0].max()
+        cells = np.clip(
+            np.floor((values[:, 0] - lo) / (hi - lo) * t).astype(int), 0, t - 1
+        )
+        for i in chosen:
+            same_cell = np.flatnonzero(cells == cells[i])
+            assert values[i, 1] == values[same_cell, 1].max()
+
+    def test_regret_ratio_shrinks_with_budget(self):
+        values = independent(500, 3, seed=2).values
+        small = regret_ratio_sampled(values, cube(values, 4), 1000, rng=0)
+        large = regret_ratio_sampled(values, cube(values, 36), 1000, rng=0)
+        assert large <= small + 1e-9
+
+    def test_deterministic(self):
+        values = independent(80, 3, seed=3).values
+        assert cube(values, 9) == cube(values, 9)
+
+    def test_validation(self):
+        values = independent(10, 3, seed=4).values
+        with pytest.raises(ValidationError):
+            cube(values, 0)
+        with pytest.raises(ValidationError):
+            cube(values, 11)
+        with pytest.raises(ValidationError):
+            cube(np.ones((5, 1)), 1)

@@ -1,0 +1,48 @@
+"""Unit tests for the greedy regret-ratio baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import greedy_regret
+from repro.datasets import independent
+from repro.evaluation import regret_ratio_sampled
+from repro.exceptions import ValidationError
+
+
+class TestGreedyRegret:
+    def test_returns_requested_size_or_breaks_at_zero_regret(self):
+        values = independent(100, 3, seed=0).values
+        chosen = greedy_regret(values, 6, rng=0)
+        assert 1 <= len(chosen) <= 6
+
+    def test_monotone_improvement_with_budget(self):
+        values = independent(300, 3, seed=1).values
+        r_small = regret_ratio_sampled(values, greedy_regret(values, 2, rng=0), 1000, rng=2)
+        r_large = regret_ratio_sampled(values, greedy_regret(values, 10, rng=0), 1000, rng=2)
+        assert r_large <= r_small + 1e-9
+
+    def test_beats_random_selection(self):
+        rng = np.random.default_rng(3)
+        values = independent(300, 3, seed=2).values
+        greedy_set = greedy_regret(values, 5, rng=0)
+        greedy_ratio = regret_ratio_sampled(values, greedy_set, 1000, rng=4)
+        random_ratios = []
+        for _ in range(5):
+            random_set = rng.choice(300, size=5, replace=False)
+            random_ratios.append(
+                regret_ratio_sampled(values, random_set, 1000, rng=4)
+            )
+        assert greedy_ratio <= min(random_ratios) + 1e-9
+
+    def test_deterministic_given_seed(self):
+        values = independent(80, 3, seed=4).values
+        assert greedy_regret(values, 5, rng=7) == greedy_regret(values, 5, rng=7)
+
+    def test_validation(self):
+        values = independent(10, 3, seed=5).values
+        with pytest.raises(ValidationError):
+            greedy_regret(values, 0)
+        with pytest.raises(ValidationError):
+            greedy_regret(values, 11)
+        with pytest.raises(ValidationError):
+            greedy_regret(values, 2, num_functions=0)

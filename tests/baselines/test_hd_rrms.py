@@ -1,0 +1,65 @@
+"""Unit tests for the HD-RRMS regret-ratio baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import hd_rrms
+from repro.datasets import independent, synthetic_bluenile
+from repro.evaluation import regret_ratio_sampled
+from repro.exceptions import ValidationError
+
+
+class TestHDRRMS:
+    def test_respects_size_budget(self):
+        values = independent(100, 3, seed=0).values
+        for size in (1, 3, 8):
+            result = hd_rrms(values, size, rng=0)
+            assert 1 <= len(result.indices) <= size
+
+    def test_epsilon_decreases_with_budget(self):
+        values = independent(150, 3, seed=1).values
+        small = hd_rrms(values, 2, rng=0)
+        large = hd_rrms(values, 12, rng=0)
+        assert large.epsilon <= small.epsilon + 1e-9
+
+    def test_achieved_regret_ratio_near_epsilon(self):
+        values = independent(120, 3, seed=2).values
+        result = hd_rrms(values, 6, num_functions=512)
+        measured = regret_ratio_sampled(values, result.indices, 2000, rng=3)
+        # The discretization adds error; allow generous headroom.
+        assert measured <= result.epsilon + 0.15
+
+    def test_sample_discretization(self):
+        values = independent(80, 3, seed=3).values
+        result = hd_rrms(values, 5, discretization="sample", rng=4)
+        assert 1 <= len(result.indices) <= 5
+
+    def test_deterministic_grid(self):
+        values = independent(60, 3, seed=4).values
+        a = hd_rrms(values, 4)
+        b = hd_rrms(values, 4)
+        assert a.indices == b.indices
+        assert a.epsilon == b.epsilon
+
+    def test_budget_one(self):
+        values = synthetic_bluenile(n=50, d=3, seed=5).values
+        result = hd_rrms(values, 1)
+        assert len(result.indices) == 1
+
+    def test_validation(self):
+        values = independent(10, 2, seed=6).values
+        with pytest.raises(ValidationError):
+            hd_rrms(values, 0)
+        with pytest.raises(ValidationError):
+            hd_rrms(values, 11)
+        with pytest.raises(ValidationError):
+            hd_rrms(values, 2, num_functions=0)
+        with pytest.raises(ValidationError):
+            hd_rrms(values, 2, discretization="nope")
+        with pytest.raises(ValidationError):
+            hd_rrms(np.ones(5), 1)
+
+    def test_2d_path(self):
+        values = independent(60, 2, seed=7).values
+        result = hd_rrms(values, 4)
+        assert len(result.indices) <= 4

@@ -1,0 +1,34 @@
+"""Unit tests for the order-1 maxima representatives."""
+
+from repro.baselines import convex_hull_representative, skyline_representative
+from repro.datasets import anticorrelated, independent, paper_example
+from repro.evaluation import rank_regret_exact_2d
+from repro.ranking import sample_functions, top_k
+
+
+class TestMaximaRepresentatives:
+    def test_hull_is_order1_rrr_2d(self):
+        values = independent(50, 2, seed=0).values
+        hull = convex_hull_representative(values)
+        assert rank_regret_exact_2d(values, hull) == 1
+
+    def test_hull_subset_of_skyline(self):
+        values = independent(80, 3, seed=1).values
+        hull = set(convex_hull_representative(values))
+        sky = set(skyline_representative(values))
+        assert hull <= sky
+
+    def test_skyline_contains_all_top1(self):
+        values = anticorrelated(100, 3, seed=2).values
+        sky = set(skyline_representative(values))
+        for w in sample_functions(3, 100, rng=3):
+            assert int(top_k(values, w, 1)[0]) in sky
+
+    def test_paper_example(self):
+        values = paper_example().values
+        assert set(convex_hull_representative(values)) == {2, 4, 6}
+        assert set(skyline_representative(values)) == {2, 4, 6}
+
+    def test_hull_smaller_than_data_on_random_input(self):
+        values = independent(200, 2, seed=4).values
+        assert len(convex_hull_representative(values)) < 200

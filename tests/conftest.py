@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    anticorrelated,
+    correlated,
+    independent,
+    paper_example,
+    synthetic_bluenile,
+    synthetic_dot,
+)
+
+
+@pytest.fixture
+def example():
+    """The paper's 7-point running example (Figure 1)."""
+    return paper_example()
+
+
+@pytest.fixture
+def example_values(example):
+    return example.values
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_2d():
+    """A 60-point 2-D anticorrelated dataset (hard case, still sweepable)."""
+    return anticorrelated(60, 2, seed=7).values
+
+
+@pytest.fixture
+def small_3d():
+    """A 50-point 3-D independent dataset (fast for LP-based paths)."""
+    return independent(50, 3, seed=11).values
+
+
+@pytest.fixture
+def medium_3d():
+    """A 400-point 3-D dataset for algorithm-level tests."""
+    return independent(400, 3, seed=3).values
+
+
+@pytest.fixture
+def dot_small():
+    return synthetic_dot(n=300, d=3, seed=5)
+
+
+@pytest.fixture
+def bn_small():
+    return synthetic_bluenile(n=300, d=3, seed=5)
+
+
+@pytest.fixture
+def correlated_2d():
+    return correlated(80, 2, seed=9).values

@@ -1,0 +1,88 @@
+"""Unit tests for the unified rank_regret_representative front door."""
+
+import numpy as np
+import pytest
+
+from repro import rank_regret_representative, resolve_k
+from repro.datasets import Dataset, independent, paper_example, synthetic_dot
+from repro.evaluation import rank_regret_exact_2d, rank_regret_sampled
+from repro.exceptions import ValidationError
+
+
+class TestResolveK:
+    def test_absolute(self):
+        assert resolve_k(10, 100) == 10
+
+    def test_fraction(self):
+        assert resolve_k(0.01, 10_000) == 100
+
+    def test_fraction_rounds_up_to_one(self):
+        assert resolve_k(0.001, 100) == 1
+
+    def test_float_integer_is_absolute(self):
+        assert resolve_k(5.0, 100) == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            resolve_k(0, 10)
+        with pytest.raises(ValidationError):
+            resolve_k(11, 10)
+        with pytest.raises(ValidationError):
+            resolve_k(1.5, 10)
+
+
+class TestFrontDoor:
+    def test_auto_2d_uses_2drrr(self):
+        result = rank_regret_representative(paper_example(), 2)
+        assert result.method == "2drrr"
+        assert result.guarantee == 4
+        assert result.size == len(result.indices)
+
+    def test_auto_md_uses_mdrc(self):
+        data = independent(60, 3, seed=0)
+        result = rank_regret_representative(data, 6)
+        assert result.method == "mdrc"
+        assert result.guarantee == 18
+
+    def test_explicit_mdrrr(self):
+        data = independent(50, 3, seed=1)
+        result = rank_regret_representative(data, 5, method="mdrrr", rng=0)
+        assert result.method == "mdrrr"
+        assert result.guarantee == 5
+        regret = rank_regret_sampled(data.values, result.indices, 2000, rng=1)
+        assert regret <= 5
+
+    def test_accepts_raw_matrix(self):
+        values = independent(40, 2, seed=2).values
+        result = rank_regret_representative(values, 4)
+        assert rank_regret_exact_2d(values, result.indices) <= 8
+
+    def test_normalizes_unnormalized_dataset(self):
+        raw = Dataset(
+            [[100.0, 5.0], [50.0, 1.0], [75.0, 3.0], [20.0, 9.0]],
+            higher_is_better=(True, False),
+        )
+        result = rank_regret_representative(raw, 1)
+        assert result.indices
+
+    def test_fractional_k(self):
+        data = synthetic_dot(n=500, d=3, seed=3)
+        result = rank_regret_representative(data, 0.01)
+        assert result.k == 5
+
+    def test_options_forwarded(self):
+        data = independent(40, 2, seed=4)
+        result = rank_regret_representative(data, 4, strategy="max-coverage")
+        assert result.method == "2drrr"
+
+    def test_2drrr_rejects_md(self):
+        with pytest.raises(ValidationError):
+            rank_regret_representative(independent(10, 3, seed=5), 2, method="2drrr")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError):
+            rank_regret_representative(paper_example(), 2, method="nope")
+
+    def test_rejects_bad_data(self):
+        with pytest.raises(ValidationError):
+            rank_regret_representative(np.ones(5), 1)

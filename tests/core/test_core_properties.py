@@ -1,0 +1,88 @@
+"""Property-based tests for the core RRR algorithms.
+
+These encode the paper's theorems as executable invariants:
+
+* Theorem 3/4 — 2DRRR output covers the function space with rank-regret
+  at most 2k;
+* Lemma 5 / §5.2 — MDRRR over exact k-sets has rank-regret at most k;
+* Theorem 6 — MDRC has rank-regret at most d·k.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import find_ranges, md_rrr, mdrc, two_d_rrr
+from repro.evaluation import rank_regret_exact_2d, rank_regret_sampled
+
+_points_2d = arrays(
+    np.float64,
+    st.tuples(st.integers(4, 30), st.just(2)),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+_points_3d = arrays(
+    np.float64,
+    st.tuples(st.integers(5, 25), st.just(3)),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+@given(_points_2d, st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_2drrr_theorem4(values, k):
+    k = min(k, values.shape[0])
+    chosen = two_d_rrr(values, k)
+    assert chosen
+    assert rank_regret_exact_2d(values, chosen) <= 2 * k
+
+
+@given(_points_2d, st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_mdrrr_exact_2d_guarantee(values, k):
+    k = min(k, values.shape[0])
+    result = md_rrr(values, k)  # exact sweep enumeration in 2-D
+    assert rank_regret_exact_2d(values, result.indices) <= k
+
+
+@given(_points_2d, st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_mdrc_theorem6_2d(values, k):
+    k = min(k, values.shape[0])
+    result = mdrc(values, k)
+    assert rank_regret_exact_2d(values, result.indices) <= 2 * k
+
+
+@given(_points_3d, st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_mdrc_theorem6_3d_sampled(values, k):
+    k = min(k, values.shape[0])
+    result = mdrc(values, k)
+    regret = rank_regret_sampled(values, result.indices, 500, rng=0)
+    assert regret <= 3 * k
+
+
+@given(_points_2d, st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_find_ranges_covers_space(values, k):
+    """At every angle some item's closed range is active (else 2DRRR could
+    not cover the space)."""
+    k = min(k, values.shape[0])
+    ranges = find_ranges(values, k)
+    items = ranges.covered_items()
+    assert len(items) >= 1
+    for theta in np.linspace(0.0, np.pi / 2, 50):
+        assert any(
+            ranges.begin[i] - 1e-12 <= theta <= ranges.end[i] + 1e-12
+            for i in items
+        )
+
+
+@given(_points_2d, st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_2drrr_subset_of_ranged_items(values, k):
+    k = min(k, values.shape[0])
+    ranges = find_ranges(values, k)
+    chosen = set(two_d_rrr(values, k))
+    assert chosen <= set(int(i) for i in ranges.covered_items())

@@ -1,0 +1,46 @@
+"""Unit tests for the size-budget (dual) formulation."""
+
+import pytest
+
+from repro.core import min_rank_regret_of_size
+from repro.datasets import independent, paper_example
+from repro.evaluation import rank_regret_exact_2d
+from repro.exceptions import ValidationError
+
+
+class TestSizeBudget:
+    def test_budget_respected(self):
+        data = independent(60, 2, seed=0)
+        outcome = min_rank_regret_of_size(data, size=3)
+        assert outcome.result.size <= 3
+
+    def test_found_k_matches_result(self):
+        data = independent(60, 2, seed=1)
+        outcome = min_rank_regret_of_size(data, size=4)
+        assert outcome.result.k == outcome.k
+        assert rank_regret_exact_2d(data.values, outcome.result.indices) <= 2 * outcome.k
+
+    def test_probes_logarithmic(self):
+        data = independent(64, 2, seed=2)
+        outcome = min_rank_regret_of_size(data, size=2)
+        assert outcome.probes <= 8  # ceil(log2(64)) + slack
+
+    def test_bigger_budget_never_needs_bigger_k(self):
+        data = independent(80, 2, seed=3)
+        small = min_rank_regret_of_size(data, size=2)
+        large = min_rank_regret_of_size(data, size=6)
+        assert large.k <= small.k
+
+    def test_budget_one(self):
+        data = paper_example()
+        outcome = min_rank_regret_of_size(data, size=1)
+        assert outcome.result.size == 1
+
+    def test_md_path(self):
+        data = independent(60, 3, seed=4)
+        outcome = min_rank_regret_of_size(data, size=5, method="mdrc")
+        assert outcome.result.size <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            min_rank_regret_of_size(paper_example(), size=0)

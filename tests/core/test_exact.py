@@ -1,0 +1,102 @@
+"""Unit tests for the exact ground-truth solvers and the approximation
+ratios they certify."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    exact_rrr_2d,
+    exact_rrr_via_ksets,
+    md_rrr,
+    mdrc,
+    two_d_rrr,
+)
+from repro.datasets import independent, paper_example
+from repro.evaluation import rank_regret_exact_2d
+from repro.exceptions import ValidationError
+
+
+class TestExact2D:
+    def test_paper_example_optimum_is_two(self):
+        optimal = exact_rrr_2d(paper_example().values, 2)
+        assert len(optimal) == 2
+        assert rank_regret_exact_2d(paper_example().values, optimal) <= 2
+
+    def test_output_achieves_k(self):
+        for seed in range(4):
+            values = independent(18, 2, seed=seed).values
+            k = 3
+            optimal = exact_rrr_2d(values, k)
+            assert rank_regret_exact_2d(values, optimal) <= k
+
+    def test_minimality(self):
+        """No strictly smaller subset achieves the same k."""
+        import itertools
+
+        values = independent(14, 2, seed=5).values
+        k = 3
+        optimal = exact_rrr_2d(values, k)
+        if len(optimal) > 1:
+            for combo in itertools.combinations(range(14), len(optimal) - 1):
+                assert rank_regret_exact_2d(values, combo) > k
+
+    def test_k_equals_n(self):
+        values = independent(6, 2, seed=6).values
+        assert len(exact_rrr_2d(values, 6)) == 1
+
+    def test_max_size_cap(self):
+        values = independent(15, 2, seed=7).values
+        with pytest.raises(ValidationError):
+            exact_rrr_2d(values, 1, max_size=0)
+
+    def test_too_large_instance_rejected(self):
+        values = independent(300, 2, seed=8).values
+        with pytest.raises(ValidationError):
+            exact_rrr_2d(values, 150)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            exact_rrr_2d(np.ones((5, 3)), 2)
+
+
+class TestExactViaKsets:
+    def test_agrees_with_exact_2d(self):
+        for seed in range(3):
+            values = independent(12, 2, seed=seed).values
+            k = 2
+            a = exact_rrr_2d(values, k)
+            b = exact_rrr_via_ksets(values, k)
+            assert len(a) == len(b)
+
+    def test_3d_output_hits_all_ksets(self):
+        from repro.core import collect_ksets
+        from repro.setcover import is_hitting_set
+
+        values = independent(10, 3, seed=3).values
+        optimal = exact_rrr_via_ksets(values, 2)
+        ksets, _, _ = collect_ksets(values, 2, enumerator="exact")
+        assert is_hitting_set(ksets, optimal)
+
+
+class TestCertifiedApproximationRatios:
+    def test_theorem3_2drrr_never_larger_than_optimal(self):
+        for seed in range(5):
+            values = independent(16, 2, seed=seed).values
+            k = 3
+            assert len(two_d_rrr(values, k)) <= len(exact_rrr_2d(values, k))
+
+    def test_mdrrr_log_factor_on_small_instances(self):
+        for seed in range(3):
+            values = independent(14, 2, seed=seed).values
+            k = 3
+            optimal = len(exact_rrr_2d(values, k))
+            approx = len(md_rrr(values, k).indices)
+            # ln(#ksets) factor; generous ceiling for tiny instances.
+            assert approx <= optimal * 4
+
+    def test_mdrc_near_optimal_in_practice(self):
+        for seed in range(3):
+            values = independent(16, 2, seed=seed).values
+            k = 4
+            optimal = len(exact_rrr_2d(values, k))
+            assert len(mdrc(values, k).indices) <= optimal + 3

@@ -1,0 +1,73 @@
+"""Unit tests for workload (finite function set) RRR."""
+
+import numpy as np
+import pytest
+
+from repro.core import md_rrr, workload_rrr
+from repro.datasets import independent
+from repro.evaluation import rank_regret_for_function
+from repro.exceptions import ValidationError
+from repro.ranking import sample_functions
+
+
+class TestWorkloadRRR:
+    def test_every_workload_function_satisfied(self):
+        values = independent(80, 3, seed=0).values
+        functions = sample_functions(3, 40, rng=1)
+        result = workload_rrr(values, functions, 5)
+        for w in functions:
+            assert rank_regret_for_function(values, result.indices, w) <= 5
+
+    def test_single_function_single_item(self):
+        values = independent(50, 3, seed=1).values
+        functions = sample_functions(3, 1, rng=2)
+        result = workload_rrr(values, functions, 10)
+        assert result.size == 1
+        assert result.num_functions == 1
+
+    def test_distinct_topk_deduplication(self):
+        values = independent(30, 2, seed=2).values
+        # Many near-identical functions share a top-k set.
+        base = np.array([[0.7, 0.3]])
+        functions = np.vstack([base + 1e-9 * i for i in range(20)])
+        result = workload_rrr(values, functions, 4)
+        assert result.num_distinct_topk == 1
+        assert result.size == 1
+
+    def test_exact_solver_not_larger(self):
+        values = independent(40, 3, seed=3).values
+        functions = sample_functions(3, 15, rng=4)
+        greedy = workload_rrr(values, functions, 3, solver="greedy")
+        exact = workload_rrr(values, functions, 3, solver="exact")
+        assert exact.exact and not greedy.exact
+        assert exact.size <= greedy.size
+
+    def test_linear_class_representative_covers_workload(self):
+        """A representative for all of L serves any finite workload."""
+        values = independent(60, 3, seed=5).values
+        k = 6
+        full = md_rrr(values, k, rng=0)
+        functions = sample_functions(3, 50, rng=6)
+        for w in functions:
+            assert rank_regret_for_function(values, full.indices, w) <= k
+
+    def test_workload_smaller_than_full_class(self):
+        """Covering a small workload never needs more than covering L."""
+        values = independent(100, 3, seed=7).values
+        k = 5
+        functions = sample_functions(3, 10, rng=8)
+        partial = workload_rrr(values, functions, k)
+        full = md_rrr(values, k, rng=9)
+        assert partial.size <= len(full.indices)
+
+    def test_validation(self):
+        values = independent(20, 3, seed=9).values
+        functions = sample_functions(3, 5, rng=0)
+        with pytest.raises(ValidationError):
+            workload_rrr(values, functions, 0)
+        with pytest.raises(ValidationError):
+            workload_rrr(values, np.empty((0, 3)), 2)
+        with pytest.raises(ValidationError):
+            workload_rrr(values, sample_functions(2, 5, rng=0), 2)
+        with pytest.raises(ValidationError):
+            workload_rrr(values, functions, 2, solver="nope")

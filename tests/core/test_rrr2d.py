@@ -1,0 +1,180 @@
+"""Unit tests for FindRanges (Algorithm 1) and 2DRRR (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import find_ranges, two_d_rrr
+from repro.datasets import anticorrelated, independent, paper_example
+from repro.evaluation import rank_regret_exact_2d
+from repro.exceptions import ValidationError
+from repro.ranking import ranks, weights_from_angles
+
+HALF_PI = float(np.pi / 2)
+
+
+def brute_force_ranges(values, k, resolution=2000):
+    """Reference: first/last angle each item is in the top-k, on a grid."""
+    n = values.shape[0]
+    begin = np.full(n, np.nan)
+    end = np.full(n, np.nan)
+    for theta in np.linspace(0.0, HALF_PI, resolution):
+        w = weights_from_angles([theta])
+        r = ranks(values, w)
+        for i in np.flatnonzero(r <= k):
+            if np.isnan(begin[i]):
+                begin[i] = theta
+            end[i] = theta
+    return begin, end
+
+
+class TestFindRanges:
+    def test_paper_example_figure4(self):
+        """Figure 4: for k = 2 only t1, t3, t5, t7 get ranges; t7 spans from
+        0 and t5 reaches π/2."""
+        ranges = find_ranges(paper_example().values, 2)
+        covered = set(int(i) for i in ranges.covered_items())
+        assert covered == {0, 2, 4, 6}
+        # t7 (index 6) and t1 (index 0) are the top-2 at θ=0.
+        assert ranges.begin[6] == 0.0
+        assert ranges.begin[0] == 0.0
+        # t5 (index 4) and t3 (index 2) are the top-2 at θ=π/2.
+        assert ranges.end[4] == HALF_PI
+        assert ranges.end[2] == HALF_PI
+
+    def test_interval_accessor(self):
+        ranges = find_ranges(paper_example().values, 2)
+        assert ranges.interval(3) is None  # t4 never reaches the top-2
+        interval = ranges.interval(6)
+        assert interval is not None and interval[0] == 0.0
+
+    def test_matches_brute_force_grid(self):
+        values = independent(25, 2, seed=0).values
+        k = 4
+        ranges = find_ranges(values, k)
+        begin_bf, end_bf = brute_force_ranges(values, k)
+        for i in range(25):
+            if np.isnan(begin_bf[i]):
+                # The grid can miss very thin ranges but must agree when the
+                # sweep also says "never".
+                continue
+            assert not np.isnan(ranges.begin[i])
+            assert ranges.begin[i] <= begin_bf[i] + 1e-3
+            assert ranges.end[i] >= end_bf[i] - 1e-3
+
+    def test_items_in_topk_within_their_range(self):
+        """Inside [b, e] the rank can exceed k (up to 2k), but at the two
+        endpoints the item must actually be in the top-k."""
+        values = anticorrelated(40, 2, seed=1).values
+        k = 5
+        ranges = find_ranges(values, k)
+        for i in ranges.covered_items():
+            for theta in (ranges.begin[i], ranges.end[i]):
+                w = weights_from_angles([min(theta + 1e-12, HALF_PI)])
+                # Allow boundary slack: evaluate on both sides of theta.
+                r_after = ranks(values, w)[i]
+                w2 = weights_from_angles([max(theta - 1e-12, 0.0)])
+                r_before = ranks(values, w2)[i]
+                assert min(r_after, r_before) <= k
+
+    def test_rank_never_exceeds_2k_inside_range(self):
+        """Theorem 1 consequence used by Theorem 4."""
+        values = independent(30, 2, seed=2).values
+        k = 3
+        ranges = find_ranges(values, k)
+        rng = np.random.default_rng(3)
+        for i in ranges.covered_items():
+            b, e = ranges.begin[i], ranges.end[i]
+            for theta in rng.uniform(b, e, size=20):
+                w = weights_from_angles([theta])
+                assert ranks(values, w)[i] <= 2 * k
+
+    def test_every_angle_covered_by_some_range(self):
+        values = independent(35, 2, seed=4).values
+        ranges = find_ranges(values, 4)
+        grid = np.linspace(0.0, HALF_PI, 500)
+        items = ranges.covered_items()
+        for theta in grid:
+            assert any(
+                ranges.begin[i] - 1e-12 <= theta <= ranges.end[i] + 1e-12
+                for i in items
+            )
+
+    def test_k_equals_n(self):
+        values = independent(5, 2, seed=5).values
+        ranges = find_ranges(values, 5)
+        assert np.all(ranges.begin == 0.0)
+        assert np.all(ranges.end == HALF_PI)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            find_ranges(np.ones((5, 3)), 2)
+        with pytest.raises(ValidationError):
+            find_ranges(np.ones((5, 2)), 0)
+        with pytest.raises(ValidationError):
+            find_ranges(np.ones((5, 2)), 6)
+
+
+class TestTwoDRRR:
+    def test_paper_example_size(self):
+        """§4: on the running example with k = 2 the algorithm returns a
+        2-element representative ({t3, t1} in the paper's greedy order)."""
+        chosen = two_d_rrr(paper_example().values, 2)
+        assert len(chosen) == 2
+        assert 2 in chosen  # t3 is in every minimal cover
+
+    def test_output_has_rank_regret_at_most_2k(self):
+        """Theorem 4."""
+        for seed in range(5):
+            values = independent(50, 2, seed=seed).values
+            k = 5
+            chosen = two_d_rrr(values, k)
+            assert rank_regret_exact_2d(values, chosen) <= 2 * k
+
+    def test_output_rank_regret_usually_k(self):
+        """§6.2: 'in all the cases it generated an output with maximum rank
+        of k' — check on several instances."""
+        hits = 0
+        for seed in range(6):
+            values = anticorrelated(60, 2, seed=seed).values
+            chosen = two_d_rrr(values, 6)
+            if rank_regret_exact_2d(values, chosen) <= 6:
+                hits += 1
+        assert hits >= 5
+
+    def test_not_larger_than_optimal(self):
+        """Theorem 3 via brute force on small instances."""
+        import itertools
+
+        for seed in range(3):
+            values = independent(12, 2, seed=seed).values
+            k = 2
+            chosen = two_d_rrr(values, k)
+            # Brute-force smallest subset with exact rank-regret <= k.
+            optimal = None
+            for size in range(1, 13):
+                for combo in itertools.combinations(range(12), size):
+                    if rank_regret_exact_2d(values, combo) <= k:
+                        optimal = size
+                        break
+                if optimal:
+                    break
+            assert len(chosen) <= optimal
+
+    def test_max_coverage_strategy_valid(self):
+        values = independent(40, 2, seed=6).values
+        chosen = two_d_rrr(values, 4, strategy="max-coverage")
+        assert rank_regret_exact_2d(values, chosen) <= 8
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValidationError):
+            two_d_rrr(paper_example().values, 2, strategy="nope")
+
+    def test_k_equals_n_single_item(self):
+        values = independent(8, 2, seed=7).values
+        assert len(two_d_rrr(values, 8)) == 1
+
+    def test_k1_equals_maxima_cover(self):
+        """With k = 1 the output must cover the sweep of top-1 items."""
+        values = independent(30, 2, seed=8).values
+        chosen = two_d_rrr(values, 1)
+        assert rank_regret_exact_2d(values, chosen) <= 2

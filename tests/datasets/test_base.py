@@ -1,0 +1,159 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+from repro.exceptions import DatasetError, ValidationError
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        ds = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert ds.n == 2
+        assert ds.d == 2
+        assert len(ds) == 2
+
+    def test_default_attribute_names(self):
+        ds = Dataset(np.ones((3, 4)))
+        assert ds.attributes == ("a1", "a2", "a3", "a4")
+
+    def test_custom_attributes_and_directions(self):
+        ds = Dataset(
+            [[1.0, 2.0]], attributes=("price", "score"),
+            higher_is_better=(False, True),
+        )
+        assert ds.attributes == ("price", "score")
+        assert ds.higher_is_better == (False, True)
+
+    def test_one_dimensional_input_becomes_column(self):
+        ds = Dataset([1.0, 2.0, 3.0])
+        assert ds.n == 3
+        assert ds.d == 1
+
+    def test_values_are_read_only(self):
+        ds = Dataset([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            ds.values[0, 0] = 9.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Dataset(np.empty((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            Dataset([[np.nan, 1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            Dataset([[np.inf, 1.0]])
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValidationError):
+            Dataset(np.ones((2, 2, 2)))
+
+    def test_rejects_wrong_attribute_count(self):
+        with pytest.raises(ValidationError):
+            Dataset([[1.0, 2.0]], attributes=("only-one",))
+
+    def test_rejects_duplicate_attribute_names(self):
+        with pytest.raises(ValidationError):
+            Dataset([[1.0, 2.0]], attributes=("x", "x"))
+
+    def test_rejects_wrong_direction_count(self):
+        with pytest.raises(ValidationError):
+            Dataset([[1.0, 2.0]], higher_is_better=(True,))
+
+
+class TestAccessors:
+    def test_getitem_returns_row(self):
+        ds = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(ds[1], [3.0, 4.0])
+
+    def test_column_by_name(self):
+        ds = Dataset([[1.0, 2.0], [3.0, 4.0]], attributes=("x", "y"))
+        assert np.array_equal(ds.column("y"), [2.0, 4.0])
+
+    def test_column_unknown_name(self):
+        ds = Dataset([[1.0, 2.0]])
+        with pytest.raises(DatasetError):
+            ds.column("nope")
+
+    def test_equality_and_hash(self):
+        a = Dataset([[1.0, 2.0]])
+        b = Dataset([[1.0, 2.0]])
+        c = Dataset([[1.0, 3.0]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestTransforms:
+    def test_select_attributes(self):
+        ds = Dataset(
+            [[1.0, 2.0, 3.0]], attributes=("x", "y", "z"),
+            higher_is_better=(True, False, True),
+        )
+        sub = ds.select_attributes(["z", "x"])
+        assert sub.attributes == ("z", "x")
+        assert sub.higher_is_better == (True, True)
+        assert np.array_equal(sub.values, [[3.0, 1.0]])
+
+    def test_select_attributes_unknown(self):
+        ds = Dataset([[1.0, 2.0]])
+        with pytest.raises(DatasetError):
+            ds.select_attributes(["missing"])
+
+    def test_take(self):
+        ds = Dataset([[1.0], [2.0], [3.0]])
+        assert np.array_equal(ds.take([2, 0]).values, [[3.0], [1.0]])
+
+    def test_head(self):
+        ds = Dataset([[1.0], [2.0], [3.0]])
+        assert ds.head(2).n == 2
+        assert ds.head(10).n == 3
+        with pytest.raises(ValidationError):
+            ds.head(0)
+
+
+class TestNormalization:
+    def test_normalized_maps_to_unit_interval(self):
+        ds = Dataset([[10.0, 5.0], [20.0, 1.0], [15.0, 3.0]])
+        norm = ds.normalized()
+        assert norm.is_normalized
+        assert norm.values.min() >= 0.0
+        assert norm.values.max() <= 1.0
+
+    def test_lower_is_better_flips(self):
+        ds = Dataset([[10.0], [20.0]], higher_is_better=(False,))
+        norm = ds.normalized()
+        # The smaller raw value becomes 1 (best).
+        assert norm.values[0, 0] == 1.0
+        assert norm.values[1, 0] == 0.0
+
+    def test_higher_is_better_preserved(self):
+        ds = Dataset([[10.0], [20.0]], higher_is_better=(True,))
+        norm = ds.normalized()
+        assert norm.values[1, 0] == 1.0
+
+    def test_constant_column_maps_to_half(self):
+        ds = Dataset([[5.0, 1.0], [5.0, 2.0]])
+        norm = ds.normalized()
+        assert np.all(norm.values[:, 0] == 0.5)
+
+    def test_normalized_preserves_per_column_order(self):
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(30, 3)) * 100
+        ds = Dataset(raw, higher_is_better=(True, False, True))
+        norm = ds.normalized()
+        for j, higher in enumerate(ds.higher_is_better):
+            raw_order = np.argsort(raw[:, j] if higher else -raw[:, j])
+            norm_order = np.argsort(norm.values[:, j])
+            assert np.array_equal(raw_order, norm_order)
+
+    def test_is_normalized_detects_raw_data(self):
+        assert not Dataset([[10.0, 5.0]]).is_normalized
+        assert not Dataset(
+            [[0.5, 0.5]], higher_is_better=(False, True)
+        ).is_normalized
+        assert Dataset([[0.5, 0.5]]).is_normalized

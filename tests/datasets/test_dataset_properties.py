@@ -1,0 +1,73 @@
+"""Property-based tests for the dataset substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.datasets import Dataset
+
+_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.integers(1, 6)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+@given(_matrices, st.data())
+@settings(max_examples=80, deadline=None)
+def test_normalized_is_always_in_unit_box(matrix, data):
+    d = matrix.shape[1]
+    directions = data.draw(
+        st.lists(st.booleans(), min_size=d, max_size=d)
+    )
+    ds = Dataset(matrix, higher_is_better=directions)
+    norm = ds.normalized()
+    assert norm.is_normalized
+    assert np.all(norm.values >= 0.0)
+    assert np.all(norm.values <= 1.0)
+
+
+@given(_matrices)
+@settings(max_examples=80, deadline=None)
+def test_normalization_idempotent(matrix):
+    ds = Dataset(matrix)
+    once = ds.normalized()
+    twice = once.normalized()
+    # A second normalization maps [0,1] onto [0,1]; constant columns are
+    # already pinned at 0.5, so it must be a no-op.
+    assert np.allclose(once.values, twice.values)
+
+
+@given(_matrices, st.data())
+@settings(max_examples=60, deadline=None)
+def test_normalization_preserves_preference_order(matrix, data):
+    d = matrix.shape[1]
+    directions = data.draw(st.lists(st.booleans(), min_size=d, max_size=d))
+    ds = Dataset(matrix, higher_is_better=directions)
+    norm = ds.normalized()
+    for j in range(d):
+        raw = matrix[:, j] if directions[j] else -matrix[:, j]
+        scaled = norm.values[:, j]
+        # Preferred-direction order must be preserved (ties stay ties).
+        for a in range(matrix.shape[0]):
+            for b in range(matrix.shape[0]):
+                if raw[a] < raw[b]:
+                    assert scaled[a] <= scaled[b]
+
+
+@given(_matrices)
+@settings(max_examples=60, deadline=None)
+def test_take_preserves_rows(matrix):
+    ds = Dataset(matrix)
+    reversed_ds = ds.take(list(range(ds.n))[::-1])
+    assert np.array_equal(reversed_ds.values, matrix[::-1])
+
+
+@given(_matrices)
+@settings(max_examples=60, deadline=None)
+def test_equality_reflexive_and_hash_consistent(matrix):
+    a = Dataset(matrix)
+    b = Dataset(matrix.copy())
+    assert a == b
+    assert hash(a) == hash(b)

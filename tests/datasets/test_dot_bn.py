@@ -1,0 +1,110 @@
+"""Unit tests for the DOT / Blue Nile synthetic stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BN_ATTRIBUTES,
+    DOT_ATTRIBUTES,
+    synthetic_bluenile,
+    synthetic_dot,
+)
+from repro.exceptions import ValidationError
+
+
+class TestDOT:
+    def test_schema(self):
+        ds = synthetic_dot(n=100, normalize=False)
+        assert ds.attributes == DOT_ATTRIBUTES
+        assert ds.d == 8
+        assert ds.n == 100
+
+    def test_directions_match_paper(self):
+        ds = synthetic_dot(n=10, normalize=False)
+        by_name = dict(zip(ds.attributes, ds.higher_is_better))
+        assert by_name["air_time"] is True
+        assert by_name["distance"] is True
+        assert by_name["dep_delay"] is False
+        assert by_name["arrival_delay"] is False
+
+    def test_normalized_by_default(self):
+        ds = synthetic_dot(n=100)
+        assert ds.is_normalized
+
+    def test_projection_by_d(self):
+        ds = synthetic_dot(n=50, d=3)
+        assert ds.d == 3
+        assert ds.attributes == DOT_ATTRIBUTES[:3]
+
+    def test_deterministic(self):
+        a = synthetic_dot(n=64, seed=9)
+        b = synthetic_dot(n=64, seed=9)
+        assert np.array_equal(a.values, b.values)
+
+    def test_air_time_tracks_distance(self):
+        ds = synthetic_dot(n=3000, normalize=False)
+        r = np.corrcoef(ds.column("air_time"), ds.column("distance"))[0, 1]
+        assert r > 0.9
+
+    def test_arrival_delay_tracks_departure_delay(self):
+        ds = synthetic_dot(n=3000, normalize=False)
+        r = np.corrcoef(ds.column("arrival_delay"), ds.column("dep_delay"))[0, 1]
+        assert r > 0.8
+
+    def test_dep_delay_right_skewed(self):
+        ds = synthetic_dot(n=5000, normalize=False)
+        delay = ds.column("dep_delay")
+        assert np.mean(delay) > np.median(delay)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            synthetic_dot(n=0)
+        with pytest.raises(ValidationError):
+            synthetic_dot(n=10, d=9)
+        with pytest.raises(ValidationError):
+            synthetic_dot(n=10, d=0)
+
+
+class TestBlueNile:
+    def test_schema(self):
+        ds = synthetic_bluenile(n=100, normalize=False)
+        assert ds.attributes == BN_ATTRIBUTES
+        assert ds.d == 5
+
+    def test_price_is_lower_preferred(self):
+        ds = synthetic_bluenile(n=10, normalize=False)
+        by_name = dict(zip(ds.attributes, ds.higher_is_better))
+        assert by_name["price"] is False
+        assert by_name["carat"] is True
+
+    def test_normalized_by_default(self):
+        assert synthetic_bluenile(n=100).is_normalized
+
+    def test_carat_range_matches_paper(self):
+        ds = synthetic_bluenile(n=5000, normalize=False)
+        carat = ds.column("carat")
+        assert carat.min() >= 0.23
+        assert carat.max() <= 20.97
+
+    def test_price_superlinear_in_carat(self):
+        ds = synthetic_bluenile(n=5000, normalize=False)
+        carat = ds.column("carat")
+        price = ds.column("price")
+        # Log-log slope well above 1 = super-linear pricing.
+        slope = np.polyfit(np.log(carat), np.log(price), 1)[0]
+        assert slope > 1.5
+
+    def test_projection_by_d(self):
+        ds = synthetic_bluenile(n=50, d=2)
+        assert ds.attributes == BN_ATTRIBUTES[:2]
+
+    def test_deterministic(self):
+        a = synthetic_bluenile(n=64, seed=4)
+        b = synthetic_bluenile(n=64, seed=4)
+        assert np.array_equal(a.values, b.values)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            synthetic_bluenile(n=0)
+        with pytest.raises(ValidationError):
+            synthetic_bluenile(n=10, d=6)

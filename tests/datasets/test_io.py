@@ -1,0 +1,82 @@
+"""Unit tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, load_csv, save_csv, synthetic_bluenile
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_values_survive(self, tmp_path):
+        original = Dataset(
+            [[1.25, -3.5], [0.0, 99.0]], attributes=("x", "y"),
+            higher_is_better=(True, False),
+        )
+        path = tmp_path / "data.csv"
+        save_csv(original, path)
+        loaded = load_csv(path)
+        assert loaded == original
+
+    def test_directions_survive(self, tmp_path):
+        ds = synthetic_bluenile(n=20, normalize=False)
+        path = tmp_path / "bn.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        assert loaded.higher_is_better == ds.higher_is_better
+        assert loaded.attributes == ds.attributes
+
+    def test_exact_float_round_trip(self, tmp_path):
+        values = np.random.default_rng(0).random((10, 3))
+        ds = Dataset(values)
+        path = tmp_path / "floats.csv"
+        save_csv(ds, path)
+        assert np.array_equal(load_csv(path).values, values)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "flights.csv"
+        save_csv(Dataset([[1.0]]), path)
+        assert load_csv(path).name == "flights"
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("x,y\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_non_numeric_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1.0,hello\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("x,y\n1.0\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_comment_lines_ignored(self, tmp_path):
+        path = tmp_path / "comments.csv"
+        path.write_text("x,y\n# a note\n1.0,2.0\n")
+        ds = load_csv(path)
+        assert ds.n == 1
+        assert all(ds.higher_is_better)
+
+    def test_direction_row_length_mismatch(self, tmp_path):
+        path = tmp_path / "dir.csv"
+        path.write_text("x,y\n#direction:high\n1.0,2.0\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)

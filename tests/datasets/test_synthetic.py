@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    anticorrelated,
+    clustered,
+    correlated,
+    independent,
+    on_sphere,
+    paper_example,
+)
+from repro.exceptions import ValidationError
+from repro.geometry import skyline
+
+
+class TestPaperExample:
+    def test_shape_and_values(self):
+        ds = paper_example()
+        assert ds.n == 7
+        assert ds.d == 2
+        assert np.allclose(ds[0], [0.80, 0.28])  # t1
+        assert np.allclose(ds[6], [0.91, 0.43])  # t7
+
+    def test_ranking_under_equal_weights_matches_figure_2(self):
+        # Figure 2: ordering under f = x1 + x2 is t7, t3, t5, t1, t2, t6, t4.
+        from repro.ranking import ranking
+
+        order = ranking(paper_example().values, [1.0, 1.0])
+        assert list(order) == [6, 2, 4, 0, 1, 5, 3]
+
+    def test_ranking_under_x_axis_matches_figure_3(self):
+        # §3: ordering based on f = x1 is t7, t1, t3, t2, t5, t4, t6.
+        from repro.ranking import ranking
+
+        order = ranking(paper_example().values, [1.0, 0.0])
+        assert list(order) == [6, 0, 2, 1, 4, 3, 5]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory", [independent, correlated, anticorrelated, on_sphere]
+    )
+    def test_shape_and_range(self, factory):
+        ds = factory(100, 3, seed=0)
+        assert ds.n == 100
+        assert ds.d == 3
+        assert ds.values.min() >= 0.0
+        assert ds.values.max() <= 1.0 + 1e-12
+
+    def test_clustered_shape(self):
+        ds = clustered(100, 3, clusters=4, seed=0)
+        assert ds.n == 100
+
+    @pytest.mark.parametrize(
+        "factory", [independent, correlated, anticorrelated, clustered, on_sphere]
+    )
+    def test_deterministic_given_seed(self, factory):
+        a = factory(50, 2, seed=42)
+        b = factory(50, 2, seed=42)
+        assert np.array_equal(a.values, b.values)
+
+    @pytest.mark.parametrize(
+        "factory", [independent, correlated, anticorrelated, clustered, on_sphere]
+    )
+    def test_different_seeds_differ(self, factory):
+        a = factory(50, 2, seed=1)
+        b = factory(50, 2, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValidationError):
+            independent(0, 2)
+        with pytest.raises(ValidationError):
+            independent(10, 0)
+        with pytest.raises(ValidationError):
+            clustered(10, 2, clusters=0)
+        with pytest.raises(ValidationError):
+            correlated(10, 2, spread=-1.0)
+
+    def test_anticorrelated_has_bigger_skyline_than_correlated(self):
+        anti = anticorrelated(300, 2, seed=0).values
+        corr = correlated(300, 2, seed=0).values
+        assert len(skyline(anti)) > len(skyline(corr))
+
+    def test_on_sphere_points_are_unit_norm(self):
+        ds = on_sphere(50, 4, seed=0)
+        norms = np.linalg.norm(ds.values, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_correlated_attributes_positively_correlate(self):
+        ds = correlated(2000, 2, seed=0)
+        coefficient = np.corrcoef(ds.values[:, 0], ds.values[:, 1])[0, 1]
+        assert coefficient > 0.5
+
+    def test_anticorrelated_attributes_negatively_correlate(self):
+        ds = anticorrelated(2000, 2, seed=0)
+        coefficient = np.corrcoef(ds.values[:, 0], ds.values[:, 1])[0, 1]
+        assert coefficient < -0.3

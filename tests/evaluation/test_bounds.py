@@ -1,0 +1,56 @@
+"""Unit tests for the k-set count upper bounds."""
+
+import pytest
+
+from repro.datasets import independent
+from repro.evaluation import kset_upper_bound, trivial_kset_bound
+from repro.exceptions import ValidationError
+from repro.geometry import enumerate_ksets_2d
+
+
+class TestKsetUpperBound:
+    def test_2d_formula(self):
+        assert kset_upper_bound(1000, 8, 2) == pytest.approx(1000 * 2.0)
+
+    def test_3d_formula(self):
+        assert kset_upper_bound(100, 4, 3) == pytest.approx(100 * 8.0)
+
+    def test_high_d_polynomial(self):
+        assert kset_upper_bound(100, 5, 4) == pytest.approx(100 ** 3.99)
+
+    def test_1d_single(self):
+        assert kset_upper_bound(100, 5, 1) == 1.0
+
+    def test_monotone_in_k_for_fixed_nd(self):
+        assert kset_upper_bound(500, 10, 3) < kset_upper_bound(500, 50, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            kset_upper_bound(0, 1, 2)
+        with pytest.raises(ValidationError):
+            kset_upper_bound(10, 11, 2)
+
+    def test_actual_2d_counts_below_combined_bound(self):
+        """Paper Fig. 13–16: measured counts sit far below the bounds.
+
+        With unit constants the asymptotic bound can theoretically be
+        crossed on tiny inputs, so compare against the max of the
+        asymptotic and trivial binomial bounds.
+        """
+        values = independent(120, 2, seed=0).values
+        for k in (2, 6, 12):
+            actual = len(enumerate_ksets_2d(values, k))
+            bound = max(kset_upper_bound(120, k, 2), trivial_kset_bound(120, k))
+            assert actual <= bound
+
+
+class TestTrivialBound:
+    def test_binomial(self):
+        assert trivial_kset_bound(5, 2) == pytest.approx(10.0)
+
+    def test_symmetry(self):
+        assert trivial_kset_bound(10, 3) == pytest.approx(trivial_kset_bound(10, 7))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            trivial_kset_bound(5, 6)

@@ -1,0 +1,85 @@
+"""Unit tests for rank-regret distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import mdrc
+from repro.datasets import independent
+from repro.evaluation import (
+    rank_regret_distribution,
+    rank_regret_sampled,
+    worst_functions,
+)
+from repro.exceptions import ValidationError
+
+
+class TestDistribution:
+    def test_maximum_matches_sampled_estimator(self):
+        values = independent(60, 3, seed=0).values
+        subset = [0, 5, 9]
+        dist = rank_regret_distribution(values, subset, k=5, num_functions=1000, rng=1)
+        assert dist.maximum == rank_regret_sampled(values, subset, 1000, rng=1)
+
+    def test_percentiles_monotone(self):
+        values = independent(60, 3, seed=1).values
+        dist = rank_regret_distribution(values, [2, 7], k=5, num_functions=1000, rng=2)
+        assert (
+            dist.percentiles[50]
+            <= dist.percentiles[90]
+            <= dist.percentiles[99]
+            <= dist.percentiles[100]
+        )
+        assert dist.percentiles[100] == dist.maximum
+
+    def test_full_set_distribution_is_all_ones(self):
+        values = independent(40, 3, seed=2).values
+        dist = rank_regret_distribution(
+            values, range(40), k=1, num_functions=500, rng=3
+        )
+        assert dist.maximum == 1
+        assert dist.mean == 1.0
+        assert dist.satisfied_fraction == 1.0
+
+    def test_satisfied_fraction_for_good_representative(self):
+        values = independent(100, 3, seed=3).values
+        k = 10
+        result = mdrc(values, k)
+        dist = rank_regret_distribution(
+            values, result.indices, k, num_functions=2000, rng=4
+        )
+        assert dist.satisfied_fraction >= 0.95
+        assert dist.k == k
+        assert dist.samples == 2000
+
+    def test_validation(self):
+        values = independent(20, 3, seed=4).values
+        with pytest.raises(ValidationError):
+            rank_regret_distribution(values, [], 2)
+        with pytest.raises(ValidationError):
+            rank_regret_distribution(values, [0], 0)
+        with pytest.raises(ValidationError):
+            rank_regret_distribution(values, [0], 2, num_functions=0)
+
+
+class TestWorstFunctions:
+    def test_sorted_worst_first(self):
+        values = independent(60, 3, seed=5).values
+        worst = worst_functions(values, [0, 1], count=5, num_functions=500, rng=6)
+        regrets = [r for _, r in worst]
+        assert regrets == sorted(regrets, reverse=True)
+        assert len(worst) == 5
+
+    def test_reported_regret_is_consistent(self):
+        from repro.evaluation import rank_regret_for_function
+
+        values = independent(60, 3, seed=6).values
+        subset = [3, 4]
+        for w, regret in worst_functions(values, subset, count=3, num_functions=300, rng=7):
+            exact = rank_regret_for_function(values, subset, w)
+            # The vectorized estimator ignores index tie-breaks; allow 1 slack.
+            assert abs(exact - regret) <= 1
+
+    def test_validation(self):
+        values = independent(20, 3, seed=7).values
+        with pytest.raises(ValidationError):
+            worst_functions(values, [0], count=0)

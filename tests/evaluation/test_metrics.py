@@ -1,0 +1,50 @@
+"""Unit tests for the representative evaluation report."""
+
+import pytest
+
+from repro.core import two_d_rrr
+from repro.datasets import independent
+from repro.evaluation import evaluate_representative
+from repro.exceptions import ValidationError
+
+
+class TestEvaluateRepresentative:
+    def test_exact_in_2d_by_default(self):
+        values = independent(40, 2, seed=0).values
+        chosen = two_d_rrr(values, 4)
+        report = evaluate_representative(values, chosen, 4)
+        assert report.exact
+        assert report.size == len(chosen)
+        assert report.rank_regret <= 8
+
+    def test_sampled_in_3d(self):
+        values = independent(40, 3, seed=1).values
+        report = evaluate_representative(values, [0, 1, 2], 5, num_functions=500)
+        assert not report.exact
+        assert report.rank_regret >= 1
+
+    def test_meets_k_flag(self):
+        values = independent(40, 2, seed=2).values
+        full = evaluate_representative(values, range(40), 1)
+        assert full.meets_k
+        assert full.rank_regret == 1
+
+    def test_force_sampled_in_2d(self):
+        values = independent(40, 2, seed=3).values
+        report = evaluate_representative(values, [0], 5, exact=False, num_functions=200)
+        assert not report.exact
+
+    def test_force_exact_in_3d_raises(self):
+        values = independent(20, 3, seed=4).values
+        with pytest.raises(ValidationError):
+            evaluate_representative(values, [0], 2, exact=True)
+
+    def test_empty_subset_raises(self):
+        values = independent(20, 2, seed=5).values
+        with pytest.raises(ValidationError):
+            evaluate_representative(values, [], 2)
+
+    def test_regret_ratio_included(self):
+        values = independent(40, 3, seed=6).values
+        report = evaluate_representative(values, range(40), 1, num_functions=200)
+        assert report.regret_ratio == 0.0

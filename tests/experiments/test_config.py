@@ -1,0 +1,57 @@
+"""Unit tests for experiment configurations."""
+
+import pytest
+
+from repro.experiments import (
+    BENCH_EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    ExperimentConfig,
+    KSetCountConfig,
+)
+
+
+class TestConfigs:
+    def test_every_paper_figure_has_a_config(self):
+        expected = {
+            "fig09_10", "fig11_12", "fig13", "fig14", "fig15", "fig16",
+            "fig17_18", "fig19_20", "fig21_22", "fig23_24", "fig25_26",
+            "fig27_28",
+        }
+        assert set(PAPER_EXPERIMENTS) == expected
+        assert set(BENCH_EXPERIMENTS) == expected
+
+    def test_paper_defaults(self):
+        config = PAPER_EXPERIMENTS["fig17_18"]
+        assert config.n == 10_000
+        assert config.d == 3
+        assert config.k_fraction == 0.01
+        assert config.eval_functions == 10_000
+
+    def test_bench_scale_is_smaller(self):
+        for key, bench in BENCH_EXPERIMENTS.items():
+            paper = PAPER_EXPERIMENTS[key]
+            assert bench.n <= paper.n
+
+    def test_kset_configs_cover_fig13_to_16(self):
+        for key in ("fig13", "fig14", "fig15", "fig16"):
+            assert isinstance(PAPER_EXPERIMENTS[key], KSetCountConfig)
+
+    def test_md_experiments_include_hd_rrms(self):
+        for key in ("fig17_18", "fig19_20", "fig21_22", "fig23_24",
+                    "fig25_26", "fig27_28"):
+            assert "hd_rrms" in PAPER_EXPERIMENTS[key].algorithms
+
+    def test_2d_experiments_include_all_proposed(self):
+        config = PAPER_EXPERIMENTS["fig09_10"]
+        assert set(config.algorithms) == {"2drrr", "mdrrr", "mdrc"}
+        assert config.d == 2
+
+    def test_invalid_vary_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig("x", "dot", ("mdrc",), vary="z", values=(1,))
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig("x", "nope", ("mdrc",), vary="n", values=(1,))
+        with pytest.raises(ValueError):
+            KSetCountConfig("x", "dot", vary="n", values=(1,))

@@ -1,0 +1,74 @@
+"""Unit tests for report rendering and shape checking."""
+
+from repro.experiments import (
+    format_experiment_table,
+    format_kset_table,
+    summarize_shapes,
+)
+from repro.experiments.runner import ExperimentRow, KSetCountRow
+
+
+def make_row(algorithm="mdrc", rank_regret=5, k=10, output_size=8, d=3):
+    return ExperimentRow(
+        experiment_id="figX",
+        dataset="dot",
+        algorithm=algorithm,
+        n=1000,
+        d=d,
+        k=k,
+        time_sec=0.123,
+        output_size=output_size,
+        rank_regret=rank_regret,
+        meets_k=rank_regret <= k,
+    )
+
+
+class TestTables:
+    def test_experiment_table_contains_rows(self):
+        table = format_experiment_table([make_row(), make_row("mdrrr")])
+        assert "mdrc" in table
+        assert "mdrrr" in table
+        assert table.count("\n") == 3  # header + separator + 2 rows
+
+    def test_kset_table(self):
+        row = KSetCountRow(
+            experiment_id="fig13", dataset="dot", n=100, d=3, k=5,
+            num_ksets=42, upper_bound=1118.0, draws=500, time_sec=0.5,
+        )
+        table = format_kset_table([row])
+        assert "42" in table
+        assert "fig13" in table
+
+    def test_markdown_structure(self):
+        table = format_experiment_table([make_row()])
+        lines = table.split("\n")
+        assert all(line.startswith("|") for line in lines)
+
+
+class TestSummarizeShapes:
+    def test_all_claims_hold(self):
+        rows = [
+            make_row("mdrc", rank_regret=8, k=10),
+            make_row("mdrrr", rank_regret=10, k=10),
+            make_row("2drrr", rank_regret=15, k=10, d=2),
+            make_row("hd_rrms", rank_regret=900, k=10),
+        ]
+        shapes = summarize_shapes(rows)
+        assert shapes["rrr_meets_k"]
+        assert shapes["hd_rrms_violates_k"]
+        assert shapes["outputs_small"]
+
+    def test_mdrrr_violation_detected(self):
+        rows = [make_row("mdrrr", rank_regret=11, k=10)]
+        assert not summarize_shapes(rows)["rrr_meets_k"]
+
+    def test_mdrc_allows_dk(self):
+        rows = [make_row("mdrc", rank_regret=25, k=10, d=3)]
+        assert summarize_shapes(rows)["rrr_meets_k"]
+
+    def test_large_output_detected(self):
+        rows = [make_row("mdrc", output_size=45)]
+        assert not summarize_shapes(rows)["outputs_small"]
+
+    def test_no_baseline_rows(self):
+        assert summarize_shapes([make_row()])["hd_rrms_violates_k"]

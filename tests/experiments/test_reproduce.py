@@ -1,0 +1,51 @@
+"""Unit tests for the one-shot reproduction driver."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import PAPER_CLAIMS, reproduce_all
+from repro.experiments import config as config_module
+
+
+@pytest.fixture
+def tiny_configs(monkeypatch):
+    """Shrink every bench config to near-trivial sizes for a fast test."""
+    small = {}
+    for key, config in config_module.BENCH_EXPERIMENTS.items():
+        if hasattr(config, "algorithms"):
+            small[key] = replace(
+                config,
+                n=60,
+                values=(50, 60) if config.vary == "n" else config.values[:1],
+                eval_functions=200,
+            )
+        else:
+            small[key] = replace(config, n=50, values=config.values[:1])
+    monkeypatch.setattr(config_module, "BENCH_EXPERIMENTS", small)
+    monkeypatch.setattr(
+        "repro.experiments.reproduce.BENCH_EXPERIMENTS", small
+    )
+    return small
+
+
+class TestReproduceAll:
+    def test_covers_every_figure(self, tiny_configs):
+        report = reproduce_all(scale="bench")
+        for figure_id in PAPER_CLAIMS:
+            assert f"## {figure_id}" in report
+            assert PAPER_CLAIMS[figure_id][:40] in report
+
+    def test_contains_measured_tables_and_checks(self, tiny_configs):
+        report = reproduce_all(scale="bench")
+        assert "**Measured:**" in report
+        assert "Shape" in report
+        assert "| experiment" in report or "| algorithm" in report
+
+    def test_progress_called(self, tiny_configs):
+        messages = []
+        reproduce_all(scale="bench", progress=messages.append)
+        assert any("fig09_10" in m for m in messages)
+
+    def test_claims_cover_all_bench_figures(self):
+        assert set(PAPER_CLAIMS) == set(config_module.BENCH_EXPERIMENTS)

@@ -1,0 +1,118 @@
+"""Unit tests for the experiment runner (small instances)."""
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    ExperimentConfig,
+    KSetCountConfig,
+    make_dataset,
+    run_experiment,
+    run_kset_count,
+)
+
+
+@pytest.fixture
+def tiny_md_config():
+    return ExperimentConfig(
+        "tiny_md", "dot", ("mdrc", "mdrrr", "hd_rrms"),
+        vary="n", values=(100, 200), d=3, k_fraction=0.05,
+        eval_functions=500, seed=0,
+    )
+
+
+@pytest.fixture
+def tiny_2d_config():
+    return ExperimentConfig(
+        "tiny_2d", "bn", ("2drrr", "mdrc"),
+        vary="k", values=(0.05, 0.1), n=80, d=2,
+        eval_functions=500, seed=0,
+    )
+
+
+class TestMakeDataset:
+    def test_dot(self):
+        ds = make_dataset("dot", 50, 3)
+        assert (ds.n, ds.d) == (50, 3)
+        assert ds.is_normalized
+
+    def test_bn(self):
+        ds = make_dataset("bn", 50, 4)
+        assert (ds.n, ds.d) == (50, 4)
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            make_dataset("nope", 10, 2)
+
+
+class TestRunExperiment:
+    def test_row_per_algorithm_and_value(self, tiny_md_config):
+        rows = run_experiment(tiny_md_config)
+        assert len(rows) == 6  # 3 algorithms x 2 sweep values
+        assert {r.algorithm for r in rows} == {"mdrc", "mdrrr", "hd_rrms"}
+        assert {r.n for r in rows} == {100, 200}
+
+    def test_vary_n_sets_n(self, tiny_md_config):
+        rows = run_experiment(tiny_md_config)
+        for row in rows:
+            assert row.d == 3
+            assert row.k == max(1, round(0.05 * row.n))
+
+    def test_vary_k(self, tiny_2d_config):
+        rows = run_experiment(tiny_2d_config)
+        assert {r.k for r in rows} == {4, 8}
+
+    def test_guarantees_hold_on_tiny_instance(self, tiny_md_config):
+        rows = run_experiment(tiny_md_config)
+        for row in rows:
+            if row.algorithm == "mdrrr":
+                assert row.rank_regret <= row.k
+            elif row.algorithm == "mdrc":
+                assert row.rank_regret <= row.d * row.k
+
+    def test_hd_rrms_budget_follows_mdrc(self, tiny_md_config):
+        rows = run_experiment(tiny_md_config)
+        by_n = {}
+        for row in rows:
+            by_n.setdefault(row.n, {})[row.algorithm] = row
+        for n, algos in by_n.items():
+            assert algos["hd_rrms"].output_size <= max(algos["mdrc"].output_size, 1)
+
+    def test_progress_callback(self, tiny_2d_config):
+        messages = []
+        run_experiment(tiny_2d_config, progress=messages.append)
+        assert len(messages) == 4
+
+    def test_timings_positive(self, tiny_2d_config):
+        rows = run_experiment(tiny_2d_config)
+        assert all(r.time_sec >= 0 for r in rows)
+
+
+class TestRunKsetCount:
+    def test_2d_exact_path(self):
+        config = KSetCountConfig(
+            "tiny_ks2", "dot", vary="d", values=(2,), n=60, k_fraction=0.05
+        )
+        rows = run_kset_count(config)
+        assert len(rows) == 1
+        assert rows[0].draws == 0
+        assert rows[0].num_ksets >= 1
+
+    def test_3d_sampled_path(self):
+        config = KSetCountConfig(
+            "tiny_ks3", "bn", vary="k", values=(0.05, 0.1), n=60, d=3
+        )
+        rows = run_kset_count(config)
+        assert len(rows) == 2
+        assert all(r.draws > 0 for r in rows)
+        assert all(r.upper_bound >= 1 for r in rows)
+
+    def test_dataclass_fields(self):
+        config = KSetCountConfig(
+            "tiny_ks", "dot", vary="d", values=(2,), n=40, k_fraction=0.1
+        )
+        row = run_kset_count(config)[0]
+        names = {f.name for f in dataclasses.fields(row)}
+        assert {"num_ksets", "upper_bound", "time_sec"} <= names

@@ -1,0 +1,180 @@
+"""Unit tests for the top-k border and exact top-k regions."""
+
+import numpy as np
+import pytest
+
+from repro.core import find_ranges
+from repro.datasets import independent, paper_example
+from repro.exceptions import ValidationError
+from repro.geometry import (
+    exact_topk_intervals,
+    k_border_segments,
+    rank_at_angle_profile,
+    topk_region_measure,
+)
+from repro.ranking import ranks, weights_from_angles
+
+HALF_PI = float(np.pi / 2)
+
+
+class TestKBorderSegments:
+    def test_paper_figure3_t3_owns_two_segments(self):
+        """§3 / Figure 3: d(t3) contains more than one facet of the top-2
+        border."""
+        segments = k_border_segments(paper_example().values, 2)
+        owners = [s.item for s in segments]
+        assert owners.count(2) >= 2  # t3 appears at least twice
+
+    def test_segments_partition_the_sweep(self):
+        values = independent(40, 2, seed=0).values
+        segments = k_border_segments(values, 5)
+        assert segments[0].start == 0.0
+        assert segments[-1].end == pytest.approx(HALF_PI)
+        for a, b in zip(segments, segments[1:]):
+            assert a.end == pytest.approx(b.start)
+            assert a.item != b.item
+
+    def test_owner_has_rank_k_inside_segment(self):
+        values = independent(30, 2, seed=1).values
+        k = 4
+        for segment in k_border_segments(values, k):
+            mid = (segment.start + segment.end) / 2.0
+            w = weights_from_angles([mid])
+            assert ranks(values, w)[segment.item] == k
+
+    def test_k1_border_owners_are_maxima(self):
+        from repro.geometry import maxima_representation
+
+        values = independent(25, 2, seed=2).values
+        owners = {s.item for s in k_border_segments(values, 1)}
+        assert owners <= set(int(i) for i in maxima_representation(values))
+
+    def test_width_property(self):
+        segments = k_border_segments(paper_example().values, 2)
+        assert all(s.width > 0 for s in segments)
+        assert sum(s.width for s in segments) == pytest.approx(HALF_PI)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            k_border_segments(np.ones((4, 3)), 2)
+        with pytest.raises(ValidationError):
+            k_border_segments(np.ones((4, 2)), 0)
+
+
+class TestExactTopkIntervals:
+    def test_subset_of_find_ranges_closure(self):
+        """Theorem 3's distinction: the exact region is a subset of the
+        convex closure Algorithm 1 produces."""
+        values = independent(35, 2, seed=3).values
+        k = 4
+        exact = exact_topk_intervals(values, k)
+        closure = find_ranges(values, k)
+        for item, spans in exact.items():
+            assert closure.begin[item] == pytest.approx(spans[0][0])
+            assert closure.end[item] == pytest.approx(spans[-1][1])
+            for start, end in spans:
+                assert start >= closure.begin[item] - 1e-12
+                assert end <= closure.end[item] + 1e-12
+
+    def test_intervals_disjoint_and_ordered(self):
+        values = independent(40, 2, seed=4).values
+        for spans in exact_topk_intervals(values, 5).values():
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 < s2
+            assert all(s <= e for s, e in spans)
+
+    def test_rank_at_most_k_inside_intervals(self):
+        values = independent(25, 2, seed=5).values
+        k = 3
+        for item, spans in exact_topk_intervals(values, k).items():
+            for start, end in spans:
+                for theta in np.linspace(start + 1e-9, end - 1e-9, 5):
+                    w = weights_from_angles([theta])
+                    assert ranks(values, w)[item] <= k
+
+    def test_rank_above_k_outside_intervals(self):
+        values = independent(25, 2, seed=6).values
+        k = 3
+        regions = exact_topk_intervals(values, k)
+        rng = np.random.default_rng(0)
+        for item, spans in regions.items():
+            for theta in rng.uniform(0, HALF_PI, 30):
+                inside = any(s - 1e-9 <= theta <= e + 1e-9 for s, e in spans)
+                w = weights_from_angles([theta])
+                r = int(ranks(values, w)[item])
+                if not inside:
+                    assert r > k
+
+    def test_at_every_angle_exactly_k_items_active(self):
+        values = independent(30, 2, seed=7).values
+        k = 4
+        regions = exact_topk_intervals(values, k)
+        for theta in np.linspace(1e-6, HALF_PI - 1e-6, 60):
+            active = sum(
+                1
+                for spans in regions.values()
+                if any(s - 1e-12 <= theta <= e + 1e-12 for s, e in spans)
+            )
+            assert active >= k  # boundary angles can over-count ties
+
+    def test_paper_example(self):
+        regions = exact_topk_intervals(paper_example().values, 2)
+        assert set(int(i) for i in regions) == {0, 2, 4, 6}
+        # t7 (index 6) is top-2 from theta=0 in a single interval.
+        assert len(regions[6]) == 1
+        assert regions[6][0][0] == 0.0
+
+
+class TestRegionMeasure:
+    def test_measures_sum_to_k_times_halfpi(self):
+        """Integrating |top-k(θ)| over θ gives k·(π/2)."""
+        values = independent(30, 2, seed=8).values
+        k = 4
+        total = sum(topk_region_measure(values, k).values())
+        assert total == pytest.approx(k * HALF_PI, rel=1e-9)
+
+    def test_larger_measure_items_sampled_more(self):
+        """The coupon-collector connection (§5.2.1): items with bigger
+        angular measure appear in more sampled top-k sets."""
+        from repro.ranking import sample_functions, top_k_set
+
+        values = independent(40, 2, seed=9).values
+        k = 5
+        measure = topk_region_measure(values, k)
+        counts = dict.fromkeys(measure, 0)
+        for w in sample_functions(2, 2000, rng=1):
+            for item in top_k_set(values, w, k):
+                if item in counts:
+                    counts[item] += 1
+        big = max(measure, key=measure.get)
+        small = min(measure, key=measure.get)
+        assert counts[big] > counts[small]
+
+
+class TestRankProfile:
+    def test_profile_shape_and_bounds(self):
+        values = independent(20, 2, seed=10).values
+        profile = rank_at_angle_profile(values, 0, resolution=64)
+        assert profile.shape == (64,)
+        assert profile.min() >= 1
+        assert profile.max() <= 20
+
+    def test_theorem1_on_profile(self):
+        """Between any two grid angles where the rank is <= k, the rank in
+        between never exceeds 2k (Theorem 1 with k1 = k2 = k)."""
+        values = independent(25, 2, seed=11).values
+        k = 4
+        for item in range(25):
+            profile = rank_at_angle_profile(values, item, resolution=128)
+            in_topk = np.flatnonzero(profile <= k)
+            if in_topk.size < 2:
+                continue
+            first, last = in_topk[0], in_topk[-1]
+            assert profile[first:last + 1].max() <= 2 * k
+
+    def test_validation(self):
+        values = independent(10, 2, seed=12).values
+        with pytest.raises(ValidationError):
+            rank_at_angle_profile(values, 99)
+        with pytest.raises(ValidationError):
+            rank_at_angle_profile(values, 0, resolution=1)

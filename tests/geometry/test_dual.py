@@ -1,0 +1,105 @@
+"""Unit tests for the dual transformation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError, ValidationError
+from repro.geometry import (
+    crossing_angle_2d,
+    dual_hyperplane,
+    order_along_ray,
+    ray_intersection_distance,
+)
+from repro.ranking import ranking
+
+
+class TestDualHyperplane:
+    def test_coefficients_are_the_point(self):
+        assert np.array_equal(dual_hyperplane([0.5, 0.2]), [0.5, 0.2])
+
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(ValidationError):
+            dual_hyperplane([])
+        with pytest.raises(ValidationError):
+            dual_hyperplane([np.nan])
+
+
+class TestRayIntersection:
+    def test_distance_formula(self):
+        # Point (1, 1), ray (1, 0): line x = 1 meets the ray at distance 1.
+        assert ray_intersection_distance([1.0, 1.0], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_higher_score_is_closer(self):
+        w = [0.6, 0.8]
+        near = ray_intersection_distance([0.9, 0.9], w)
+        far = ray_intersection_distance([0.1, 0.1], w)
+        assert near < far
+
+    def test_non_positive_score_raises(self):
+        with pytest.raises(GeometryError):
+            ray_intersection_distance([0.0, 0.0], [1.0, 0.0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            ray_intersection_distance([1.0, 2.0], [1.0])
+
+
+class TestOrderAlongRay:
+    def test_matches_score_ranking(self):
+        rng = np.random.default_rng(5)
+        values = rng.random((50, 3)) + 0.01
+        w = rng.random(3) + 0.1
+        assert np.array_equal(order_along_ray(values, w), ranking(values, w))
+
+    def test_paper_figure3_x_axis_order(self):
+        from repro.datasets import paper_example
+
+        order = order_along_ray(paper_example().values, [1.0, 0.01])
+        # §3: intersections with the x1 axis order t7, t1, t3, t2, t5, t4, t6.
+        assert list(order)[:3] == [6, 0, 2]
+
+    def test_zero_score_raises(self):
+        with pytest.raises(GeometryError):
+            order_along_ray(np.array([[0.0, 0.0]]), [1.0, 1.0])
+
+
+class TestCrossingAngle:
+    def test_symmetric(self):
+        a, b = [0.8, 0.2], [0.2, 0.8]
+        assert crossing_angle_2d(a, b) == pytest.approx(crossing_angle_2d(b, a))
+
+    def test_symmetric_tradeoff_crosses_at_diagonal(self):
+        theta = crossing_angle_2d([0.8, 0.2], [0.2, 0.8])
+        assert theta == pytest.approx(np.pi / 4)
+
+    def test_crossing_angle_equalizes_scores(self):
+        rng = np.random.default_rng(6)
+        for _ in range(100):
+            a, b = rng.random(2), rng.random(2)
+            theta = crossing_angle_2d(a, b)
+            if theta is None:
+                continue
+            w = np.array([np.cos(theta), np.sin(theta)])
+            assert float(a @ w) == pytest.approx(float(b @ w), abs=1e-12)
+
+    def test_dominance_never_crosses(self):
+        assert crossing_angle_2d([0.9, 0.9], [0.1, 0.1]) is None
+        assert crossing_angle_2d([0.1, 0.1], [0.9, 0.9]) is None
+
+    def test_weak_dominance_never_crosses(self):
+        assert crossing_angle_2d([0.5, 0.9], [0.5, 0.1]) is None
+        assert crossing_angle_2d([0.9, 0.5], [0.1, 0.5]) is None
+
+    def test_identical_points_never_cross(self):
+        assert crossing_angle_2d([0.5, 0.5], [0.5, 0.5]) is None
+
+    def test_requires_2d(self):
+        with pytest.raises(ValidationError):
+            crossing_angle_2d([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+
+    def test_matches_paper_formula(self):
+        # θ = arctan((b_x − a_x)/(a_y − b_y)) for adjacent items a before b
+        # in x-descending order (Algorithm 1, line 5).
+        a, b = np.array([0.7, 0.3]), np.array([0.4, 0.9])
+        expected = np.arctan((a[0] - b[0]) / (b[1] - a[1]))
+        assert crossing_angle_2d(a, b) == pytest.approx(expected)

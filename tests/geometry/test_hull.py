@@ -1,0 +1,101 @@
+"""Unit tests for convex hulls and the maxima representation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import on_sphere, paper_example
+from repro.exceptions import ValidationError
+from repro.geometry import convex_hull, convex_hull_2d, maxima_representation
+from repro.ranking import sample_functions, top_k
+
+
+class TestConvexHull2D:
+    def test_square(self):
+        values = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0], [0.5, 0.5]]
+        )
+        hull = set(convex_hull_2d(values))
+        assert hull == {0, 1, 2, 3}
+
+    def test_interior_points_excluded(self):
+        rng = np.random.default_rng(0)
+        inner = rng.random((50, 2)) * 0.2 + 0.4
+        corners = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        values = np.vstack([inner, corners])
+        hull = set(convex_hull_2d(values))
+        assert hull == {50, 51, 52, 53}
+
+    def test_collinear_points(self):
+        values = np.array([[0.0, 0.0], [0.5, 0.5], [1.0, 1.0]])
+        hull = set(convex_hull_2d(values))
+        assert hull == {0, 2}
+
+    def test_duplicates_keep_smallest_index(self):
+        values = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.5, 1.0]])
+        hull = set(convex_hull_2d(values))
+        assert 1 in hull and 2 not in hull
+
+    def test_single_point(self):
+        assert list(convex_hull_2d(np.array([[0.3, 0.3]]))) == [0]
+
+    def test_two_points(self):
+        assert set(convex_hull_2d(np.array([[0.0, 0.0], [1.0, 1.0]]))) == {0, 1}
+
+    def test_matches_scipy_on_random_data(self):
+        from scipy.spatial import ConvexHull
+
+        rng = np.random.default_rng(1)
+        values = rng.random((200, 2))
+        ours = set(int(i) for i in convex_hull_2d(values))
+        scipys = set(int(i) for i in ConvexHull(values).vertices)
+        assert ours == scipys
+
+
+class TestConvexHullMD:
+    def test_3d_cube_corners(self):
+        corners = np.array(
+            [[x, y, z] for x in (0.0, 1.0) for y in (0.0, 1.0) for z in (0.0, 1.0)]
+        )
+        center = np.array([[0.5, 0.5, 0.5]])
+        values = np.vstack([corners, center])
+        hull = set(convex_hull(values))
+        assert hull == set(range(8))
+
+    def test_1d(self):
+        values = np.array([[3.0], [1.0], [2.0]])
+        assert set(convex_hull(values)) == {0, 1}
+
+    def test_tiny_input_returns_everything(self):
+        values = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        assert set(convex_hull(values)) == {0, 1}
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            convex_hull(np.ones(5))
+
+
+class TestMaximaRepresentation:
+    def test_contains_every_sampled_top1(self):
+        rng = np.random.default_rng(2)
+        values = rng.random((60, 3))
+        maxima = set(int(i) for i in maxima_representation(values))
+        for w in sample_functions(3, 200, rng=3):
+            winner = int(top_k(values, w, 1)[0])
+            assert winner in maxima
+
+    def test_paper_example(self):
+        # The 1-sets of the running example are {t7}, {t3}, {t5}: t1 is
+        # dominated by t7 (0.91 > 0.80, 0.43 > 0.28) so it is never top-1.
+        maxima = set(int(i) for i in maxima_representation(paper_example().values))
+        assert maxima == {2, 4, 6}
+
+    def test_dominated_point_excluded(self):
+        values = np.array([[1.0, 1.0], [0.5, 0.5], [0.0, 1.0], [1.0, 0.0]])
+        maxima = set(int(i) for i in maxima_representation(values))
+        assert 1 not in maxima
+        assert 0 in maxima
+
+    def test_sphere_data_is_all_maxima(self):
+        values = on_sphere(25, 2, seed=4).values
+        maxima = maxima_representation(values)
+        assert len(maxima) == 25

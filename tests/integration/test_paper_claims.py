@@ -1,0 +1,87 @@
+"""Integration tests for the paper's headline experimental claims (§6.2),
+checked at reduced scale on the synthetic DOT / Blue Nile stand-ins."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    KSetCountConfig,
+    run_experiment,
+    run_kset_count,
+    summarize_shapes,
+)
+
+
+@pytest.fixture(scope="module")
+def md_rows():
+    config = ExperimentConfig(
+        "claims_md", "dot", ("mdrc", "mdrrr", "hd_rrms"),
+        vary="n", values=(400, 800), d=3, k_fraction=0.01,
+        eval_functions=2000, seed=0,
+    )
+    return run_experiment(config)
+
+
+class TestProposedAlgorithmGuarantees:
+    def test_mdrrr_rank_regret_at_most_k(self, md_rows):
+        for row in md_rows:
+            if row.algorithm == "mdrrr":
+                assert row.rank_regret <= row.k
+
+    def test_mdrc_rank_regret_at_most_dk(self, md_rows):
+        for row in md_rows:
+            if row.algorithm == "mdrc":
+                assert row.rank_regret <= row.d * row.k
+
+    def test_outputs_below_40(self, md_rows):
+        """§6.2: 'The output sizes in all the experiments were less than 40'."""
+        for row in md_rows:
+            if row.algorithm in ("mdrc", "mdrrr"):
+                assert row.output_size < 40
+
+    def test_shape_summary(self, md_rows):
+        shapes = summarize_shapes(md_rows)
+        assert shapes["rrr_meets_k"]
+        assert shapes["outputs_small"]
+
+
+class TestSpeedShape:
+    def test_mdrc_faster_than_mdrrr_at_scale(self):
+        """Figures 9, 17, 25: MDRC dominates MDRRR in running time as n
+        grows (MDRRR pays for k-set enumeration)."""
+        config = ExperimentConfig(
+            "claims_speed", "dot", ("mdrc", "mdrrr"),
+            vary="n", values=(1500,), d=3, k_fraction=0.02,
+            eval_functions=200, seed=0,
+        )
+        rows = {r.algorithm: r for r in run_experiment(config)}
+        assert rows["mdrc"].time_sec < rows["mdrrr"].time_sec
+
+
+class TestKsetShape:
+    def test_counts_grow_with_k(self):
+        """Figures 13/15: more k-sets at larger k (up to 50%)."""
+        config = KSetCountConfig(
+            "claims_ksets_k", "dot", vary="k", values=(0.02, 0.2),
+            n=300, d=3, seed=0,
+        )
+        rows = run_kset_count(config)
+        assert rows[0].num_ksets < rows[1].num_ksets
+
+    def test_counts_below_upper_bound_for_d3(self):
+        """Figures 13–16: actual counts sit far below the theory bound."""
+        config = KSetCountConfig(
+            "claims_ksets_bound", "bn", vary="k", values=(0.05,),
+            n=300, d=3, seed=0,
+        )
+        row = run_kset_count(config)[0]
+        assert row.num_ksets < row.upper_bound
+
+    def test_counts_grow_with_d(self):
+        """Figures 14/16: more k-sets in higher dimension."""
+        config = KSetCountConfig(
+            "claims_ksets_d", "bn", vary="d", values=(2, 4),
+            n=250, k_fraction=0.04, seed=0,
+        )
+        rows = run_kset_count(config)
+        assert rows[0].num_ksets < rows[1].num_ksets

@@ -1,0 +1,104 @@
+"""Unit tests for LinearFunction and the weight/angle parameterization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ranking import LinearFunction, angles_from_weights, weights_from_angles
+
+
+class TestLinearFunction:
+    def test_scores_a_point(self):
+        f = LinearFunction([1.0, 1.0])
+        assert f([2.0, 4.0]) == pytest.approx(6.0 / np.sqrt(2))
+
+    def test_scores_matrix(self):
+        f = LinearFunction([3.0, 4.0])  # normalized to (0.6, 0.8)
+        out = f(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert np.allclose(out, [0.6, 0.8])
+
+    def test_weights_are_normalized(self):
+        f = LinearFunction([2.0, 0.0])
+        assert np.allclose(f.weights, [1.0, 0.0])
+
+    def test_scaling_invariance_equality(self):
+        assert LinearFunction([1.0, 2.0]) == LinearFunction([10.0, 20.0])
+        assert hash(LinearFunction([1.0, 2.0])) == hash(LinearFunction([2.0, 4.0]))
+
+    def test_weights_read_only(self):
+        f = LinearFunction([1.0, 1.0])
+        with pytest.raises(ValueError):
+            f.weights[0] = 5.0
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValidationError):
+            LinearFunction([1.0, -1.0])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            LinearFunction([0.0, 0.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            LinearFunction([np.nan, 1.0])
+
+    def test_dimension_mismatch(self):
+        f = LinearFunction([1.0, 1.0])
+        with pytest.raises(ValidationError):
+            f([1.0, 2.0, 3.0])
+
+    def test_from_angles_2d(self):
+        f = LinearFunction.from_angles([np.pi / 4])
+        assert np.allclose(f.weights, [np.sqrt(0.5), np.sqrt(0.5)])
+
+    def test_angles_property_round_trips(self):
+        f = LinearFunction([0.3, 0.5, 0.2])
+        again = LinearFunction.from_angles(f.angles)
+        assert np.allclose(f.weights, again.weights)
+
+
+class TestWeightsFromAngles:
+    def test_2d_endpoints(self):
+        assert np.allclose(weights_from_angles([0.0]), [1.0, 0.0])
+        assert np.allclose(weights_from_angles([np.pi / 2]), [0.0, 1.0], atol=1e-12)
+
+    def test_3d_diagonal(self):
+        w = weights_from_angles([np.arccos(1 / np.sqrt(3)), np.pi / 4])
+        assert np.allclose(w, np.ones(3) / np.sqrt(3))
+
+    def test_unit_norm_everywhere(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            d = rng.integers(2, 7)
+            angles = rng.random(d - 1) * np.pi / 2
+            w = weights_from_angles(angles)
+            assert np.isclose(np.linalg.norm(w), 1.0)
+            assert np.all(w >= 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            weights_from_angles([np.pi])
+        with pytest.raises(ValidationError):
+            weights_from_angles([-0.5])
+        with pytest.raises(ValidationError):
+            weights_from_angles([])
+
+
+class TestAnglesFromWeights:
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            d = rng.integers(2, 7)
+            w = rng.random(d) + 0.01
+            w = w / np.linalg.norm(w)
+            recovered = weights_from_angles(angles_from_weights(w))
+            assert np.allclose(recovered, w, atol=1e-10)
+
+    def test_boundary_weight_round_trip(self):
+        for w in ([1.0, 0.0], [0.0, 1.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]):
+            recovered = weights_from_angles(angles_from_weights(w))
+            assert np.allclose(recovered, np.asarray(w) / np.linalg.norm(w), atol=1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            angles_from_weights([1.0])

@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for the ranking substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ranking import (
+    angles_from_weights,
+    rank_of,
+    ranking,
+    ranks,
+    top_k,
+    weights_from_angles,
+)
+
+_points = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 40), st.integers(2, 5)),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+_weights = st.lists(
+    st.floats(0.001, 1.0, allow_nan=False), min_size=2, max_size=5
+)
+
+
+@given(_points, st.data())
+@settings(max_examples=60, deadline=None)
+def test_ranking_is_permutation(values, data):
+    d = values.shape[1]
+    w = np.asarray(data.draw(st.lists(
+        st.floats(0.001, 1.0), min_size=d, max_size=d)))
+    order = ranking(values, w)
+    assert sorted(order) == list(range(values.shape[0]))
+
+
+@given(_points, st.data())
+@settings(max_examples=60, deadline=None)
+def test_ranks_inverse_of_ranking(values, data):
+    d = values.shape[1]
+    w = np.asarray(data.draw(st.lists(
+        st.floats(0.001, 1.0), min_size=d, max_size=d)))
+    order = ranking(values, w)
+    r = ranks(values, w)
+    for position, index in enumerate(order):
+        assert r[index] == position + 1
+
+
+@given(_points, st.data())
+@settings(max_examples=60, deadline=None)
+def test_topk_prefix_consistency(values, data):
+    """top_k(k) must be a prefix of top_k(k+1)."""
+    n, d = values.shape
+    w = np.asarray(data.draw(st.lists(
+        st.floats(0.001, 1.0), min_size=d, max_size=d)))
+    k = data.draw(st.integers(1, n - 1))
+    smaller = top_k(values, w, k)
+    larger = top_k(values, w, k + 1)
+    assert np.array_equal(smaller, larger[:k])
+
+
+@given(_points, st.data())
+@settings(max_examples=40, deadline=None)
+def test_rank_of_counts_better_tuples(values, data):
+    n, d = values.shape
+    w = np.asarray(data.draw(st.lists(
+        st.floats(0.001, 1.0), min_size=d, max_size=d)))
+    index = data.draw(st.integers(0, n - 1))
+    rank = rank_of(values, w, index)
+    score = values @ w
+    strictly_better = int(np.count_nonzero(score > score[index]))
+    # There are at least `strictly_better` tuples ahead, and ties can only
+    # add more (Definition: exactly rank-1 tuples outrank it).
+    assert strictly_better < rank <= strictly_better + n
+
+
+@given(_weights)
+@settings(max_examples=100, deadline=None)
+def test_angle_weight_round_trip(weights):
+    w = np.asarray(weights)
+    w = w / np.linalg.norm(w)
+    recovered = weights_from_angles(angles_from_weights(w))
+    assert np.allclose(recovered, w, atol=1e-8)
+
+
+@given(st.lists(st.floats(0.0, float(np.pi / 2)), min_size=1, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_weights_from_angles_always_valid(angles):
+    w = weights_from_angles(angles)
+    assert np.all(w >= 0)
+    assert np.isclose(np.linalg.norm(w), 1.0)

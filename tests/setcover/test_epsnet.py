@@ -1,0 +1,50 @@
+"""Unit tests for the Brönnimann–Goodrich ε-net hitting set."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError, ValidationError
+from repro.setcover import epsnet_hitting_set, exact_hitting_set, is_hitting_set
+
+
+class TestEpsnet:
+    def test_empty_family(self):
+        assert epsnet_hitting_set([], vc_dimension=2) == []
+
+    def test_single_set(self):
+        chosen = epsnet_hitting_set([{3, 4, 5}], vc_dimension=2, rng=0)
+        assert is_hitting_set([{3, 4, 5}], chosen)
+
+    def test_always_returns_hitting_set(self):
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            family = [
+                set(rng.choice(25, size=rng.integers(1, 6), replace=False))
+                for _ in range(rng.integers(1, 15))
+            ]
+            chosen = epsnet_hitting_set(family, vc_dimension=3, rng=trial)
+            assert is_hitting_set(family, chosen)
+
+    def test_deterministic_given_seed(self):
+        family = [{0, 1}, {1, 2}, {2, 3}, {0, 3}]
+        a = epsnet_hitting_set(family, vc_dimension=2, rng=42)
+        b = epsnet_hitting_set(family, vc_dimension=2, rng=42)
+        assert a == b
+
+    def test_rejects_empty_member(self):
+        with pytest.raises(InfeasibleError):
+            epsnet_hitting_set([set()], vc_dimension=2)
+
+    def test_rejects_bad_vc(self):
+        with pytest.raises(ValidationError):
+            epsnet_hitting_set([{1}], vc_dimension=0)
+
+    def test_reasonable_size_on_structured_instance(self):
+        # Intervals over a line have VC dimension 2; the optimum here is 1.
+        family = [set(range(i, i + 5)) for i in range(0, 15)]
+        # Element 4..? Every set contains elements 10..14? No: sets are
+        # {0..4}, {1..5}, ..., {14..18}; the middle elements hit many.
+        chosen = epsnet_hitting_set(family, vc_dimension=2, rng=1)
+        optimal = exact_hitting_set(family)
+        assert is_hitting_set(family, chosen)
+        assert len(chosen) <= 25 * len(optimal)  # loose sanity bound

@@ -1,0 +1,110 @@
+"""Unit tests for 1-D interval covering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError, ValidationError
+from repro.setcover import cover_segment, cover_segment_max_coverage
+
+HALF_PI = float(np.pi / 2)
+
+
+def assert_covers(intervals, chosen, lo=0.0, hi=HALF_PI):
+    """Verify chosen intervals jointly cover [lo, hi]."""
+    picked = sorted((intervals[i][0], intervals[i][1]) for i in chosen)
+    frontier = lo
+    for start, end in picked:
+        assert start <= frontier + 1e-9
+        frontier = max(frontier, end)
+    assert frontier >= hi - 1e-9
+
+
+class TestCoverSegment:
+    def test_single_interval(self):
+        assert cover_segment([(0.0, HALF_PI)]) == [0]
+
+    def test_two_halves(self):
+        intervals = [(0.0, 0.9), (0.8, HALF_PI)]
+        chosen = cover_segment(intervals)
+        assert sorted(chosen) == [0, 1]
+
+    def test_prefers_fewer_intervals(self):
+        intervals = [(0.0, 0.5), (0.4, 1.0), (0.9, HALF_PI), (0.0, HALF_PI)]
+        assert cover_segment(intervals) == [3]
+
+    def test_counterexample_where_max_coverage_overshoots(self):
+        # [0,10]: optimal is {A, B}; max-coverage greedy picks C first.
+        intervals = [(0.0, 5.0), (5.0, 10.0), (2.0, 8.0)]
+        sweep = cover_segment(intervals, 0.0, 10.0)
+        greedy = cover_segment_max_coverage(intervals, 0.0, 10.0)
+        assert len(sweep) == 2
+        assert len(greedy) == 3
+
+    def test_infeasible_gap(self):
+        with pytest.raises(InfeasibleError):
+            cover_segment([(0.0, 0.4), (0.6, HALF_PI)])
+
+    def test_infeasible_start(self):
+        with pytest.raises(InfeasibleError):
+            cover_segment([(0.3, HALF_PI)])
+
+    def test_infeasible_end(self):
+        with pytest.raises(InfeasibleError):
+            cover_segment([(0.0, 1.0)])
+
+    def test_nan_intervals_skipped(self):
+        intervals = [(np.nan, np.nan), (0.0, HALF_PI)]
+        assert cover_segment(intervals) == [1]
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(ValidationError):
+            cover_segment([(1.0, 0.5)])
+
+    def test_rejects_reversed_bounds(self):
+        with pytest.raises(ValidationError):
+            cover_segment([(0.0, 1.0)], 1.0, 0.0)
+
+    def test_random_instances_always_cover(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            count = int(rng.integers(3, 30))
+            starts = rng.random(count) * HALF_PI
+            ends = starts + rng.random(count) * HALF_PI
+            intervals = list(zip(starts, np.minimum(ends, HALF_PI)))
+            intervals.append((0.0, float(rng.random() * HALF_PI)))  # anchor start
+            intervals.append((float(rng.random()), HALF_PI))  # anchor end
+            intervals.append((0.0, HALF_PI))  # guarantee feasibility
+            chosen = cover_segment(intervals)
+            assert_covers(intervals, chosen)
+
+
+class TestMaxCoverage:
+    def test_single_interval(self):
+        assert cover_segment_max_coverage([(0.0, HALF_PI)]) == [0]
+
+    def test_produces_valid_cover(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            count = int(rng.integers(2, 20))
+            starts = rng.random(count) * HALF_PI
+            ends = np.minimum(starts + rng.random(count), HALF_PI)
+            intervals = list(zip(starts, ends)) + [(0.0, HALF_PI)]
+            chosen = cover_segment_max_coverage(intervals)
+            assert_covers(intervals, chosen)
+
+    def test_sweep_never_larger_than_max_coverage(self):
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            count = int(rng.integers(3, 25))
+            starts = rng.random(count) * 0.8 * HALF_PI
+            ends = np.minimum(starts + 0.3 + rng.random(count), HALF_PI)
+            intervals = list(zip(starts, ends))
+            intervals.append((0.0, 0.7))
+            intervals.append((0.5, HALF_PI))
+            sweep = cover_segment(intervals)
+            greedy = cover_segment_max_coverage(intervals)
+            assert len(sweep) <= len(greedy)
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            cover_segment_max_coverage([(0.2, 0.4)])

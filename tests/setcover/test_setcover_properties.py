@@ -1,0 +1,94 @@
+"""Property-based tests for the covering substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.setcover import (
+    cover_segment,
+    cover_segment_max_coverage,
+    epsnet_hitting_set,
+    greedy_hitting_set,
+    is_hitting_set,
+)
+
+_families = st.lists(
+    st.sets(st.integers(0, 20), min_size=1, max_size=6), min_size=1, max_size=12
+)
+
+
+@given(_families)
+@settings(max_examples=80, deadline=None)
+def test_greedy_hits_everything(family):
+    chosen = greedy_hitting_set(family)
+    assert is_hitting_set(family, chosen)
+    assert len(chosen) <= len(family)
+
+
+@given(_families, st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_epsnet_hits_everything(family, seed):
+    chosen = epsnet_hitting_set(family, vc_dimension=3, rng=seed)
+    assert is_hitting_set(family, chosen)
+
+
+_segments = st.lists(
+    st.tuples(st.floats(0.0, 1.0, allow_nan=False), st.floats(0.0, 1.0, allow_nan=False)),
+    min_size=0,
+    max_size=15,
+)
+
+
+@given(_segments)
+@settings(max_examples=100, deadline=None)
+def test_cover_segment_valid_when_feasible(raw):
+    intervals = [(min(a, b), max(a, b)) for a, b in raw]
+    intervals.append((0.0, 1.0))  # force feasibility
+    chosen = cover_segment(intervals, 0.0, 1.0)
+    picked = sorted((intervals[i][0], intervals[i][1]) for i in chosen)
+    frontier = 0.0
+    for start, end in picked:
+        assert start <= frontier + 1e-9
+        frontier = max(frontier, end)
+    assert frontier >= 1.0 - 1e-9
+
+
+@given(_segments)
+@settings(max_examples=60, deadline=None)
+def test_sweep_cover_never_beaten_by_max_coverage(raw):
+    intervals = [(min(a, b), max(a, b)) for a, b in raw]
+    intervals.append((0.0, 0.6))
+    intervals.append((0.5, 1.0))
+    sweep = cover_segment(intervals, 0.0, 1.0)
+    greedy = cover_segment_max_coverage(intervals, 0.0, 1.0)
+    assert len(sweep) <= len(greedy)
+
+
+@given(_segments, st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_cover_segment_optimality_vs_brute_force(raw, _salt):
+    """The sweep greedy is provably optimal; cross-check tiny instances."""
+    import itertools
+
+    intervals = [(min(a, b), max(a, b)) for a, b in raw[:7]]
+    intervals.append((0.0, 1.0))
+    chosen = cover_segment(intervals, 0.0, 1.0)
+    # Brute force the minimum cover size.
+    best = None
+    for size in range(1, len(intervals) + 1):
+        for combo in itertools.combinations(range(len(intervals)), size):
+            picked = sorted((intervals[i][0], intervals[i][1]) for i in combo)
+            frontier = 0.0
+            ok = True
+            for start, end in picked:
+                if start > frontier + 1e-12:
+                    ok = False
+                    break
+                frontier = max(frontier, end)
+            if ok and frontier >= 1.0 - 1e-12:
+                best = size
+                break
+        if best is not None:
+            break
+    assert best is not None
+    assert len(chosen) == best

@@ -1,0 +1,61 @@
+"""Tests for the top-level package surface."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.datasets",
+            "repro.ranking",
+            "repro.geometry",
+            "repro.setcover",
+            "repro.core",
+            "repro.baselines",
+            "repro.evaluation",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_submodule_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_every_public_callable_has_docstring(self):
+        missing = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(name)
+        assert not missing, f"missing docstrings: {missing}"
+
+    def test_every_public_class_has_docstring(self):
+        missing = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) and not (obj.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing
+
+    def test_exceptions_form_hierarchy(self):
+        assert issubclass(repro.ValidationError, repro.ReproError)
+        assert issubclass(repro.DatasetError, repro.ReproError)
+        assert issubclass(repro.GeometryError, repro.ReproError)
+        assert issubclass(repro.InfeasibleError, repro.ReproError)
+        assert issubclass(repro.ConvergenceError, repro.ReproError)
+        assert issubclass(repro.ValidationError, ValueError)

@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Perf-regression gate: times the engine-backed hot paths, writes BENCH_*.json.
+
+Three bench-scale workloads (the ops the ``repro.engine`` refactor targets):
+
+* ``mdrc``                — MDRC at d = 4 (frontier-batched corner probes);
+* ``ksetr``               — K-SETr sampling (batched draws, bitset dedup);
+* ``rank_regret_sampled`` — the Monte-Carlo estimator (chunked GEMM counting).
+
+For each op the script measures BOTH the current implementation and the
+frozen pre-engine reference (:mod:`repro.engine.reference`), asserts their
+outputs agree, and records ``median_s`` / ``baseline_median_s`` / ``speedup``
+in a machine-readable JSON file at the repository root.
+
+Gate semantics: if an earlier ``BENCH_PR*.json`` exists, the run FAILS
+(exit 1) when any op's fresh ``median_s`` regresses more than 20% against
+the newest committed file — every future PR inherits this floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py [--repeats 5] [--quick]
+
+``--quick`` shrinks the workloads ~4x for a fast smoke run (its numbers are
+NOT meant to be committed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_NAME = "BENCH_PR2.json"
+REGRESSION_SLACK = 1.20  # fail when median_s exceeds previous by >20%
+
+
+def _median_time(fn, repeats: int) -> tuple[float, object]:
+    times = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), result
+
+
+def _bench_mdrc(repeats: int, quick: bool) -> dict:
+    from repro.core import mdrc
+    from repro.datasets import independent
+    from repro.engine.reference import reference_mdrc
+
+    n, d, k = (1000, 4, 8) if quick else (2000, 4, 5)
+    values = independent(n, d, seed=0).values
+    mdrc(values, k)  # warm caches / BLAS
+    base_s, base = _median_time(lambda: reference_mdrc(values, k), repeats)
+    new_s, new = _median_time(lambda: mdrc(values, k), repeats)
+    assert new.indices == base.indices, "mdrc output diverged from reference"
+    return {
+        "op": "mdrc",
+        "dataset": "independent",
+        "n": n,
+        "d": d,
+        "k": k,
+        "median_s": new_s,
+        "baseline_median_s": base_s,
+        "speedup": base_s / new_s,
+    }
+
+
+def _bench_ksetr(repeats: int, quick: bool) -> dict:
+    from repro.datasets import independent
+    from repro.engine.reference import reference_sample_ksets
+    from repro.geometry.ksets import sample_ksets
+
+    n, d, k = (2000, 4, 10) if quick else (5000, 4, 25)
+    values = independent(n, d, seed=0).values
+    sample_ksets(values, k, patience=50, rng=1)  # warm
+    base_s, base = _median_time(
+        lambda: reference_sample_ksets(values, k, patience=100, rng=0), repeats
+    )
+    new_s, new = _median_time(
+        lambda: sample_ksets(values, k, patience=100, rng=0), repeats
+    )
+    assert new.ksets == base.ksets and new.draws == base.draws, (
+        "sample_ksets output diverged from reference"
+    )
+    return {
+        "op": "ksetr",
+        "dataset": "independent",
+        "n": n,
+        "d": d,
+        "k": k,
+        "draws": new.draws,
+        "median_s": new_s,
+        "baseline_median_s": base_s,
+        "speedup": base_s / new_s,
+    }
+
+
+def _bench_rank_regret_sampled(repeats: int, quick: bool) -> dict:
+    from repro.core import mdrc
+    from repro.datasets import synthetic_dot
+    from repro.engine.reference import reference_rank_regret_sampled
+    from repro.evaluation import rank_regret_sampled
+
+    n, d, m = (5000, 4, 2000) if quick else (20000, 4, 10000)
+    values = synthetic_dot(n=n, d=d, seed=0).values
+    subset = mdrc(values, max(1, n // 100)).indices
+    rank_regret_sampled(values, subset, 100, rng=0)  # warm
+    base_s, base = _median_time(
+        lambda: reference_rank_regret_sampled(values, subset, m, rng=0), repeats
+    )
+    new_s, new = _median_time(
+        lambda: rank_regret_sampled(values, subset, m, rng=0), repeats
+    )
+    assert new == base, "rank_regret_sampled estimate diverged from reference"
+    return {
+        "op": "rank_regret_sampled",
+        "dataset": "dot",
+        "n": n,
+        "d": d,
+        "k": None,
+        "num_functions": m,
+        "median_s": new_s,
+        "baseline_median_s": base_s,
+        "speedup": base_s / new_s,
+    }
+
+
+def _previous_bench(output: Path) -> tuple[Path, dict] | None:
+    """The newest committed BENCH_PR*.json other than ``output``."""
+    candidates = []
+    for path in REPO_ROOT.glob("BENCH_PR*.json"):
+        if path.resolve() == output.resolve():
+            continue
+        match = re.search(r"BENCH_PR(\d+)", path.name)
+        if match:
+            candidates.append((int(match.group(1)), path))
+    if not candidates:
+        return None
+    _, newest = max(candidates)
+    return newest, json.loads(newest.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--quick", action="store_true", help="~4x smaller workloads")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / BENCH_NAME)
+    args = parser.parse_args(argv)
+
+    ops = [
+        _bench_mdrc(args.repeats, args.quick),
+        _bench_ksetr(args.repeats, args.quick),
+        _bench_rank_regret_sampled(args.repeats, args.quick),
+    ]
+
+    print(f"{'op':<22}{'n':>8}{'d':>3}  {'baseline':>10}  {'engine':>10}  {'speedup':>8}")
+    for row in ops:
+        print(
+            f"{row['op']:<22}{row['n']:>8}{row['d']:>3}"
+            f"  {row['baseline_median_s']:>9.3f}s  {row['median_s']:>9.3f}s"
+            f"  {row['speedup']:>7.1f}x"
+        )
+
+    report = {
+        "schema": 1,
+        "bench": BENCH_NAME.removesuffix(".json"),
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "ops": ops,
+    }
+
+    failures = []
+    previous = _previous_bench(args.output)
+    if previous is not None:
+        prev_path, prev = previous
+        prev_ops = {row["op"]: row for row in prev.get("ops", [])}
+        if prev.get("quick"):
+            print(f"\nprevious {prev_path.name} was a --quick run; gate skipped")
+        else:
+            for row in ops:
+                old = prev_ops.get(row["op"])
+                if old is None or args.quick:
+                    continue
+                if row["median_s"] > REGRESSION_SLACK * old["median_s"]:
+                    failures.append(
+                        f"{row['op']}: {row['median_s']:.3f}s vs "
+                        f"{old['median_s']:.3f}s in {prev_path.name} "
+                        f"(>{(REGRESSION_SLACK - 1) * 100:.0f}% regression)"
+                    )
+            print(f"\ngate vs {prev_path.name}: " + ("FAIL" if failures else "ok"))
+
+    if not args.quick:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    for failure in failures:
+        print("REGRESSION:", failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from repro.core import (
     resolve_k,
     two_d_rrr,
 )
+from repro.engine import BitsetTable, ScoreEngine
 from repro.datasets import (
     Dataset,
     anticorrelated,
@@ -112,6 +113,9 @@ __all__ = [
     "synthetic_bluenile",
     "save_csv",
     "load_csv",
+    # engine
+    "ScoreEngine",
+    "BitsetTable",
     # ranking / geometry
     "LinearFunction",
     "sample_functions",

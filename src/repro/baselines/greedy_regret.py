@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine import ScoreEngine
 from repro.exceptions import ValidationError
 from repro.ranking.sampling import sample_functions
 
@@ -40,7 +41,7 @@ def greedy_regret(
         raise ValidationError("num_functions must be >= 1")
 
     weights = sample_functions(d, num_functions, rng)
-    score_matrix = matrix @ weights.T  # (n, m)
+    score_matrix = ScoreEngine(matrix).score_batch(weights)  # (n, m), chunked
     best_scores = score_matrix.max(axis=0)  # per function
     safe_best = np.where(best_scores > 0, best_scores, 1.0)
 

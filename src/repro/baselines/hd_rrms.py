@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import ScoreEngine
 from repro.exceptions import ValidationError
 from repro.ranking.sampling import grid_functions, sample_functions
 from repro.setcover.hitting_set import greedy_hitting_set
@@ -56,11 +57,11 @@ def _threshold_sets(
 ) -> list[frozenset[int]]:
     """Per function, the tuples scoring within (1 − ε) of the maximum."""
     cutoffs = score_matrix.max(axis=0) * (1.0 - epsilon)
-    sets: list[frozenset[int]] = []
-    for column in range(score_matrix.shape[1]):
-        members = np.flatnonzero(score_matrix[:, column] >= cutoffs[column])
-        sets.append(frozenset(int(i) for i in members))
-    return sets
+    qualifies = score_matrix >= cutoffs[None, :]  # one vectorized pass
+    return [
+        frozenset(int(i) for i in np.flatnonzero(qualifies[:, column]))
+        for column in range(score_matrix.shape[1])
+    ]
 
 
 def hd_rrms(
@@ -122,7 +123,10 @@ def hd_rrms(
         weights = sample_functions(d, num_functions, rng)
     else:
         raise ValidationError(f"unknown discretization {discretization!r}")
-    score_matrix = matrix @ weights.T  # (n, m)
+    # Chunked GEMM through the shared engine bounds the BLAS working set;
+    # the (n, m) score matrix itself is still materialized, as the
+    # hitting-set passes below need every column.
+    score_matrix = ScoreEngine(matrix).score_batch(weights)
 
     best: list[int] | None = None
     best_eps = 1.0

@@ -16,8 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import BitsetTable, ScoreEngine
 from repro.exceptions import ValidationError
-from repro.ranking.topk import batch_top_k_sets
 from repro.setcover.hitting_set import exact_hitting_set, greedy_hitting_set
 
 __all__ = ["WorkloadRRRResult", "workload_rrr"]
@@ -91,7 +91,14 @@ def workload_rrr(
     k = int(k)
     if not 1 <= k <= matrix.shape[0]:
         raise ValidationError(f"k must be in [1, {matrix.shape[0]}], got {k}")
-    topk_sets = list(dict.fromkeys(batch_top_k_sets(matrix, weights, k)))
+    # One chunked GEMM for the whole workload; distinct top-k sets fall
+    # out of the packed-bitset table without any frozenset churn on the
+    # (typically much larger) duplicated remainder.
+    members = ScoreEngine(matrix).topk_batch(weights, k).members
+    table = BitsetTable(matrix.shape[0])
+    for row in members:
+        table.add(row)
+    topk_sets = table.frozensets()
     if solver == "greedy":
         chosen = greedy_hitting_set(topk_sets)
         exact = False

@@ -15,8 +15,23 @@ rank-regret was ≤ k throughout, and output sizes stayed below 40.
 
 Implementation notes beyond the pseudocode:
 
-* corner top-k computations are memoized — sibling cells share corners, so
-  caching roughly halves the work per level;
+* the recursion is processed as a **batched frontier**, level by level.
+  Per level: every unevaluated corner function is built in one
+  :func:`repro.ranking.functions.weights_from_angles_batch` call and
+  scored in one :meth:`repro.engine.ScoreEngine.topk_batch` call (a
+  single chunked GEMM), corner results are memoized in a byte-keyed
+  registry backed by growing packed-bitset/order buffers, and every
+  cell's corner intersection is one gather + ``bitwise_and`` reduction
+  over those buffers — no per-corner GEMV probes, no per-cell Python
+  ``frozenset`` churn.  Which cells resolve, split, or cap is
+  order-independent, so the output is identical to the original
+  depth-first formulation except when the global ``max_cells`` budget
+  fires mid-run (a pathological regime either way: the budget then tied
+  off a depth-first fringe before and ties off a breadth-first fringe
+  now, with the projected leaf count capped at ``max_cells`` so total
+  work stays bounded exactly as the seed's O(depth) stack bounded it);
+* corner top-k computations are memoized — sibling cells within and
+  across levels share corners, so caching roughly halves the work;
 * the common item assigned to a cell is chosen deterministically; two
   policies are exposed for the ablation bench (``first`` = paper's
   ``I[1]``, ``best-rank`` = smallest worst-case corner rank);
@@ -24,27 +39,26 @@ Implementation notes beyond the pseudocode:
   between top-k regions can refuse to intersect forever when k is very
   small relative to n: a per-cell depth cap (``max_depth``) and a global
   leaf budget (``max_cells``).  A cell resolved by either fallback
-  contributes its center function's top-1, preserving coverage at a rank
-  cost that vanishes with cell size; :attr:`MDRCResult.capped_cells`
+  contributes its center function's top-1 (all fallback centers of one
+  level are likewise evaluated in a single batch), preserving coverage at
+  a rank cost that vanishes with cell size; :attr:`MDRCResult.capped_cells`
   reports how often this happened (0 in ordinary runs).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import ScoreEngine, packed_width
 from repro.exceptions import ValidationError
-from repro.ranking.functions import weights_from_angles
-from repro.ranking.topk import top_k
+from repro.ranking.functions import weights_from_angles_batch
 
 __all__ = ["MDRCResult", "mdrc"]
 
 _HALF_PI = float(np.pi / 2)
-
-Cell = tuple[tuple[float, float], ...]
 
 
 @dataclass
@@ -64,7 +78,8 @@ class MDRCResult:
         (0 in ordinary runs; > 0 signals a pathological instance such as
         k = 1 with many incomparable maxima).
     corner_evaluations:
-        Distinct corner functions whose top-k was computed (cache misses).
+        Corner functions whose top-k was computed (cache misses when the
+        memo is on; every corner visit when it is off).
     """
 
     indices: list[int]
@@ -74,37 +89,38 @@ class MDRCResult:
     corner_evaluations: int = 0
 
 
-@dataclass
-class _State:
-    """Shared mutable state of one MDRC run."""
+class _CornerStore:
+    """Growing buffers of evaluated corners: packed top-k sets + orders.
 
-    matrix: np.ndarray
-    k: int
-    choice: str
-    use_cache: bool
-    selected: set[int] = field(default_factory=set)
-    evaluations: int = 0
-    _cache: dict[tuple[float, ...], tuple[frozenset[int], np.ndarray]] = field(
-        default_factory=dict
-    )
+    Rows are addressed by the dense ids the byte-keyed registry hands
+    out, so a whole level's cell×corner id matrix can be resolved with
+    one fancy-index gather per buffer.
+    """
 
-    def corner_top_k(self, angles: tuple[float, ...]) -> tuple[frozenset[int], np.ndarray]:
-        """Top-k member set and ordered index array of a corner function."""
-        if self.use_cache and angles in self._cache:
-            return self._cache[angles]
-        weights = weights_from_angles(np.asarray(angles))
-        ordered = top_k(self.matrix, weights, self.k)
-        entry = (frozenset(int(i) for i in ordered), ordered)
-        if self.use_cache:
-            self._cache[angles] = entry
-        self.evaluations += 1
-        return entry
+    def __init__(self, width: int, k: int) -> None:
+        self._packed = np.empty((64, width), dtype=np.uint8)
+        self._orders = np.empty((64, k), dtype=np.int64)
+        self.count = 0
 
-    def center_top1(self, cell: Cell) -> int:
-        """Fallback representative: the top-1 of the cell's center function."""
-        center = tuple((lo + hi) / 2.0 for lo, hi in cell)
-        weights = weights_from_angles(np.asarray(center))
-        return int(top_k(self.matrix, weights, 1)[0])
+    def append(self, packed_rows: np.ndarray, order_rows: np.ndarray) -> None:
+        need = self.count + packed_rows.shape[0]
+        if need > self._packed.shape[0]:
+            capacity = self._packed.shape[0]
+            while capacity < need:
+                capacity *= 2
+            self._packed = np.resize(self._packed, (capacity, self._packed.shape[1]))
+            self._orders = np.resize(self._orders, (capacity, self._orders.shape[1]))
+        self._packed[self.count : need] = packed_rows
+        self._orders[self.count : need] = order_rows
+        self.count = need
+
+    @property
+    def packed(self) -> np.ndarray:
+        return self._packed[: self.count]
+
+    @property
+    def orders(self) -> np.ndarray:
+        return self._orders[: self.count]
 
 
 def mdrc(
@@ -114,8 +130,9 @@ def mdrc(
     max_cells: int = 10_000,
     choice: str = "first",
     use_cache: bool = True,
+    engine: ScoreEngine | None = None,
 ) -> MDRCResult:
-    """MDRC (Algorithm 5): recursive function-space partitioning.
+    """MDRC (Algorithm 5): frontier-batched function-space partitioning.
 
     Parameters
     ----------
@@ -127,7 +144,7 @@ def mdrc(
     max_depth:
         Per-cell recursion cap.
     max_cells:
-        Global leaf-cell budget; once exceeded, every remaining queued
+        Global leaf-cell budget; once exceeded, every remaining frontier
         cell resolves via the center-top-1 fallback.
     choice:
         How to pick from a non-empty corner intersection: ``"first"``
@@ -135,6 +152,10 @@ def mdrc(
         (the item with the smallest worst-case rank over the corners).
     use_cache:
         Memoize corner top-k computations (ablation toggle).
+    engine:
+        Optional pre-built :class:`~repro.engine.ScoreEngine` over
+        ``values`` to share its GEMM chunking and memo across calls;
+        built on the fly when omitted.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -151,59 +172,199 @@ def mdrc(
         raise ValidationError("max_cells must be >= 1")
     if choice not in ("first", "best-rank"):
         raise ValidationError(f"unknown choice policy {choice!r}")
+    if engine is None:
+        engine = ScoreEngine(matrix)
+    elif engine.values.shape != matrix.shape or not np.array_equal(
+        engine.values, matrix
+    ):
+        raise ValidationError("engine was built over a different matrix")
 
-    state = _State(matrix, k, choice, use_cache)
     result = MDRCResult(indices=[])
-    root: Cell = tuple((0.0, _HALF_PI) for _ in range(d - 1))
-    # Depth-first stack keeps sibling corners hot in the memo cache.
-    stack: list[tuple[Cell, int]] = [(root, 0)]
-    while stack:
-        cell, level = stack.pop()
+    selected: set[int] = set()
+    corners_per_cell = 1 << (d - 1)
+    registry: dict[bytes, int] = {}
+    store = _CornerStore(packed_width(n), k)
+    # Corner patterns in itertools.product(*cell) order: axis 0 is the
+    # most significant bit, low endpoint first.
+    patterns = np.array(
+        list(itertools.product((False, True), repeat=d - 1)), dtype=bool
+    )
+    # The frontier is a pair of (E, d-1) bound arrays; every frontier
+    # cell sits at the same level (breadth-first by construction).
+    los = np.zeros((1, d - 1), dtype=np.float64)
+    his = np.full((1, d - 1), _HALF_PI, dtype=np.float64)
+    level = 0
+
+    while los.shape[0]:
+        num_cells = los.shape[0]
         result.max_depth_reached = max(result.max_depth_reached, level)
-        budget_exhausted = result.cells >= max_cells
-        if not budget_exhausted:
-            corners = list(itertools.product(*cell))
-            corner_data = [state.corner_top_k(corner) for corner in corners]
-            common = frozenset.intersection(*(members for members, _ in corner_data))
-            if common:
-                state.selected.add(_pick(common, corner_data, state.choice))
-                result.cells += 1
-                continue
+
+        # ---- Phase A: build every corner of the frontier in one
+        # broadcast, then batch-evaluate the registry misses.
+        corner_rows = np.where(patterns[None, :, :], his[:, None, :], los[:, None, :])
+        corner_rows = np.ascontiguousarray(
+            corner_rows.reshape(num_cells * corners_per_cell, d - 1)
+        )
+        if use_cache:
+            # Vectorized within-level dedup first (sibling cells share
+            # faces), then a byte-keyed registry lookup per *unique*
+            # corner for the cross-level memo (the angle floats are exact
+            # box midpoints, so byte equality is exact corner equality).
+            void_keys = corner_rows.view(
+                np.dtype((np.void, corner_rows.dtype.itemsize * (d - 1)))
+            ).ravel()
+            uniq_keys, first_rows, inverse = np.unique(
+                void_keys, return_index=True, return_inverse=True
+            )
+            uniq_ids = np.empty(len(uniq_keys), dtype=np.intp)
+            next_id = store.count
+            pending: list[int] = []
+            for u in range(len(uniq_keys)):
+                key = uniq_keys[u].tobytes()
+                gid = registry.get(key)
+                if gid is None:
+                    gid = next_id
+                    next_id += 1
+                    registry[key] = gid
+                    pending.append(u)
+                uniq_ids[u] = gid
+            ids = uniq_ids[inverse]
+            pending_rows = first_rows[pending]
+        else:
+            # Ablation mode mirrors the uncached recursion: every corner
+            # visit is a fresh evaluation (duplicates included), but they
+            # are still batched through one GEMM.
+            pending_rows = np.arange(len(corner_rows))
+            ids = store.count + pending_rows
+        if pending_rows.size:
+            weights = weights_from_angles_batch(corner_rows[pending_rows])
+            batch = engine.topk_batch(weights, k)
+            store.append(batch.members, batch.order)
+            result.corner_evaluations += len(pending_rows)
+
+        # ---- Phase B: intersect every cell's corner sets in one gather
+        # + AND reduction over the packed buffers.
+        id_matrix = ids.reshape(num_cells, corners_per_cell)
+        common = np.bitwise_and.reduce(store.packed[id_matrix], axis=1)
+        has_common = common.any(axis=1)
+        resolved_count = int(has_common.sum())
+        split_axis = level % (d - 1)
+
+        fallback_mask = np.zeros(num_cells, dtype=bool)
+        split_mask = np.zeros(num_cells, dtype=bool)
+        # Worst-case leaves if every non-resolving cell splits: current
+        # leaves + this level's resolutions + a deliberately conservative
+        # 3 per non-resolving cell (two children plus one slot of margin;
+        # 2 would suffice, the overestimate only routes borderline levels
+        # to the sequential path below).  Under the budget, the
+        # sequential pass would allow every one of those splits too, so
+        # the vectorized fast path is exactly equivalent.
+        projected_worst = (
+            result.cells + resolved_count + 3 * (num_cells - resolved_count)
+        )
+        if projected_worst <= max_cells:
+            resolved = np.flatnonzero(has_common)
+            if resolved.size:
+                _pick_batch(
+                    common[resolved], id_matrix[resolved], store, choice, selected
+                )
+                result.cells += resolved.size
             if level < max_depth:
-                axis = level % len(cell)
-                lo, hi = cell[axis]
-                mid = (lo + hi) / 2.0
-                left = cell[:axis] + ((lo, mid),) + cell[axis + 1:]
-                right = cell[:axis] + ((mid, hi),) + cell[axis + 1:]
-                stack.append((right, level + 1))
-                stack.append((left, level + 1))
-                continue
-        # Fallback: depth cap reached or global budget exhausted.
-        state.selected.add(state.center_top1(cell))
-        result.cells += 1
-        result.capped_cells += 1
-    result.indices = sorted(state.selected)
-    result.corner_evaluations = state.evaluations
+                split_mask = ~has_common
+            else:
+                fallback_mask = ~has_common
+                count = int(fallback_mask.sum())
+                result.cells += count
+                result.capped_cells += count
+        else:
+            # Budget-risk path: sequential, with the projected leaf count
+            # capped at max_cells so total work stays bounded.
+            queued_children = 0
+            for position in range(num_cells):
+                if result.cells < max_cells:
+                    if has_common[position]:
+                        _pick_batch(
+                            common[position : position + 1],
+                            id_matrix[position : position + 1],
+                            store,
+                            choice,
+                            selected,
+                        )
+                        result.cells += 1
+                        continue
+                    projected = (
+                        result.cells
+                        + queued_children
+                        + 2
+                        + (num_cells - position - 1)
+                    )
+                    if level < max_depth and projected <= max_cells:
+                        split_mask[position] = True
+                        queued_children += 2
+                        continue
+                fallback_mask[position] = True
+                result.cells += 1
+                result.capped_cells += 1
+
+        # ---- Phase C: all fallback centers of this level in one batch.
+        if fallback_mask.any():
+            centers = (los[fallback_mask] + his[fallback_mask]) / 2.0
+            top1 = engine.topk_batch(weights_from_angles_batch(centers), 1).order
+            selected.update(int(i) for i in top1[:, 0])
+
+        # ---- Split the surviving cells along this level's axis, left
+        # child before right child (matching the sequential order).
+        if split_mask.any():
+            parent_los = los[split_mask]
+            parent_his = his[split_mask]
+            mids = (parent_los[:, split_axis] + parent_his[:, split_axis]) / 2.0
+            los = np.repeat(parent_los, 2, axis=0)
+            his = np.repeat(parent_his, 2, axis=0)
+            his[0::2, split_axis] = mids  # left child: [lo, mid]
+            los[1::2, split_axis] = mids  # right child: [mid, hi]
+        else:
+            los = np.empty((0, d - 1))
+            his = np.empty((0, d - 1))
+        level += 1
+
+        if not use_cache:
+            registry.clear()
+            store = _CornerStore(packed_width(n), k)
+
+    result.indices = sorted(selected)
     return result
 
 
-def _pick(
-    common: frozenset[int],
-    corner_data: list[tuple[frozenset[int], np.ndarray]],
+def _pick_batch(
+    common: np.ndarray,
+    id_matrix: np.ndarray,
+    store: _CornerStore,
     choice: str,
-) -> int:
-    """Select the representative item for a resolved cell."""
+    selected: set[int],
+) -> None:
+    """Add each resolved cell's representative to ``selected``.
+
+    ``common`` holds one packed intersection bitmap per resolved cell.
+    The ``"first"`` policy (the default and the paper's ``I[1]``) is one
+    vectorized unpack + argmax; ``"best-rank"`` scans candidate positions
+    in the stored corner orders per cell.
+    """
     if choice == "first":
-        return min(common)
-    # "best-rank": minimize the worst 0-based position across corners.
-    best_item = -1
-    best_worst = None
-    for item in sorted(common):
-        worst = 0
-        for _, ordered in corner_data:
-            position = int(np.flatnonzero(ordered == item)[0])
-            worst = max(worst, position)
-        if best_worst is None or worst < best_worst:
-            best_worst = worst
-            best_item = item
-    return best_item
+        bits = np.unpackbits(common, axis=1)
+        selected.update(int(i) for i in np.argmax(bits, axis=1))
+        return
+    n_bits = common.shape[1] * 8
+    for row in range(common.shape[0]):
+        members = np.flatnonzero(np.unpackbits(common[row], count=n_bits))
+        orders = store.orders[id_matrix[row]]  # (corners, k)
+        best_item = -1
+        best_worst = None
+        for item in members:
+            worst = 0
+            for ordered in orders:
+                position = int(np.flatnonzero(ordered == item)[0])
+                worst = max(worst, position)
+            if best_worst is None or worst < best_worst:
+                best_worst = worst
+                best_item = int(item)
+        selected.add(best_item)

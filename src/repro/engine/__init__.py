@@ -1,0 +1,46 @@
+"""repro.engine — the vectorized batch-scoring subsystem.
+
+One :class:`ScoreEngine` per data matrix answers every top-k / scoring
+question the algorithms ask, batched: a single chunked GEMM plus one
+``argpartition`` over all query functions replaces per-function GEMV
+probes, and packed bitsets (:mod:`repro.engine.bitset`) replace Python
+``frozenset`` churn for k-set dedup and intersection.
+
+Consumers (all refactored onto this engine):
+
+* :func:`repro.core.mdrc` — frontier-batched corner evaluation;
+* :func:`repro.geometry.ksets.sample_ksets` — K-SETr with bitset dedup;
+* :func:`repro.ranking.topk.batch_top_k_sets` and
+  :func:`repro.core.workload_rrr` — workload scoring;
+* :func:`repro.evaluation.regret.rank_regret_sampled` — batched,
+  ulp-verified rank counting;
+* the :mod:`repro.baselines` regret-ratio algorithms — shared chunked
+  scoring.
+
+:mod:`repro.engine.reference` keeps the frozen pre-engine
+implementations that the equivalence tests and the perf-regression gate
+(``benchmarks/perf_gate.py``) compare against.
+"""
+
+from repro.engine.bitset import (
+    BitsetTable,
+    intersect_all,
+    pack_indices,
+    pack_membership,
+    packed_width,
+    popcount,
+    unpack_indices,
+)
+from repro.engine.score_engine import ScoreEngine, TopKBatch
+
+__all__ = [
+    "ScoreEngine",
+    "TopKBatch",
+    "BitsetTable",
+    "pack_indices",
+    "pack_membership",
+    "unpack_indices",
+    "packed_width",
+    "popcount",
+    "intersect_all",
+]

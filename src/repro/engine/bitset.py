@@ -1,0 +1,132 @@
+"""Packed-bitset representation of tuple subsets (k-sets, top-k members).
+
+Every set of row indices over an ``n``-row dataset is stored as a
+``ceil(n / 8)``-byte ``uint8`` bitmap (``np.packbits`` layout, big-endian
+bit order within each byte).  Compared to Python ``frozenset`` objects
+this makes the three operations the algorithms hammer —
+
+* *dedup* (K-SETr's "have we seen this k-set?" test, the workload-RRR
+  distinct-top-k pass),
+* *intersection* (MDRC's corner-set intersection per cell),
+* *cardinality* (k-set graph adjacency, |A ∩ B| = k − 1),
+
+— plain vectorized byte ops: a ``bytes`` hash, ``np.bitwise_and`` and a
+popcount table, with no per-element Python object churn.
+
+:class:`BitsetTable` is the dedup structure shared by the engine callers:
+an insertion-ordered table of distinct packed sets addressed by their
+byte content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "packed_width",
+    "pack_indices",
+    "pack_membership",
+    "unpack_indices",
+    "intersect_all",
+    "popcount",
+    "BitsetTable",
+]
+
+# popcount of every byte value, used to take |set| without unpacking.
+_POPCOUNT = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+    axis=1, dtype=np.uint8
+)
+
+
+def packed_width(n: int) -> int:
+    """Bytes needed to store a subset of ``n`` rows."""
+    return (int(n) + 7) // 8
+
+
+def pack_indices(indices: np.ndarray, n: int) -> np.ndarray:
+    """Pack a 1-D array of row indices into an ``(packed_width(n),)`` bitmap."""
+    mask = np.zeros(n, dtype=np.uint8)
+    mask[np.asarray(indices, dtype=np.intp)] = 1
+    return np.packbits(mask)
+
+
+def pack_membership(index_matrix: np.ndarray, n: int) -> np.ndarray:
+    """Pack many subsets at once: ``(m, k)`` index rows → ``(m, w)`` bitmaps."""
+    index_matrix = np.asarray(index_matrix)
+    m = index_matrix.shape[0]
+    mask = np.zeros((m, n), dtype=np.uint8)
+    mask[np.arange(m)[:, None], index_matrix] = 1
+    return np.packbits(mask, axis=1)
+
+
+def unpack_indices(packed: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_indices`: the sorted member indices."""
+    bits = np.unpackbits(np.asarray(packed, dtype=np.uint8), count=n)
+    return np.flatnonzero(bits)
+
+
+def intersect_all(packed_rows: np.ndarray) -> np.ndarray:
+    """Intersection of many packed sets: AND-reduce over the rows."""
+    return np.bitwise_and.reduce(np.asarray(packed_rows, dtype=np.uint8), axis=0)
+
+
+def popcount(packed: np.ndarray) -> int | np.ndarray:
+    """Cardinality of one packed set (1-D) or of each row (2-D)."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    counts = _POPCOUNT[packed]
+    if packed.ndim == 1:
+        return int(counts.sum())
+    return counts.sum(axis=1, dtype=np.int64)
+
+
+class BitsetTable:
+    """Insertion-ordered table of distinct packed sets.
+
+    Deduplicates on raw byte content (two packed sets are equal iff their
+    bitmaps are byte-identical), which is exact because packing is
+    canonical.  This is the structure K-SETr and workload-RRR use instead
+    of a ``set[frozenset[int]]``.
+    """
+
+    __slots__ = ("n", "_ids", "_rows")
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+        self._ids: dict[bytes, int] = {}
+        self._rows: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, packed: np.ndarray) -> bool:
+        return packed.tobytes() in self._ids
+
+    def add(self, packed: np.ndarray) -> tuple[int, bool]:
+        """Insert a packed set; return ``(id, is_new)``.
+
+        ``id`` is the set's position in insertion order, stable across
+        repeat insertions.
+        """
+        key = packed.tobytes()
+        existing = self._ids.get(key)
+        if existing is not None:
+            return existing, False
+        new_id = len(self._rows)
+        self._ids[key] = new_id
+        self._rows.append(np.array(packed, dtype=np.uint8, copy=True))
+        return new_id, True
+
+    def row(self, set_id: int) -> np.ndarray:
+        """The packed bitmap stored under ``set_id``."""
+        return self._rows[set_id]
+
+    def indices(self, set_id: int) -> np.ndarray:
+        """Member indices of the set stored under ``set_id``."""
+        return unpack_indices(self._rows[set_id], self.n)
+
+    def frozensets(self) -> list[frozenset[int]]:
+        """All stored sets as frozensets, in insertion order."""
+        return [
+            frozenset(int(i) for i in unpack_indices(row, self.n))
+            for row in self._rows
+        ]

@@ -1,0 +1,260 @@
+"""Frozen pre-engine reference implementations.
+
+These are the seed repository's scalar/per-column hot paths, captured
+verbatim (modulo trimming) before they were refactored onto
+:class:`repro.engine.ScoreEngine`.  They exist for two consumers:
+
+* the equivalence test suite (``tests/engine/``), which asserts the
+  batched engine reproduces these semantics bit-for-bit on seeded
+  instance grids;
+* ``benchmarks/perf_gate.py``, which times them to produce the
+  ``baseline_median_s`` column of the committed ``BENCH_*.json`` files —
+  the denominator of every speedup claim.
+
+Do not "improve" this module: its value is that it stays identical to
+the seed behavior.  New code belongs in :mod:`repro.engine.score_engine`
+or the algorithm modules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ranking.functions import weights_from_angles
+from repro.ranking.sampling import sample_functions
+
+__all__ = [
+    "reference_top_k",
+    "reference_batch_top_k_sets",
+    "reference_sample_ksets",
+    "reference_mdrc",
+    "reference_rank_regret_sampled",
+    "reference_kset_graph_edges",
+]
+
+_HALF_PI = float(np.pi / 2)
+
+
+def reference_top_k(values: np.ndarray, weights: np.ndarray, k: int) -> np.ndarray:
+    """Seed ``repro.ranking.topk.top_k``: one GEMV + partition + lexsort."""
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    n = values.shape[0]
+    score = values @ weights
+    if k >= n:
+        candidates = np.arange(n)
+    else:
+        kth = np.partition(score, n - k)[n - k]
+        candidates = np.flatnonzero(score >= kth)
+    order = np.lexsort((candidates, -score[candidates]))
+    return candidates[order[:k]]
+
+
+def reference_batch_top_k_sets(
+    values: np.ndarray, weight_matrix: np.ndarray, k: int
+) -> list[frozenset[int]]:
+    """Seed ``batch_top_k_sets``: one GEMM, per-column Python loop."""
+    values = np.asarray(values, dtype=np.float64)
+    weight_matrix = np.asarray(weight_matrix, dtype=np.float64)
+    n = values.shape[0]
+    all_scores = values @ weight_matrix.T
+    results: list[frozenset[int]] = []
+    index_key = np.arange(n)
+    for column in range(all_scores.shape[1]):
+        score = all_scores[:, column]
+        if k >= n:
+            candidates = index_key
+        else:
+            kth = np.partition(score, n - k)[n - k]
+            candidates = np.flatnonzero(score >= kth)
+        order = np.lexsort((candidates, -score[candidates]))
+        results.append(frozenset(int(i) for i in candidates[order[:k]]))
+    return results
+
+
+@dataclass
+class ReferenceKSetResult:
+    """Mirror of :class:`repro.geometry.ksets.KSetSampleResult`."""
+
+    ksets: list[frozenset[int]]
+    functions: list[np.ndarray] = field(default_factory=list)
+    draws: int = 0
+    exhausted: bool = False
+
+
+def reference_sample_ksets(
+    values: np.ndarray,
+    k: int,
+    patience: int = 100,
+    rng: int | np.random.Generator | None = None,
+    max_draws: int = 1_000_000,
+    batch_size: int = 256,
+) -> ReferenceKSetResult:
+    """Seed K-SETr: per-draw frozenset construction and set-of-frozenset dedup."""
+    matrix = np.asarray(values, dtype=np.float64)
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    n = matrix.shape[0]
+    result = ReferenceKSetResult(ksets=[])
+    seen: set[frozenset[int]] = set()
+    misses = 0
+    index_key = np.arange(n)
+    while result.draws < max_draws:
+        batch = min(batch_size, max_draws - result.draws)
+        weights = sample_functions(matrix.shape[1], batch, generator)
+        score_matrix = matrix @ weights.T
+        done = False
+        for column in range(batch):
+            score = score_matrix[:, column]
+            result.draws += 1
+            if k >= n:
+                members = index_key
+            else:
+                kth = np.partition(score, n - k)[n - k]
+                candidates = np.flatnonzero(score >= kth)
+                order = np.lexsort((candidates, -score[candidates]))
+                members = candidates[order[:k]]
+            kset = frozenset(int(i) for i in members)
+            if kset in seen:
+                misses += 1
+                if misses >= patience:
+                    done = True
+                    break
+            else:
+                seen.add(kset)
+                result.ksets.append(kset)
+                result.functions.append(weights[column])
+                misses = 0
+        if done:
+            return result
+    result.exhausted = True
+    return result
+
+
+@dataclass
+class _ReferenceMDRCState:
+    matrix: np.ndarray
+    k: int
+    choice: str
+    use_cache: bool
+    selected: set[int] = field(default_factory=set)
+    evaluations: int = 0
+    _cache: dict[tuple[float, ...], tuple[frozenset[int], np.ndarray]] = field(
+        default_factory=dict
+    )
+
+    def corner_top_k(self, angles: tuple[float, ...]) -> tuple[frozenset[int], np.ndarray]:
+        if self.use_cache and angles in self._cache:
+            return self._cache[angles]
+        weights = weights_from_angles(np.asarray(angles))
+        ordered = reference_top_k(self.matrix, weights, self.k)
+        entry = (frozenset(int(i) for i in ordered), ordered)
+        if self.use_cache:
+            self._cache[angles] = entry
+        self.evaluations += 1
+        return entry
+
+    def center_top1(self, cell: tuple[tuple[float, float], ...]) -> int:
+        center = tuple((lo + hi) / 2.0 for lo, hi in cell)
+        weights = weights_from_angles(np.asarray(center))
+        return int(reference_top_k(self.matrix, weights, 1)[0])
+
+
+@dataclass
+class ReferenceMDRCResult:
+    """Mirror of :class:`repro.core.mdrc.MDRCResult`."""
+
+    indices: list[int]
+    cells: int = 0
+    max_depth_reached: int = 0
+    capped_cells: int = 0
+    corner_evaluations: int = 0
+
+
+def _reference_pick(common, corner_data, choice):
+    if choice == "first":
+        return min(common)
+    best_item = -1
+    best_worst = None
+    for item in sorted(common):
+        worst = 0
+        for _, ordered in corner_data:
+            position = int(np.flatnonzero(ordered == item)[0])
+            worst = max(worst, position)
+        if best_worst is None or worst < best_worst:
+            best_worst = worst
+            best_item = item
+    return best_item
+
+
+def reference_mdrc(
+    values: np.ndarray,
+    k: int,
+    max_depth: int = 48,
+    max_cells: int = 10_000,
+    choice: str = "first",
+    use_cache: bool = True,
+) -> ReferenceMDRCResult:
+    """Seed MDRC: depth-first recursion, one scalar top-k probe per corner."""
+    matrix = np.asarray(values, dtype=np.float64)
+    d = matrix.shape[1]
+    state = _ReferenceMDRCState(matrix, int(k), choice, use_cache)
+    result = ReferenceMDRCResult(indices=[])
+    root = tuple((0.0, _HALF_PI) for _ in range(d - 1))
+    stack = [(root, 0)]
+    while stack:
+        cell, level = stack.pop()
+        result.max_depth_reached = max(result.max_depth_reached, level)
+        budget_exhausted = result.cells >= max_cells
+        if not budget_exhausted:
+            corners = list(itertools.product(*cell))
+            corner_data = [state.corner_top_k(corner) for corner in corners]
+            common = frozenset.intersection(*(members for members, _ in corner_data))
+            if common:
+                state.selected.add(_reference_pick(common, corner_data, state.choice))
+                result.cells += 1
+                continue
+            if level < max_depth:
+                axis = level % len(cell)
+                lo, hi = cell[axis]
+                mid = (lo + hi) / 2.0
+                left = cell[:axis] + ((lo, mid),) + cell[axis + 1 :]
+                right = cell[:axis] + ((mid, hi),) + cell[axis + 1 :]
+                stack.append((right, level + 1))
+                stack.append((left, level + 1))
+                continue
+        state.selected.add(state.center_top1(cell))
+        result.cells += 1
+        result.capped_cells += 1
+    result.indices = sorted(state.selected)
+    result.corner_evaluations = state.evaluations
+    return result
+
+
+def reference_rank_regret_sampled(
+    values: np.ndarray,
+    subset,
+    num_functions: int = 10_000,
+    rng: int | np.random.Generator | None = None,
+) -> int:
+    """Seed Monte-Carlo rank-regret: unchunked GEMM, strict > counting."""
+    matrix = np.asarray(values, dtype=np.float64)
+    members = sorted({int(i) for i in subset})
+    weights = sample_functions(matrix.shape[1], num_functions, rng)
+    score_matrix = matrix @ weights.T
+    subset_best = score_matrix[members].max(axis=0)
+    better = (score_matrix > subset_best[None, :]).sum(axis=0)
+    return int(better.max()) + 1
+
+
+def reference_kset_graph_edges(ksets: list[frozenset[int]]) -> list[tuple[int, int]]:
+    """Seed k-set graph: O(m²) pairwise frozenset intersections."""
+    edges: list[tuple[int, int]] = []
+    for i in range(len(ksets)):
+        for j in range(i + 1, len(ksets)):
+            k = len(ksets[i])
+            if len(ksets[i] & ksets[j]) == k - 1:
+                edges.append((i, j))
+    return edges

@@ -1,0 +1,613 @@
+"""ScoreEngine: batched top-k scoring over one owned data matrix.
+
+Every algorithm in this reproduction — MDRC corner probes, K-SETr draws,
+the Monte-Carlo rank-regret estimator, workload RRR, the regret-ratio
+baselines — bottoms out in ``values @ weights`` top-k probes.  Issued one
+weight vector at a time those probes pay per-call numpy overhead and run
+BLAS level-2; issued as a *batch* they become a single chunked GEMM plus
+one ``argpartition`` over all columns at once.  :class:`ScoreEngine` owns
+the ``(n, d)`` matrix and serves that batched path to every caller:
+
+* :meth:`topk_batch` — top-k of many functions in one call, returning
+  both an ``(m, k)`` best-first index matrix and the members as packed
+  bitsets (:mod:`repro.engine.bitset`) so set dedup/intersection are
+  byte ops;
+* :meth:`top_k` / :meth:`top_k_packed` — single-function probes behind
+  an LRU memo keyed on the weight bytes (MDRC's shared cell corners,
+  repeated workload functions);
+* :meth:`rank_of_best_batch` — the rank-regret estimator's inner
+  counting loop, batched and ulp-verified.
+
+Exactness
+---------
+Tie-breaking follows the library-wide rule (score descending, row index
+ascending), and the contract is *bit-identical results to the scalar*
+``top_k``/``rank_of`` *path*.  The fast path trusts the GEMM scores; any
+column with a contested decision — ties or near-ties within an ulp band
+at the k boundary or between adjacent ranked scores, which blocked BLAS
+kernels can produce even for identical rows — falls back to the scalar
+algorithm verbatim (one float64 GEMV plus the seed's over-select /
+lexsort), so contested columns match the scalar path by construction and
+uncontested columns match it because their gaps exceed any GEMM↔GEMV
+deviation.  With ``float32=True`` scoring runs in single precision (≈2×
+GEMM throughput, half the memory traffic), block ordering is recomputed
+in float64, and the same fallback applies with a float32-wide band.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.engine.bitset import pack_membership, packed_width
+from repro.exceptions import ValidationError
+
+__all__ = ["ScoreEngine", "TopKBatch"]
+
+# Width of the ulp band (in units of eps * max|score| per column) inside
+# which GEMM scores are treated as potentially tied and re-verified.
+_TIE_BAND_ULPS = 64.0
+
+
+class _Ordering:
+    """One pruning order over the data rows (see _build_orderings).
+
+    ``perm`` maps prefix-local positions to global row ids; ``V`` is the
+    matrix reordered accordingly; every row at position ≥ p scores at
+    most ``a(w)·u[p] + b(w)·v[p]`` for the ordering's coefficients.
+    """
+
+    __slots__ = ("perm", "V", "V32", "u", "v", "attribute")
+
+    def __init__(self, perm, V, V32, u, v, attribute) -> None:
+        self.perm = perm
+        self.V = V
+        self.V32 = V32
+        self.u = u
+        self.v = v
+        self.attribute = attribute
+
+
+def _geometric_grid(k: int, n: int) -> np.ndarray:
+    """Doubling prefix sizes between ~2k and n (exclusive)."""
+    sizes = []
+    c = max(2 * k, 32)
+    while c < n:
+        sizes.append(c)
+        c *= 2
+    return np.asarray(sizes, dtype=np.int64)
+
+
+class TopKBatch(NamedTuple):
+    """Result of :meth:`ScoreEngine.topk_batch`.
+
+    Attributes
+    ----------
+    members:
+        ``(m, packed_width(n))`` uint8 — row ``i`` is the packed bitset of
+        function ``i``'s top-k members (see :mod:`repro.engine.bitset`).
+    order:
+        ``(m, k)`` int64 — row ``i`` lists function ``i``'s top-k indices
+        best first, ties broken by smaller row index.
+    """
+
+    members: np.ndarray
+    order: np.ndarray
+
+
+class ScoreEngine:
+    """Vectorized batch-scoring engine over one ``(n, d)`` matrix.
+
+    Parameters
+    ----------
+    values:
+        The data matrix; copied to a C-contiguous float64 array once.
+    float32:
+        Score in single precision with float64 tie/order verification
+        (see module docstring).  Off by default.
+    chunk_bytes:
+        Target size of one score chunk; the weight batch is processed in
+        column chunks of ``chunk_bytes / (8n)`` so peak memory stays flat
+        regardless of how many functions a caller throws at one call.
+    memo_size:
+        Capacity of the single-function LRU memo (entries, not bytes).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        float32: bool = False,
+        chunk_bytes: int = 1 << 26,
+        memo_size: int = 4096,
+    ) -> None:
+        matrix = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ValidationError("values must be a non-empty (n, d) matrix")
+        if not np.all(np.isfinite(matrix)):
+            raise ValidationError("values must be finite")
+        self.values = matrix
+        self.n, self.d = matrix.shape
+        self.float32 = bool(float32)
+        self._values32 = matrix.astype(np.float32) if self.float32 else None
+        # Pruning orderings: candidate row orders with per-position upper
+        # bounds on any remaining row's score (see _build_orderings).
+        # All of them are built lazily: the norm ordering on the first
+        # top-k probe (score_batch / rank_of_best_batch callers never
+        # need it), the sharper per-attribute orderings once enough
+        # probe work has accumulated to amortize their construction.
+        self._orderings: list[_Ordering] | None = None
+        self._attr_orderings_built = False
+        self._excess_work = 0
+        if chunk_bytes < 8 * self.n:
+            chunk_bytes = 8 * self.n
+        self._chunk_cols = max(1, int(chunk_bytes) // (8 * self.n))
+        self._memo_size = int(memo_size)
+        self._memo: OrderedDict[tuple[bytes, int], TopKBatch] = OrderedDict()
+        # Introspection counters (read by tests and the perf gate).
+        self.stats = {
+            "gemm_columns": 0,
+            "verified_columns": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    def _check_weights(self, weight_matrix: np.ndarray) -> np.ndarray:
+        W = np.asarray(weight_matrix, dtype=np.float64)
+        if W.ndim != 2:
+            raise ValidationError("weight matrix must be 2-dimensional (m, d)")
+        if W.shape[1] != self.d:
+            raise ValidationError(
+                f"weight vectors have {W.shape[1]} entries for {self.d} attributes"
+            )
+        return W
+
+    def _check_k(self, k: int) -> int:
+        k = int(k)
+        if not 1 <= k <= self.n:
+            raise ValidationError(f"k must be in [1, n]={self.n}, got {k}")
+        return k
+
+    @property
+    def packed_width(self) -> int:
+        """Bytes per packed member bitset row."""
+        return packed_width(self.n)
+
+    # ------------------------------------------------------------------
+    # scoring
+    def score_batch(self, weight_matrix: np.ndarray) -> np.ndarray:
+        """All scores as an ``(n, m)`` float64 matrix, computed chunkwise.
+
+        Raw GEMM output: values may differ in the last ulp across chunk
+        layouts (BLAS blocking).  Consumers needing exact rank decisions
+        should use :meth:`topk_batch` / :meth:`rank_of_best_batch`, which
+        verify contested columns.
+        """
+        W = self._check_weights(weight_matrix)
+        m = W.shape[0]
+        out = np.empty((self.n, m), dtype=np.float64)
+        for lo in range(0, m, self._chunk_cols):
+            hi = min(m, lo + self._chunk_cols)
+            np.matmul(self.values, W[lo:hi].T, out=out[:, lo:hi])
+            self.stats["gemm_columns"] += hi - lo
+        return out
+
+    # ------------------------------------------------------------------
+    # batched top-k
+    def topk_batch(self, weight_matrix: np.ndarray, k: int) -> TopKBatch:
+        """Top-k of every weight row: one chunked GEMM + per-column select.
+
+        Returns best-first index rows and packed member bitsets; see
+        :class:`TopKBatch`.  Semantics match ``m`` calls to
+        :func:`repro.ranking.topk.top_k` (score desc, index asc), with
+        contested k boundaries resolved by float64 re-verification.
+        """
+        W = self._check_weights(weight_matrix)
+        k = self._check_k(k)
+        m = W.shape[0]
+        order = np.empty((m, k), dtype=np.int64)
+        for lo in range(0, m, self._chunk_cols):
+            hi = min(m, lo + self._chunk_cols)
+            self._topk_chunk(W[lo:hi], k, order[lo:hi])
+            self.stats["gemm_columns"] += hi - lo
+        members = pack_membership(order, self.n)
+        return TopKBatch(members=members, order=order)
+
+    def _topk_chunk(self, Wc: np.ndarray, k: int, out_order: np.ndarray) -> None:
+        """Fill ``out_order`` (mc, k) with the top-k of one column chunk.
+
+        Tiered resolution, cheapest first:
+
+        1. float32 norm-pruned batch (when ``float32=True``);
+        2. float64 norm-pruned batch for the rows tier 1 left contested;
+        3. the scalar float64 GEMV algorithm, verbatim, for rows with
+           genuine (near-)ties at a decision boundary.
+
+        Each tier only sees the rows the previous tier could not decide,
+        so clean data runs almost entirely in tier 1 while degenerate
+        data degrades gracefully to the seed's exact per-probe cost.
+        """
+        n = self.n
+        if k >= n:
+            self._topk_full_rank(Wc, k, out_order)
+            return
+        if self.float32:
+            contested = self._topk_tier(Wc, k, out_order, use_f32=True)
+            if contested.size:
+                sub_order = np.empty((contested.size, k), dtype=np.int64)
+                Wsub = np.ascontiguousarray(Wc[contested])
+                still = self._topk_tier(Wsub, k, sub_order, use_f32=False)
+                for j in still:
+                    sub_order[j] = self._verified_topk_column(Wsub[j], k)
+                    self.stats["verified_columns"] += 1
+                out_order[contested] = sub_order
+        else:
+            contested = self._topk_tier(Wc, k, out_order, use_f32=False)
+            for j in contested:
+                out_order[j] = self._verified_topk_column(Wc[j], k)
+                self.stats["verified_columns"] += 1
+
+    def _topk_full_rank(self, Wc: np.ndarray, k: int, out_order: np.ndarray) -> None:
+        """k ≥ n: full ranking per function via one batched lexsort.
+
+        Rows with (near-)tied neighbours still fall back, because tied
+        reals need not be bit-identical between GEMM and the scalar GEMV
+        path we promise to match.
+        """
+        n = self.n
+        mc = Wc.shape[0]
+        S = Wc @ self.values.T  # (mc, n)
+        eps = float(np.finfo(np.float64).eps)
+        tol = _TIE_BAND_ULPS * eps * np.max(np.abs(S), axis=1)
+        keys_idx = np.broadcast_to(np.arange(n, dtype=np.int64), (mc, n))
+        full_order = np.lexsort((keys_idx, -S), axis=-1)  # (mc, n)
+        sorted_scores = np.take_along_axis(S, full_order, axis=1)
+        tight = (np.diff(sorted_scores, axis=1) > -tol[:, None]).any(axis=1)
+        out_order[:] = full_order
+        for j in np.flatnonzero(tight):
+            out_order[j] = self._verified_topk_column(Wc[j], k)
+            self.stats["verified_columns"] += 1
+
+    def _build_orderings(self) -> list["_Ordering"]:
+        """Candidate row orders with per-position score upper bounds.
+
+        Ordering 0 sorts rows by Euclidean norm descending: any row at
+        position ≥ p scores at most ``‖row_p‖·‖w‖`` (Cauchy–Schwarz).
+        Ordering j+1 sorts by attribute j descending with the two-term
+        bound ``w_j·x_j(p) + ‖w_{−j}‖·maxrest_j(p)`` (valid when
+        ``w_j ≥ 0``), which prunes sharply for axis-dominant functions —
+        exactly the probes MDRC's cell corners generate — where the plain
+        norm bound is loose.  Per-attribute orders are skipped when the
+        extra copies would be large relative to the matrix itself.
+        """
+        row_norms = np.linalg.norm(self.values, axis=1)
+        perm = np.argsort(-row_norms, kind="stable")
+        norm_ordering = _Ordering(
+            perm=perm,
+            V=np.ascontiguousarray(self.values[perm]),
+            V32=None,
+            u=row_norms[perm],
+            v=np.zeros(self.n),
+            attribute=-1,
+        )
+        if self.float32:
+            norm_ordering.V32 = norm_ordering.V.astype(np.float32)
+        return [norm_ordering]
+
+    def _build_attribute_orderings(self) -> None:
+        """Add the per-attribute orderings (lazily, once justified)."""
+        self._attr_orderings_built = True
+        if self.n * self.d * (self.d + 1) * 8 > (1 << 29):
+            return  # the extra copies would dwarf the matrix; skip
+        row_norms = np.linalg.norm(self.values, axis=1)
+        for j in range(self.d):
+            perm = np.argsort(-self.values[:, j], kind="stable")
+            rest = np.sqrt(
+                np.maximum(row_norms[perm] ** 2 - self.values[perm, j] ** 2, 0.0)
+            )
+            ordering = _Ordering(
+                perm=perm,
+                V=np.ascontiguousarray(self.values[perm]),
+                V32=None,
+                u=self.values[perm, j],
+                v=np.maximum.accumulate(rest[::-1])[::-1],
+                attribute=j,
+            )
+            if self.float32:
+                ordering.V32 = ordering.V.astype(np.float32)
+            self._orderings.append(ordering)
+
+    def _bound_coeffs(self, Wc: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per (function, ordering) bound coefficients ``a·u(p) + b·v(p)``.
+
+        Entries are NaN for ineligible pairs (an attribute ordering's
+        first term only bounds when that weight component is ≥ 0).
+        """
+        mc = Wc.shape[0]
+        w_norms = np.linalg.norm(Wc, axis=1)
+        A = np.empty((mc, len(self._orderings)))
+        B = np.zeros((mc, len(self._orderings)))
+        A[:, 0] = w_norms
+        for o, ordering in enumerate(self._orderings[1:], start=1):
+            wj = Wc[:, ordering.attribute]
+            A[:, o] = np.where(wj >= 0.0, wj, np.nan)
+            B[:, o] = np.sqrt(np.maximum(w_norms**2 - wj**2, 0.0))
+        return A, B
+
+    def _topk_tier(
+        self, Wc: np.ndarray, k: int, out_order: np.ndarray, use_f32: bool
+    ) -> np.ndarray:
+        """One batched top-k attempt; returns the still-contested row ids.
+
+        A small norm-ordered probe establishes each function's k-th-best
+        score L; the per-ordering bounds then give a *sufficient* prefix
+        size per (function, ordering) — every row outside that prefix
+        provably scores below ``L − 4·tol``.  Each function is routed to
+        its cheapest ordering and evaluated once at that size, so
+        selection cost tracks the candidate count instead of n.
+        Uncontested rows are written to ``out_order``; rows with any
+        (near-)tie at the k boundary or between ranked neighbours are
+        returned for the next tier.
+        """
+        n = self.n
+        mc = Wc.shape[0]
+        eps = float(np.finfo(np.float32 if use_f32 else np.float64).eps)
+        if self._orderings is None:
+            self._orderings = self._build_orderings()
+        norm_ord = self._orderings[0]
+
+        c0 = n if 4 * k >= n else min(n, max(4 * k, 64))
+        S, blk, block_scores = self._prefix_eval(norm_ord, Wc, k, c0, use_f32)
+        L = block_scores.min(axis=1)
+        thr = L - 4.0 * _TIE_BAND_ULPS * eps * np.abs(L)
+
+        contested_parts: list[np.ndarray] = []
+        if c0 == n:
+            # No pruning happened, so no pruning-threshold caveat applies.
+            return self._finalize(
+                np.arange(mc), S, blk, block_scores, norm_ord, Wc, k, use_f32,
+                out_order, np.full(mc, -np.inf), eps,
+            )
+
+        # Exact need under the norm ordering, grid-quantized need under
+        # the attribute orderings; route each function to the cheapest.
+        # The attribute orderings are only constructed once enough probe
+        # demand has accumulated to amortize their argsorts and copies.
+        if not self._attr_orderings_built:
+            norm_coeff = np.linalg.norm(Wc, axis=1)
+            with np.errstate(divide="ignore"):
+                first_need = np.searchsorted(
+                    -self._orderings[0].u,
+                    -(thr / np.where(norm_coeff > 0.0, norm_coeff, np.inf)),
+                    side="right",
+                )
+            self._excess_work += int(first_need.sum())
+            if self._excess_work > 8 * self.n * (self.d + 1):
+                self._build_attribute_orderings()
+        A, B = self._bound_coeffs(Wc)
+        needs = np.empty((mc, len(self._orderings)), dtype=np.int64)
+        needs[:, 0] = np.searchsorted(
+            -norm_ord.u, -(thr / np.where(A[:, 0] > 0.0, A[:, 0], np.inf)),
+            side="right",
+        )
+        grid = _geometric_grid(k, n)
+        for o, ordering in enumerate(self._orderings[1:], start=1):
+            bound = A[:, o, None] * ordering.u[grid][None, :] + B[:, o, None] * (
+                ordering.v[grid][None, :]
+            )
+            # The bound is non-increasing along the grid, so the count of
+            # still-live positions is the index of the first prunable one.
+            with np.errstate(invalid="ignore"):
+                first_dead = (bound >= thr[:, None]).sum(axis=1)
+            needs[:, o] = np.append(grid, n)[first_dead]
+            # Ineligible (negative-weight) pairs can never prune.
+            needs[np.isnan(A[:, o]), o] = n
+        best_o = np.argmin(needs, axis=1)
+
+        # The probe already holds the full answer for functions whose
+        # norm-ordering need fits inside it.
+        done = np.flatnonzero(needs[:, 0] <= c0)
+        if done.size:
+            contested_parts.append(
+                self._finalize(
+                    done, S[done], blk[done], block_scores[done], norm_ord, Wc,
+                    k, use_f32, out_order, thr, eps,
+                )
+            )
+        rest = np.setdiff1d(np.arange(mc), done, assume_unique=True)
+        for o, ordering in enumerate(self._orderings):
+            rows = rest[best_o[rest] == o]
+            if not rows.size:
+                continue
+            c = min(n, max(int(needs[rows, o].max()), k + 1))
+            Wrows = np.ascontiguousarray(Wc[rows])
+            So, blko, bso = self._prefix_eval(ordering, Wrows, k, c, use_f32)
+            contested_parts.append(
+                self._finalize(
+                    rows, So, blko, bso, ordering, Wc, k, use_f32, out_order,
+                    thr, eps,
+                )
+            )
+        parts = [p for p in contested_parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(parts))
+
+    def _prefix_eval(
+        self,
+        ordering: "_Ordering",
+        Wc: np.ndarray,
+        k: int,
+        c: int,
+        use_f32: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Score a prefix and select its top-k block (prefix-local ids)."""
+        V = ordering.V32 if use_f32 else ordering.V
+        Wgemm = Wc.astype(np.float32) if use_f32 else Wc
+        S = Wgemm @ V[:c].T  # (mc, c)
+        if c > k:
+            blk = np.argpartition(S, c - k, axis=1)[:, c - k :]
+        else:
+            blk = np.broadcast_to(np.arange(c), (Wc.shape[0], c))
+        return S, blk, np.take_along_axis(S, blk, axis=1)
+
+    def _finalize(
+        self,
+        rows: np.ndarray,
+        S: np.ndarray,
+        blk: np.ndarray,
+        block_scores: np.ndarray,
+        ordering: "_Ordering",
+        Wc: np.ndarray,
+        k: int,
+        use_f32: bool,
+        out_order: np.ndarray,
+        thr: np.ndarray,
+        eps: float,
+    ) -> np.ndarray:
+        """Contest-check and write one evaluated group; return contested ids.
+
+        ``rows`` are chunk-level function ids; ``S``/``blk``/``block_scores``
+        are their prefix evaluation under ``ordering``.
+        """
+        kth = block_scores.min(axis=1)
+        top = block_scores.max(axis=1)
+        # Noise scale of the scores involved in boundary decisions.
+        tol = _TIE_BAND_ULPS * eps * np.maximum(np.abs(top), np.abs(kth))
+        # Exactly k prefix scores at-or-above the banded threshold ⇔ the
+        # boundary is uncontested and the block is the unique answer —
+        # provided the pruning threshold really cleared the band (it can
+        # fail to when the probe's L underestimated the true k-th score
+        # by more than the 4× margin; those rows go to the next tier).
+        contested = ((S >= (kth - tol)[:, None]).sum(axis=1) != k) | (
+            thr[rows] > kth - tol
+        )
+
+        fast = np.flatnonzero(~contested)
+        if fast.size:
+            fblk = ordering.perm[blk[fast]]  # global row ids
+            if use_f32:
+                # Order by float64 scores recomputed per row.
+                scr = np.einsum(
+                    "fkd,fd->fk", self.values[fblk], Wc[rows[fast]], optimize=True
+                )
+            else:
+                scr = block_scores[fast]
+            if k > 1:
+                order_in_blk = np.lexsort((fblk, -scr), axis=-1)  # (f, k)
+                out_order[rows[fast]] = np.take_along_axis(
+                    fblk, order_in_blk, axis=-1
+                )
+                # Intra-block (near-)ties are contested too: ordering by
+                # batch scores could flip what the scalar kernel returns.
+                sorted_scores = np.take_along_axis(scr, order_in_blk, axis=-1)
+                tight = (np.diff(sorted_scores, axis=1) > -tol[fast, None]).any(axis=1)
+                contested[fast[tight]] = True
+            else:
+                out_order[rows[fast]] = fblk
+        return rows[np.flatnonzero(contested)]
+
+    def _verified_topk_column(self, w: np.ndarray, k: int) -> np.ndarray:
+        """Exact top-k of one contested column.
+
+        Falls back to the scalar algorithm verbatim: one float64 GEMV —
+        the same kernel :func:`repro.ranking.topk.top_k` uses, so the
+        result is bit-identical to the scalar path by construction, and
+        identical rows receive identical scores (per-row accumulation,
+        unlike the blocked GEMM of the fast path) — then the seed's
+        over-select / lexsort boundary handling.
+        """
+        n = self.n
+        score = self.values @ w
+        if k >= n:
+            candidates = np.arange(n)
+        else:
+            kth = np.partition(score, n - k)[n - k]
+            candidates = np.flatnonzero(score >= kth)
+        ordering = np.lexsort((candidates, -score[candidates]))
+        return candidates[ordering[:k]].astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # memoized single probes
+    def top_k_packed(self, weights: np.ndarray, k: int) -> TopKBatch:
+        """Single-function top-k behind the LRU memo.
+
+        Returns a :class:`TopKBatch` with ``m = 1``; treat the arrays as
+        read-only — they are shared with the memo.
+        """
+        w = np.ascontiguousarray(np.asarray(weights, dtype=np.float64).reshape(-1))
+        if w.size != self.d:
+            raise ValidationError(
+                f"weight vector has {w.size} entries for {self.d} attributes"
+            )
+        k = self._check_k(k)
+        key = (w.tobytes(), k)
+        hit = self._memo.get(key)
+        if hit is not None:
+            self._memo.move_to_end(key)
+            self.stats["memo_hits"] += 1
+            return hit
+        self.stats["memo_misses"] += 1
+        entry = self.topk_batch(w[None, :], k)
+        self._memo[key] = entry
+        if len(self._memo) > self._memo_size:
+            self._memo.popitem(last=False)
+        return entry
+
+    def top_k(self, weights: np.ndarray, k: int) -> np.ndarray:
+        """Best-first top-k indices of one function (memoized)."""
+        return self.top_k_packed(weights, k).order[0]
+
+    # ------------------------------------------------------------------
+    # batched rank counting
+    def rank_of_best_batch(
+        self, weight_matrix: np.ndarray, subset: np.ndarray
+    ) -> np.ndarray:
+        """Per function, the rank of the best ``subset`` member.
+
+        Returns ``(m,)`` int64: ``1 +`` the number of rows scoring
+        *strictly* above the subset's best score under each function —
+        the quantity the Monte-Carlo rank-regret estimator maximizes.
+        Rows whose GEMM score falls within an ulp band of the subset
+        best are re-verified with deterministic float64 dots, so
+        bit-level GEMM noise (e.g. between identical rows) can never
+        inflate a rank.
+        """
+        W = self._check_weights(weight_matrix)
+        members = np.asarray(sorted({int(i) for i in np.asarray(subset).reshape(-1)}))
+        if members.size == 0:
+            raise ValidationError("subset must be non-empty")
+        if members[0] < 0 or members[-1] >= self.n:
+            raise ValidationError("subset indices out of range")
+        member_mask = np.zeros(self.n, dtype=bool)
+        member_mask[members] = True
+        m = W.shape[0]
+        ranks = np.empty(m, dtype=np.int64)
+        eps = float(np.finfo(np.float64).eps)
+        for lo in range(0, m, self._chunk_cols):
+            hi = min(m, lo + self._chunk_cols)
+            Wc = W[lo:hi]
+            S = Wc @ self.values.T  # (mc, n), one contiguous row per function
+            self.stats["gemm_columns"] += hi - lo
+            sub = S[:, members]  # (mc, s)
+            best = sub.max(axis=1)  # (mc,)
+            tol = _TIE_BAND_ULPS * eps * np.abs(best)
+            above = (S > (best + tol)[:, None]).sum(axis=1)
+            # Any *non-member* row inside the ulp band could be a GEMM
+            # artefact (or a genuine photo-finish): recompute those
+            # functions with the scalar GEMV kernel, which scores every
+            # row with per-row accumulation — bit-identical to rank_of.
+            # The band population is counted without a dedicated mask
+            # pass: rows above best − tol, minus the members among them.
+            near = (S > (best - tol)[:, None]).sum(axis=1)
+            members_near = (sub > (best - tol)[:, None]).sum(axis=1)
+            for j in np.flatnonzero(near - members_near != above):
+                exact = self.values @ Wc[j]
+                above[j] = int((exact > exact[members].max()).sum())
+                self.stats["verified_columns"] += 1
+            ranks[lo:hi] = above + 1
+        return ranks

@@ -19,6 +19,7 @@ from repro.exceptions import ValidationError
 __all__ = [
     "LinearFunction",
     "weights_from_angles",
+    "weights_from_angles_batch",
     "angles_from_weights",
 ]
 
@@ -128,6 +129,34 @@ def weights_from_angles(angles: Sequence[float]) -> np.ndarray:
         sin_prefix *= np.sin(theta[i])
     weights[d - 1] = sin_prefix
     # Guard against tiny negative values from rounding.
+    np.clip(weights, 0.0, None, out=weights)
+    return weights
+
+
+def weights_from_angles_batch(angle_matrix: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`weights_from_angles`: ``(m, d−1)`` angles → ``(m, d)``.
+
+    Bit-identical to mapping the scalar function over the rows (the same
+    ufunc evaluations combine in the same order — ``cumprod`` multiplies
+    the sine prefix sequentially exactly as the scalar loop does), so
+    batched consumers such as MDRC's frontier evaluation stay exactly
+    equivalent to per-corner construction.
+    """
+    theta = np.asarray(angle_matrix, dtype=np.float64)
+    if theta.ndim != 2 or theta.shape[1] == 0:
+        raise ValidationError("angle matrix must be (m, d-1) with d >= 2")
+    if not np.all(np.isfinite(theta)):
+        raise ValidationError("angles must be finite")
+    if np.any(theta < -1e-12) or np.any(theta > np.pi / 2 + 1e-12):
+        raise ValidationError("angles must lie in [0, pi/2]")
+    theta = np.clip(theta, 0.0, np.pi / 2)
+    m, dm1 = theta.shape
+    cos = np.cos(theta)
+    sin_prefix = np.cumprod(np.sin(theta), axis=1)
+    weights = np.empty((m, dm1 + 1), dtype=np.float64)
+    weights[:, 0] = cos[:, 0]
+    weights[:, 1:dm1] = cos[:, 1:] * sin_prefix[:, :-1]
+    weights[:, dm1] = sin_prefix[:, -1]
     np.clip(weights, 0.0, None, out=weights)
     return weights
 

@@ -5,12 +5,22 @@ tie-breaker, no two tuples in the database have the same score" (§2).
 We realize that tie-breaker deterministically: ties in score are broken by
 smaller row index first.  Every function here honors it, so ranks are
 always unique and reproducible.
+
+This module is the *scalar* (one-function-at-a-time) interface.  Anything
+that scores many functions against the same matrix — MDRC corners, K-SETr
+batches, workload logs, Monte-Carlo estimators — should go through
+:class:`repro.engine.ScoreEngine` instead, which serves the identical
+semantics via one chunked GEMM per batch plus packed-bitset set
+operations; :func:`batch_top_k_sets` below is a thin wrapper over it.
+The engine's equivalence to these scalar functions is pinned by the
+property tests in ``tests/engine/``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.engine import ScoreEngine
 from repro.exceptions import ValidationError
 
 __all__ = [
@@ -117,9 +127,12 @@ def batch_top_k_sets(
 ) -> list[frozenset[int]]:
     """Top-k sets for many functions at once.
 
-    ``weight_matrix`` has one weight vector per row. Scores for all functions
-    are computed in a single matrix product, which is the fast path used by
-    the Monte-Carlo rank-regret estimator and by K-SETr batches.
+    ``weight_matrix`` has one weight vector per row.  Delegates to
+    :meth:`repro.engine.ScoreEngine.topk_batch` — one chunked GEMM plus a
+    per-column ``argpartition`` — and materializes the rows as frozensets
+    for hitting-set consumers.  Callers that can work on packed bitsets
+    (dedup, intersection) should use the engine directly and skip the
+    frozenset conversion entirely.
     """
     values = np.asarray(values, dtype=np.float64)
     weight_matrix = np.asarray(weight_matrix, dtype=np.float64)
@@ -132,16 +145,5 @@ def batch_top_k_sets(
         )
     n = values.shape[0]
     k = _validate_k(k, n)
-    all_scores = values @ weight_matrix.T  # (n, m)
-    results: list[frozenset[int]] = []
-    index_key = np.arange(n)
-    for column in range(all_scores.shape[1]):
-        score = all_scores[:, column]
-        if k >= n:
-            candidates = index_key
-        else:
-            kth = np.partition(score, n - k)[n - k]
-            candidates = np.flatnonzero(score >= kth)
-        order = np.lexsort((candidates, -score[candidates]))
-        results.append(frozenset(int(i) for i in candidates[order[:k]]))
-    return results
+    order = ScoreEngine(values).topk_batch(weight_matrix, k).order
+    return [frozenset(int(i) for i in row) for row in order]

@@ -27,7 +27,12 @@ from repro.exceptions import InfeasibleError, ValidationError
 
 __all__ = ["cover_segment", "cover_segment_max_coverage"]
 
-_EPS = 1e-12
+# Comparisons are exact on purpose.  Intervals produced by Algorithm 1
+# share *bit-identical* endpoints (an exchange's angle closes one item's
+# range and opens the next one's), so no slack is needed for feasibility —
+# and an absolute slack is a correctness bug: it "bridges" genuine gaps
+# smaller than itself (e.g. exchange angles below 1e-12 on near-degenerate
+# data), silently dropping an interval the 2k-regret guarantee requires.
 
 
 def _validate_intervals(
@@ -68,15 +73,15 @@ def cover_segment(
     frontier = lo
     cursor = 0
     n = len(triples)
-    while frontier < hi - _EPS:
+    while frontier < hi:
         best_end = -np.inf
         best_index = -1
-        while cursor < n and triples[cursor][0] <= frontier + _EPS:
+        while cursor < n and triples[cursor][0] <= frontier:
             if triples[cursor][1] > best_end:
                 best_end = triples[cursor][1]
                 best_index = triples[cursor][2]
             cursor += 1
-        if best_index < 0 or best_end <= frontier + _EPS:
+        if best_index < 0 or best_end <= frontier:
             raise InfeasibleError(
                 f"intervals do not cover [{lo}, {hi}]: stuck at {frontier}"
             )
@@ -109,7 +114,7 @@ def cover_segment_max_coverage(
             gain = sum(
                 max(0.0, min(end, g_hi) - max(start, g_lo)) for g_lo, g_hi in gaps
             )
-            if gain > best_gain + _EPS:
+            if gain > best_gain:
                 best_gain = gain
                 best_pos = pos
         if best_pos < 0:
@@ -123,9 +128,9 @@ def cover_segment_max_coverage(
             if end <= g_lo or start >= g_hi:
                 next_gaps.append((g_lo, g_hi))
                 continue
-            if start > g_lo + _EPS:
+            if start > g_lo:
                 next_gaps.append((g_lo, start))
-            if end < g_hi - _EPS:
+            if end < g_hi:
                 next_gaps.append((end, g_hi))
         gaps = next_gaps
     return chosen

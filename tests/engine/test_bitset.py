@@ -1,0 +1,91 @@
+"""Unit tests for the packed-bitset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BitsetTable,
+    intersect_all,
+    pack_indices,
+    pack_membership,
+    packed_width,
+    popcount,
+    unpack_indices,
+)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 7, 8, 9, 63, 64, 65, 200):
+            size = int(rng.integers(1, n + 1))
+            indices = np.sort(rng.choice(n, size=size, replace=False))
+            packed = pack_indices(indices, n)
+            assert packed.shape == (packed_width(n),)
+            assert np.array_equal(unpack_indices(packed, n), indices)
+
+    def test_pack_membership_matches_rowwise(self):
+        rng = np.random.default_rng(1)
+        n, m, k = 50, 20, 6
+        index_matrix = np.vstack(
+            [rng.choice(n, size=k, replace=False) for _ in range(m)]
+        )
+        packed = pack_membership(index_matrix, n)
+        for row in range(m):
+            assert np.array_equal(packed[row], pack_indices(index_matrix[row], n))
+
+    def test_popcount(self):
+        rng = np.random.default_rng(2)
+        n = 77
+        rows = []
+        sizes = []
+        for _ in range(10):
+            size = int(rng.integers(1, n))
+            rows.append(pack_indices(rng.choice(n, size=size, replace=False), n))
+            sizes.append(size)
+        stacked = np.stack(rows)
+        assert list(popcount(stacked)) == sizes
+        assert popcount(rows[0]) == sizes[0]
+
+    def test_intersect_all(self):
+        n = 40
+        sets = [{1, 5, 9, 30}, {5, 9, 12, 30}, {0, 5, 9, 30, 39}]
+        packed = np.stack([pack_indices(np.array(sorted(s)), n) for s in sets])
+        common = unpack_indices(intersect_all(packed), n)
+        assert set(int(i) for i in common) == {5, 9, 30}
+
+
+class TestBitsetTable:
+    def test_dedup_and_insertion_order(self):
+        n = 30
+        table = BitsetTable(n)
+        a = pack_indices(np.array([1, 2, 3]), n)
+        b = pack_indices(np.array([4, 5, 6]), n)
+        assert table.add(a) == (0, True)
+        assert table.add(b) == (1, True)
+        assert table.add(a) == (0, False)
+        assert len(table) == 2
+        assert a in table
+        assert table.frozensets() == [frozenset({1, 2, 3}), frozenset({4, 5, 6})]
+
+    def test_row_and_indices(self):
+        n = 16
+        table = BitsetTable(n)
+        packed = pack_indices(np.array([0, 15]), n)
+        set_id, _ = table.add(packed)
+        assert np.array_equal(table.row(set_id), packed)
+        assert list(table.indices(set_id)) == [0, 15]
+
+    def test_stored_rows_are_copies(self):
+        n = 16
+        table = BitsetTable(n)
+        packed = pack_indices(np.array([3]), n)
+        set_id, _ = table.add(packed)
+        packed[:] = 0
+        assert list(table.indices(set_id)) == [3]
+
+
+class TestWidth:
+    @pytest.mark.parametrize("n,width", [(1, 1), (8, 1), (9, 2), (64, 8), (65, 9)])
+    def test_packed_width(self, n, width):
+        assert packed_width(n) == width

@@ -1,0 +1,191 @@
+"""Unit and property tests for :class:`repro.engine.ScoreEngine`.
+
+The load-bearing property: the batched engine is *bit-identical* to the
+scalar ``top_k`` path — same indices, same tie-breaking — over seeded
+random instance grids spanning n, d, and k, including duplicate-score
+and duplicate-row degeneracies that trip blocked-BLAS kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ScoreEngine, unpack_indices
+from repro.exceptions import ValidationError
+from repro.ranking import rank_of, sample_functions
+from repro.ranking.topk import ranking, top_k
+
+
+def _instances():
+    """Seeded (values, weights, k) grid over n, d, k — the equivalence lattice."""
+    rng = np.random.default_rng(20260731)
+    cases = []
+    for n in (3, 17, 64, 65, 300):
+        for d in (2, 3, 6):
+            values = rng.random((n, d))
+            weights = sample_functions(d, 23, rng)
+            for k in {1, 2, n // 2 or 1, n - 1 or 1, n}:
+                cases.append((values, weights, int(k)))
+    return cases
+
+
+class TestTopKBatchEquivalence:
+    @pytest.mark.parametrize("case", range(len(_instances())))
+    def test_bit_identical_to_scalar_top_k(self, case):
+        values, weights, k = _instances()[case]
+        engine = ScoreEngine(values)
+        batch = engine.topk_batch(weights, k)
+        for i, w in enumerate(weights):
+            expected = top_k(values, w, k)
+            assert np.array_equal(batch.order[i], expected)
+            assert np.array_equal(
+                unpack_indices(batch.members[i], values.shape[0]),
+                np.sort(expected),
+            )
+
+    def test_tie_breaking_matches_scalar(self):
+        # Quantized values force massive score ties; the engine must
+        # break them by smaller row index exactly like the scalar path.
+        rng = np.random.default_rng(7)
+        values = np.round(rng.random((60, 3)), 1)
+        weights = np.round(sample_functions(3, 40, rng), 1)
+        weights[weights.sum(axis=1) == 0] = 1.0
+        engine = ScoreEngine(values)
+        for k in (1, 5, 30, 60):
+            batch = engine.topk_batch(weights, k)
+            for i, w in enumerate(weights):
+                assert np.array_equal(batch.order[i], top_k(values, w, k))
+
+    def test_duplicate_rows_resolve_by_index(self):
+        # Identical rows can receive non-bit-identical GEMM scores
+        # (blocked-kernel remainder lanes); the verified tie band must
+        # hide that and always pick the smallest indices.
+        values = np.full((15, 3), 0.873046875)
+        engine = ScoreEngine(values)
+        weights = sample_functions(3, 500, 0)
+        batch = engine.topk_batch(weights, 2)
+        assert np.array_equal(
+            batch.order, np.tile(np.array([0, 1]), (500, 1))
+        )
+
+    def test_chunking_invariant(self):
+        values = np.random.default_rng(3).random((50, 4))
+        weights = sample_functions(4, 64, 3)
+        big = ScoreEngine(values).topk_batch(weights, 7)
+        # Force many tiny GEMM chunks; results must not change.
+        small = ScoreEngine(values, chunk_bytes=1).topk_batch(weights, 7)
+        assert np.array_equal(big.order, small.order)
+        assert np.array_equal(big.members, small.members)
+
+    def test_float32_mode_matches_float64(self):
+        rng = np.random.default_rng(4)
+        values = rng.random((200, 4))
+        weights = sample_functions(4, 100, 4)
+        exact = ScoreEngine(values).topk_batch(weights, 9)
+        fast = ScoreEngine(values, float32=True).topk_batch(weights, 9)
+        assert np.array_equal(exact.order, fast.order)
+
+    def test_full_ranking_when_k_equals_n(self):
+        rng = np.random.default_rng(5)
+        values = rng.random((30, 3))
+        weights = sample_functions(3, 10, 5)
+        batch = ScoreEngine(values).topk_batch(weights, 30)
+        for i, w in enumerate(weights):
+            assert np.array_equal(batch.order[i], ranking(values, w))
+
+
+class TestScoreBatch:
+    def test_matches_direct_gemm(self):
+        rng = np.random.default_rng(6)
+        values = rng.random((40, 3))
+        weights = sample_functions(3, 17, 6)
+        out = ScoreEngine(values).score_batch(weights)
+        assert np.array_equal(out, values @ weights.T)
+
+    def test_chunked_close_to_unchunked(self):
+        # Raw GEMM output may differ in the last ulp across chunk layouts
+        # (BLAS blocking); rank decisions are verified elsewhere.
+        rng = np.random.default_rng(7)
+        values = rng.random((40, 3))
+        weights = sample_functions(3, 17, 7)
+        a = ScoreEngine(values).score_batch(weights)
+        b = ScoreEngine(values, chunk_bytes=1).score_batch(weights)
+        assert np.allclose(a, b, rtol=1e-13, atol=0.0)
+
+
+class TestMemo:
+    def test_hit_returns_same_result(self):
+        rng = np.random.default_rng(8)
+        values = rng.random((50, 3))
+        engine = ScoreEngine(values)
+        w = sample_functions(3, 1, 8)[0]
+        first = engine.top_k(w, 5)
+        second = engine.top_k(w, 5)
+        assert np.array_equal(first, second)
+        assert engine.stats["memo_hits"] == 1
+        assert engine.stats["memo_misses"] == 1
+
+    def test_different_k_is_different_entry(self):
+        values = np.random.default_rng(9).random((50, 3))
+        engine = ScoreEngine(values)
+        w = sample_functions(3, 1, 9)[0]
+        engine.top_k(w, 5)
+        engine.top_k(w, 6)
+        assert engine.stats["memo_misses"] == 2
+
+    def test_lru_eviction(self):
+        values = np.random.default_rng(10).random((20, 3))
+        engine = ScoreEngine(values, memo_size=2)
+        ws = sample_functions(3, 3, 10)
+        for w in ws:
+            engine.top_k(w, 2)
+        engine.top_k(ws[0], 2)  # evicted by ws[2]; must recompute
+        assert engine.stats["memo_misses"] == 4
+
+
+class TestRankOfBestBatch:
+    def test_matches_scalar_rank_of(self):
+        rng = np.random.default_rng(11)
+        values = rng.random((80, 3))
+        weights = sample_functions(3, 200, 11)
+        subset = [4, 17, 60]
+        got = ScoreEngine(values).rank_of_best_batch(weights, subset)
+        for j, w in enumerate(weights):
+            expected = min(rank_of(values, w, i) for i in subset)
+            assert got[j] == expected
+
+    def test_duplicate_rows_rank_one(self):
+        # The regression the hypothesis suite found: GEMM noise between
+        # identical rows must not inflate the rank above 1.
+        values = np.full((15, 3), 0.873046875)
+        weights = sample_functions(3, 500, 0)
+        ranks = ScoreEngine(values).rank_of_best_batch(weights, [0])
+        assert int(ranks.max()) == 1
+
+    def test_validation(self):
+        engine = ScoreEngine(np.ones((5, 2)))
+        with pytest.raises(ValidationError):
+            engine.rank_of_best_batch(np.ones((3, 2)), [])
+        with pytest.raises(ValidationError):
+            engine.rank_of_best_batch(np.ones((3, 2)), [9])
+
+
+class TestValidation:
+    def test_bad_matrix(self):
+        with pytest.raises(ValidationError):
+            ScoreEngine(np.ones(4))
+        with pytest.raises(ValidationError):
+            ScoreEngine(np.array([[np.nan, 1.0]]))
+
+    def test_bad_weights(self):
+        engine = ScoreEngine(np.ones((4, 2)))
+        with pytest.raises(ValidationError):
+            engine.topk_batch(np.ones((3, 5)), 1)
+        with pytest.raises(ValidationError):
+            engine.topk_batch(np.ones(2), 1)
+
+    def test_bad_k(self):
+        engine = ScoreEngine(np.ones((4, 2)))
+        with pytest.raises(ValidationError):
+            engine.topk_batch(np.ones((1, 2)), 0)
+        with pytest.raises(ValidationError):
+            engine.topk_batch(np.ones((1, 2)), 5)

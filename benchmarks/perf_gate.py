@@ -5,7 +5,7 @@ Three bench-scale workloads (the ops the ``repro.engine`` refactor targets):
 
 * ``mdrc``                — MDRC at d = 4 (frontier-batched corner probes);
 * ``ksetr``               — K-SETr sampling (batched draws, bitset dedup);
-* ``rank_regret_sampled`` — the Monte-Carlo estimator (chunked GEMM counting).
+* ``rank_regret_sampled`` — the Monte-Carlo estimator (pruned rank counting).
 
 For each op the script measures BOTH the current implementation and the
 frozen pre-engine reference (:mod:`repro.engine.reference`), asserts their
@@ -19,9 +19,17 @@ the newest committed file — every future PR inherits this floor.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_gate.py [--repeats 5] [--quick]
+                                                  [--jobs N] [--smoke]
 
 ``--quick`` shrinks the workloads ~4x for a fast smoke run (its numbers are
-NOT meant to be committed).
+NOT meant to be committed).  ``--jobs`` runs the current implementations
+with the engine's process fan-out (the references stay serial).
+
+``--smoke`` (alias ``--check-only``) is the CI mode: run every op at
+reduced scale, check *exactness* against the references plus
+serial-vs-parallel bit-identity of the fan-out layer, and skip the timing
+gate entirely — noisy shared runners can never flake it.  No JSON is
+written in this mode; the timing gate stays a local/dev concern.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from pathlib import Path
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_NAME = "BENCH_PR2.json"
+BENCH_NAME = "BENCH_PR3.json"
 REGRESSION_SLACK = 1.20  # fail when median_s exceeds previous by >20%
 
 
@@ -52,16 +60,16 @@ def _median_time(fn, repeats: int) -> tuple[float, object]:
     return statistics.median(times), result
 
 
-def _bench_mdrc(repeats: int, quick: bool) -> dict:
+def _bench_mdrc(repeats: int, quick: bool, jobs: int | None) -> dict:
     from repro.core import mdrc
     from repro.datasets import independent
     from repro.engine.reference import reference_mdrc
 
     n, d, k = (1000, 4, 8) if quick else (2000, 4, 5)
     values = independent(n, d, seed=0).values
-    mdrc(values, k)  # warm caches / BLAS
+    mdrc(values, k, n_jobs=jobs)  # warm caches / BLAS / pool
     base_s, base = _median_time(lambda: reference_mdrc(values, k), repeats)
-    new_s, new = _median_time(lambda: mdrc(values, k), repeats)
+    new_s, new = _median_time(lambda: mdrc(values, k, n_jobs=jobs), repeats)
     assert new.indices == base.indices, "mdrc output diverged from reference"
     return {
         "op": "mdrc",
@@ -75,19 +83,19 @@ def _bench_mdrc(repeats: int, quick: bool) -> dict:
     }
 
 
-def _bench_ksetr(repeats: int, quick: bool) -> dict:
+def _bench_ksetr(repeats: int, quick: bool, jobs: int | None) -> dict:
     from repro.datasets import independent
     from repro.engine.reference import reference_sample_ksets
     from repro.geometry.ksets import sample_ksets
 
     n, d, k = (2000, 4, 10) if quick else (5000, 4, 25)
     values = independent(n, d, seed=0).values
-    sample_ksets(values, k, patience=50, rng=1)  # warm
+    sample_ksets(values, k, patience=50, rng=1, n_jobs=jobs)  # warm
     base_s, base = _median_time(
         lambda: reference_sample_ksets(values, k, patience=100, rng=0), repeats
     )
     new_s, new = _median_time(
-        lambda: sample_ksets(values, k, patience=100, rng=0), repeats
+        lambda: sample_ksets(values, k, patience=100, rng=0, n_jobs=jobs), repeats
     )
     assert new.ksets == base.ksets and new.draws == base.draws, (
         "sample_ksets output diverged from reference"
@@ -105,7 +113,7 @@ def _bench_ksetr(repeats: int, quick: bool) -> dict:
     }
 
 
-def _bench_rank_regret_sampled(repeats: int, quick: bool) -> dict:
+def _bench_rank_regret_sampled(repeats: int, quick: bool, jobs: int | None) -> dict:
     from repro.core import mdrc
     from repro.datasets import synthetic_dot
     from repro.engine.reference import reference_rank_regret_sampled
@@ -114,12 +122,12 @@ def _bench_rank_regret_sampled(repeats: int, quick: bool) -> dict:
     n, d, m = (5000, 4, 2000) if quick else (20000, 4, 10000)
     values = synthetic_dot(n=n, d=d, seed=0).values
     subset = mdrc(values, max(1, n // 100)).indices
-    rank_regret_sampled(values, subset, 100, rng=0)  # warm
+    rank_regret_sampled(values, subset, 100, rng=0, n_jobs=jobs)  # warm
     base_s, base = _median_time(
         lambda: reference_rank_regret_sampled(values, subset, m, rng=0), repeats
     )
     new_s, new = _median_time(
-        lambda: rank_regret_sampled(values, subset, m, rng=0), repeats
+        lambda: rank_regret_sampled(values, subset, m, rng=0, n_jobs=jobs), repeats
     )
     assert new == base, "rank_regret_sampled estimate diverged from reference"
     return {
@@ -133,6 +141,41 @@ def _bench_rank_regret_sampled(repeats: int, quick: bool) -> dict:
         "baseline_median_s": base_s,
         "speedup": base_s / new_s,
     }
+
+
+def _smoke_parallel_identity(jobs: int | None) -> None:
+    """Serial vs fan-out bit-identity probe (the CI plumbing check)."""
+    from repro.engine import ScoreEngine
+    from repro.ranking.sampling import sample_functions
+
+    jobs = jobs if jobs and jobs != 1 else 2
+    rng = np.random.default_rng(0)
+    values = rng.random((600, 4))
+    weights = sample_functions(4, 150, 0)
+    # Tiny GEMM chunks force real multi-unit splits on every op —
+    # score_batch in particular only fans out when m exceeds one serial
+    # chunk, and the probe must not silently compare serial vs serial.
+    serial = ScoreEngine(values, chunk_bytes=1)
+    with ScoreEngine(
+        values, n_jobs=jobs, parallel_min_work=0, chunk_bytes=1
+    ) as fanout:
+        a = serial.topk_batch(weights, 9)
+        b = fanout.topk_batch(weights, 9)
+        assert np.array_equal(a.order, b.order), "parallel topk diverged"
+        assert np.array_equal(a.members, b.members), "parallel bitsets diverged"
+        subset = [1, 300, 599]
+        assert np.array_equal(
+            serial.rank_of_best_batch(weights, subset),
+            fanout.rank_of_best_batch(weights, subset),
+        ), "parallel rank counting diverged"
+        assert np.array_equal(
+            serial.score_batch(weights), fanout.score_batch(weights)
+        ), "parallel score_batch diverged"
+        few = sample_functions(4, 2, 1)
+        assert np.array_equal(
+            serial.topk_batch(few, 5).order, fanout.topk_batch(few, 5).order
+        ), "row-chunked topk diverged"
+    print("parallel identity probe: ok")
 
 
 def _previous_bench(output: Path) -> tuple[Path, dict] | None:
@@ -154,13 +197,25 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--quick", action="store_true", help="~4x smaller workloads")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="engine worker processes for the current implementations "
+        "(references stay serial); -1 = all cores",
+    )
+    parser.add_argument(
+        "--smoke", "--check-only", dest="smoke", action="store_true",
+        help="CI mode: exactness + parallel-identity checks at reduced "
+        "scale, no timing gate, no JSON output",
+    )
     parser.add_argument("--output", type=Path, default=REPO_ROOT / BENCH_NAME)
     args = parser.parse_args(argv)
 
+    quick = args.quick or args.smoke
+    repeats = 1 if args.smoke else args.repeats
     ops = [
-        _bench_mdrc(args.repeats, args.quick),
-        _bench_ksetr(args.repeats, args.quick),
-        _bench_rank_regret_sampled(args.repeats, args.quick),
+        _bench_mdrc(repeats, quick, args.jobs),
+        _bench_ksetr(repeats, quick, args.jobs),
+        _bench_rank_regret_sampled(repeats, quick, args.jobs),
     ]
 
     print(f"{'op':<22}{'n':>8}{'d':>3}  {'baseline':>10}  {'engine':>10}  {'speedup':>8}")
@@ -171,10 +226,16 @@ def main(argv: list[str] | None = None) -> int:
             f"  {row['speedup']:>7.1f}x"
         )
 
+    if args.smoke:
+        _smoke_parallel_identity(args.jobs)
+        print("smoke mode: exactness checks passed; timing gate skipped")
+        return 0
+
     report = {
         "schema": 1,
         "bench": BENCH_NAME.removesuffix(".json"),
         "quick": args.quick,
+        "jobs": args.jobs,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "ops": ops,
@@ -187,6 +248,13 @@ def main(argv: list[str] | None = None) -> int:
         prev_ops = {row["op"]: row for row in prev.get("ops", [])}
         if prev.get("quick"):
             print(f"\nprevious {prev_path.name} was a --quick run; gate skipped")
+        elif prev.get("jobs") != args.jobs:
+            # Serial and fan-out medians are not comparable; only gate
+            # like against like.
+            print(
+                f"\nprevious {prev_path.name} ran with jobs="
+                f"{prev.get('jobs')} (this run: {args.jobs}); gate skipped"
+            )
         else:
             for row in ops:
                 old = prev_ops.get(row["op"])

@@ -16,7 +16,6 @@ algorithms:
 Run:  python examples/workload_coverage.py
 """
 
-import numpy as np
 
 from repro import mdrc, sample_functions, synthetic_bluenile
 from repro.core import workload_rrr

@@ -27,11 +27,10 @@ import argparse
 import sys
 from typing import Sequence
 
-import numpy as np
-
 from repro.core.api import rank_regret_representative
 from repro.datasets.io import load_csv
 from repro.evaluation.metrics import evaluate_representative
+from repro.exceptions import ReproError
 from repro.experiments.config import BENCH_EXPERIMENTS, PAPER_EXPERIMENTS, KSetCountConfig
 from repro.experiments.report import (
     format_experiment_table,
@@ -39,7 +38,6 @@ from repro.experiments.report import (
     summarize_shapes,
 )
 from repro.experiments.runner import make_dataset, run_experiment, run_kset_count
-from repro.exceptions import ReproError
 from repro.geometry.ksets import enumerate_ksets_2d, sample_ksets
 
 __all__ = ["main", "build_parser"]
@@ -52,8 +50,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="RRR: Rank-Regret Representative (SIGMOD 2019) toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    # Shared by every subcommand: the engine's process fan-out knob.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for engine-backed scoring "
+        "(default: serial; -1 = all cores); results are bit-identical",
+    )
 
-    rep = sub.add_parser("represent", help="compute a rank-regret representative")
+    rep = sub.add_parser(
+        "represent", help="compute a rank-regret representative", parents=[common]
+    )
     source = rep.add_mutually_exclusive_group()
     source.add_argument("--csv", help="path to a CSV dataset (see datasets.io)")
     source.add_argument(
@@ -75,17 +82,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo functions for quality measurement",
     )
 
-    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp = sub.add_parser("experiment", help="run a paper experiment", parents=[common])
     exp.add_argument("figure", choices=sorted(PAPER_EXPERIMENTS))
     exp.add_argument("--scale", choices=("bench", "paper"), default="bench")
 
     rall = sub.add_parser(
-        "reproduce", help="run every experiment and write EXPERIMENTS.md"
+        "reproduce", help="run every experiment and write EXPERIMENTS.md",
+        parents=[common],
     )
     rall.add_argument("--scale", choices=("bench", "paper"), default="bench")
     rall.add_argument("--out", default=None, help="write the report here")
 
-    ks = sub.add_parser("ksets", help="count k-sets (K-SETr / exact 2-D)")
+    ks = sub.add_parser(
+        "ksets", help="count k-sets (K-SETr / exact 2-D)", parents=[common]
+    )
     ks.add_argument("--dataset", choices=("dot", "bn"), default="dot")
     ks.add_argument("--n", type=int, default=500)
     ks.add_argument("--d", type=int, default=3)
@@ -105,11 +115,12 @@ def _cmd_represent(args: argparse.Namespace, out) -> int:
     else:
         data = make_dataset(args.dataset, args.n, args.d, seed=args.seed)
     result = rank_regret_representative(
-        data, _resolve_level(args.k, data.n), method=args.method, rng=args.seed
+        data, _resolve_level(args.k, data.n), method=args.method, rng=args.seed,
+        n_jobs=args.jobs,
     )
     report = evaluate_representative(
         data.values, result.indices, result.k,
-        num_functions=args.eval_functions, rng=args.seed,
+        num_functions=args.eval_functions, rng=args.seed, n_jobs=args.jobs,
     )
     print(f"dataset      : {data.name} (n={data.n}, d={data.d})", file=out)
     print(f"method       : {result.method}", file=out)
@@ -128,10 +139,14 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
     configs = BENCH_EXPERIMENTS if args.scale == "bench" else PAPER_EXPERIMENTS
     config = configs[args.figure]
     if isinstance(config, KSetCountConfig):
-        rows = run_kset_count(config, progress=lambda m: print(m, file=sys.stderr))
+        rows = run_kset_count(
+            config, progress=lambda m: print(m, file=sys.stderr), n_jobs=args.jobs
+        )
         print(format_kset_table(rows), file=out)
     else:
-        rows = run_experiment(config, progress=lambda m: print(m, file=sys.stderr))
+        rows = run_experiment(
+            config, progress=lambda m: print(m, file=sys.stderr), n_jobs=args.jobs
+        )
         print(format_experiment_table(rows), file=out)
         shapes = summarize_shapes(rows)
         print("", file=out)
@@ -148,7 +163,8 @@ def _cmd_ksets(args: argparse.Namespace, out) -> int:
         print(f"exact 2-D enumeration: {len(ksets)} k-sets (k={k})", file=out)
     else:
         outcome = sample_ksets(
-            data.values, k, patience=args.patience, rng=args.seed
+            data.values, k, patience=args.patience, rng=args.seed,
+            n_jobs=args.jobs,
         )
         print(
             f"K-SETr: {len(outcome.ksets)} k-sets (k={k}) in "
@@ -177,6 +193,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             report = reproduce_all(
                 scale=args.scale,
                 progress=lambda m: print(m, file=sys.stderr),
+                n_jobs=args.jobs,
             )
             if args.out:
                 with open(args.out, "w") as handle:

@@ -40,9 +40,13 @@ Implementation notes beyond the pseudocode:
   small relative to n: a per-cell depth cap (``max_depth``) and a global
   leaf budget (``max_cells``).  A cell resolved by either fallback
   contributes its center function's top-1 (all fallback centers of one
-  level are likewise evaluated in a single batch), preserving coverage at
-  a rank cost that vanishes with cell size; :attr:`MDRCResult.capped_cells`
-  reports how often this happened (0 in ordinary runs).
+  level are likewise evaluated in a single batch) *and* each of its
+  corners' top-1 (already evaluated — the corners sample every side of
+  the unresolved boundary the cell straddles, which the center alone can
+  miss entirely when one side's angular sliver is tiny), preserving
+  coverage at a rank cost that vanishes with cell size;
+  :attr:`MDRCResult.capped_cells` reports how often this happened (0 in
+  ordinary runs).
 """
 
 from __future__ import annotations
@@ -131,6 +135,7 @@ def mdrc(
     choice: str = "first",
     use_cache: bool = True,
     engine: ScoreEngine | None = None,
+    n_jobs: int | None = None,
 ) -> MDRCResult:
     """MDRC (Algorithm 5): frontier-batched function-space partitioning.
 
@@ -156,6 +161,11 @@ def mdrc(
         Optional pre-built :class:`~repro.engine.ScoreEngine` over
         ``values`` to share its GEMM chunking and memo across calls;
         built on the fly when omitted.
+    n_jobs:
+        Worker processes for the engine's shared-memory fan-out when the
+        engine is built here (``None``/``1`` = serial, ``-1`` = all
+        cores); ignored when ``engine`` is passed — the caller's engine
+        keeps its own configuration.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -172,8 +182,9 @@ def mdrc(
         raise ValidationError("max_cells must be >= 1")
     if choice not in ("first", "best-rank"):
         raise ValidationError(f"unknown choice policy {choice!r}")
+    own_engine = engine is None
     if engine is None:
-        engine = ScoreEngine(matrix)
+        engine = ScoreEngine(matrix, n_jobs=n_jobs)
     elif engine.values.shape != matrix.shape or not np.array_equal(
         engine.values, matrix
     ):
@@ -195,142 +206,161 @@ def mdrc(
     his = np.full((1, d - 1), _HALF_PI, dtype=np.float64)
     level = 0
 
-    while los.shape[0]:
-        num_cells = los.shape[0]
-        result.max_depth_reached = max(result.max_depth_reached, level)
+    try:
+        while los.shape[0]:
+            num_cells = los.shape[0]
+            result.max_depth_reached = max(result.max_depth_reached, level)
 
-        # ---- Phase A: build every corner of the frontier in one
-        # broadcast, then batch-evaluate the registry misses.
-        corner_rows = np.where(patterns[None, :, :], his[:, None, :], los[:, None, :])
-        corner_rows = np.ascontiguousarray(
-            corner_rows.reshape(num_cells * corners_per_cell, d - 1)
-        )
-        if use_cache:
-            # Vectorized within-level dedup first (sibling cells share
-            # faces), then a byte-keyed registry lookup per *unique*
-            # corner for the cross-level memo (the angle floats are exact
-            # box midpoints, so byte equality is exact corner equality).
-            void_keys = corner_rows.view(
-                np.dtype((np.void, corner_rows.dtype.itemsize * (d - 1)))
-            ).ravel()
-            uniq_keys, first_rows, inverse = np.unique(
-                void_keys, return_index=True, return_inverse=True
+            # ---- Phase A: build every corner of the frontier in one
+            # broadcast, then batch-evaluate the registry misses.
+            corner_rows = np.where(patterns[None, :, :], his[:, None, :], los[:, None, :])
+            corner_rows = np.ascontiguousarray(
+                corner_rows.reshape(num_cells * corners_per_cell, d - 1)
             )
-            uniq_ids = np.empty(len(uniq_keys), dtype=np.intp)
-            next_id = store.count
-            pending: list[int] = []
-            for u in range(len(uniq_keys)):
-                key = uniq_keys[u].tobytes()
-                gid = registry.get(key)
-                if gid is None:
-                    gid = next_id
-                    next_id += 1
-                    registry[key] = gid
-                    pending.append(u)
-                uniq_ids[u] = gid
-            ids = uniq_ids[inverse]
-            pending_rows = first_rows[pending]
-        else:
-            # Ablation mode mirrors the uncached recursion: every corner
-            # visit is a fresh evaluation (duplicates included), but they
-            # are still batched through one GEMM.
-            pending_rows = np.arange(len(corner_rows))
-            ids = store.count + pending_rows
-        if pending_rows.size:
-            weights = weights_from_angles_batch(corner_rows[pending_rows])
-            batch = engine.topk_batch(weights, k)
-            store.append(batch.members, batch.order)
-            result.corner_evaluations += len(pending_rows)
-
-        # ---- Phase B: intersect every cell's corner sets in one gather
-        # + AND reduction over the packed buffers.
-        id_matrix = ids.reshape(num_cells, corners_per_cell)
-        common = np.bitwise_and.reduce(store.packed[id_matrix], axis=1)
-        has_common = common.any(axis=1)
-        resolved_count = int(has_common.sum())
-        split_axis = level % (d - 1)
-
-        fallback_mask = np.zeros(num_cells, dtype=bool)
-        split_mask = np.zeros(num_cells, dtype=bool)
-        # Worst-case leaves if every non-resolving cell splits: current
-        # leaves + this level's resolutions + a deliberately conservative
-        # 3 per non-resolving cell (two children plus one slot of margin;
-        # 2 would suffice, the overestimate only routes borderline levels
-        # to the sequential path below).  Under the budget, the
-        # sequential pass would allow every one of those splits too, so
-        # the vectorized fast path is exactly equivalent.
-        projected_worst = (
-            result.cells + resolved_count + 3 * (num_cells - resolved_count)
-        )
-        if projected_worst <= max_cells:
-            resolved = np.flatnonzero(has_common)
-            if resolved.size:
-                _pick_batch(
-                    common[resolved], id_matrix[resolved], store, choice, selected
+            if use_cache:
+                # Vectorized within-level dedup first (sibling cells share
+                # faces), then a byte-keyed registry lookup per *unique*
+                # corner for the cross-level memo (the angle floats are exact
+                # box midpoints, so byte equality is exact corner equality).
+                void_keys = corner_rows.view(
+                    np.dtype((np.void, corner_rows.dtype.itemsize * (d - 1)))
+                ).ravel()
+                uniq_keys, first_rows, inverse = np.unique(
+                    void_keys, return_index=True, return_inverse=True
                 )
-                result.cells += resolved.size
-            if level < max_depth:
-                split_mask = ~has_common
-            else:
-                fallback_mask = ~has_common
-                count = int(fallback_mask.sum())
-                result.cells += count
-                result.capped_cells += count
-        else:
-            # Budget-risk path: sequential, with the projected leaf count
-            # capped at max_cells so total work stays bounded.
-            queued_children = 0
-            for position in range(num_cells):
-                if result.cells < max_cells:
-                    if has_common[position]:
-                        _pick_batch(
-                            common[position : position + 1],
-                            id_matrix[position : position + 1],
-                            store,
-                            choice,
-                            selected,
-                        )
-                        result.cells += 1
-                        continue
-                    projected = (
-                        result.cells
-                        + queued_children
-                        + 2
-                        + (num_cells - position - 1)
+                uniq_ids = np.empty(len(uniq_keys), dtype=np.intp)
+                next_id = store.count
+                pending: list[int] = []
+                # One bytes buffer sliced per key beats a np.void.tobytes()
+                # call per corner, and setdefault folds lookup + insert into
+                # a single dict operation.
+                buffer = uniq_keys.tobytes()
+                key_size = uniq_keys.dtype.itemsize
+                for u in range(len(uniq_keys)):
+                    gid = registry.setdefault(
+                        buffer[u * key_size : (u + 1) * key_size], next_id
                     )
-                    if level < max_depth and projected <= max_cells:
-                        split_mask[position] = True
-                        queued_children += 2
-                        continue
-                fallback_mask[position] = True
-                result.cells += 1
-                result.capped_cells += 1
+                    if gid == next_id:
+                        next_id += 1
+                        pending.append(u)
+                    uniq_ids[u] = gid
+                ids = uniq_ids[inverse]
+                pending_rows = first_rows[pending]
+            else:
+                # Ablation mode mirrors the uncached recursion: every corner
+                # visit is a fresh evaluation (duplicates included), but they
+                # are still batched through one GEMM.
+                pending_rows = np.arange(len(corner_rows))
+                ids = store.count + pending_rows
+            if pending_rows.size:
+                weights = weights_from_angles_batch(corner_rows[pending_rows])
+                batch = engine.topk_batch(weights, k)
+                store.append(batch.members, batch.order)
+                result.corner_evaluations += len(pending_rows)
 
-        # ---- Phase C: all fallback centers of this level in one batch.
-        if fallback_mask.any():
-            centers = (los[fallback_mask] + his[fallback_mask]) / 2.0
-            top1 = engine.topk_batch(weights_from_angles_batch(centers), 1).order
-            selected.update(int(i) for i in top1[:, 0])
+            # ---- Phase B: intersect every cell's corner sets in one gather
+            # + AND reduction over the packed buffers.
+            id_matrix = ids.reshape(num_cells, corners_per_cell)
+            common = np.bitwise_and.reduce(store.packed[id_matrix], axis=1)
+            has_common = common.any(axis=1)
+            resolved_count = int(has_common.sum())
+            split_axis = level % (d - 1)
 
-        # ---- Split the surviving cells along this level's axis, left
-        # child before right child (matching the sequential order).
-        if split_mask.any():
-            parent_los = los[split_mask]
-            parent_his = his[split_mask]
-            mids = (parent_los[:, split_axis] + parent_his[:, split_axis]) / 2.0
-            los = np.repeat(parent_los, 2, axis=0)
-            his = np.repeat(parent_his, 2, axis=0)
-            his[0::2, split_axis] = mids  # left child: [lo, mid]
-            los[1::2, split_axis] = mids  # right child: [mid, hi]
-        else:
-            los = np.empty((0, d - 1))
-            his = np.empty((0, d - 1))
-        level += 1
+            fallback_mask = np.zeros(num_cells, dtype=bool)
+            split_mask = np.zeros(num_cells, dtype=bool)
+            # Worst-case leaves if every non-resolving cell splits: current
+            # leaves + this level's resolutions + a deliberately conservative
+            # 3 per non-resolving cell (two children plus one slot of margin;
+            # 2 would suffice, the overestimate only routes borderline levels
+            # to the sequential path below).  Under the budget, the
+            # sequential pass would allow every one of those splits too, so
+            # the vectorized fast path is exactly equivalent.
+            projected_worst = (
+                result.cells + resolved_count + 3 * (num_cells - resolved_count)
+            )
+            if projected_worst <= max_cells:
+                resolved = np.flatnonzero(has_common)
+                if resolved.size:
+                    _pick_batch(
+                        common[resolved], id_matrix[resolved], store, choice, selected
+                    )
+                    result.cells += resolved.size
+                if level < max_depth:
+                    split_mask = ~has_common
+                else:
+                    fallback_mask = ~has_common
+                    count = int(fallback_mask.sum())
+                    result.cells += count
+                    result.capped_cells += count
+            else:
+                # Budget-risk path: sequential, with the projected leaf count
+                # capped at max_cells so total work stays bounded.
+                queued_children = 0
+                for position in range(num_cells):
+                    if result.cells < max_cells:
+                        if has_common[position]:
+                            _pick_batch(
+                                common[position : position + 1],
+                                id_matrix[position : position + 1],
+                                store,
+                                choice,
+                                selected,
+                            )
+                            result.cells += 1
+                            continue
+                        projected = (
+                            result.cells
+                            + queued_children
+                            + 2
+                            + (num_cells - position - 1)
+                        )
+                        if level < max_depth and projected <= max_cells:
+                            split_mask[position] = True
+                            queued_children += 2
+                            continue
+                    fallback_mask[position] = True
+                    result.cells += 1
+                    result.capped_cells += 1
 
-        if not use_cache:
-            registry.clear()
-            store = _CornerStore(packed_width(n), k)
+            # ---- Phase C: all fallback centers of this level in one batch.
+            if fallback_mask.any():
+                centers = (los[fallback_mask] + his[fallback_mask]) / 2.0
+                top1 = engine.topk_batch(weights_from_angles_batch(centers), 1).order
+                selected.update(int(i) for i in top1[:, 0])
+                # A capped cell straddles an unresolved top-k boundary; its
+                # center's top-1 covers only one side of it.  Each corner's
+                # top-1 is already in the store (no extra scoring), and the
+                # corners sample every side the cell touches — without them,
+                # an item whose top-1 region is tiny (e.g. denormal-scale
+                # coordinates pushing the boundary below the depth cap's
+                # resolution) is silently dropped and the d·k guarantee can
+                # break for functions inside that sliver.
+                selected.update(
+                    int(i) for i in store.orders[id_matrix[fallback_mask], 0].ravel()
+                )
 
+            # ---- Split the surviving cells along this level's axis, left
+            # child before right child (matching the sequential order).
+            if split_mask.any():
+                parent_los = los[split_mask]
+                parent_his = his[split_mask]
+                mids = (parent_los[:, split_axis] + parent_his[:, split_axis]) / 2.0
+                los = np.repeat(parent_los, 2, axis=0)
+                his = np.repeat(parent_his, 2, axis=0)
+                his[0::2, split_axis] = mids  # left child: [lo, mid]
+                los[1::2, split_axis] = mids  # right child: [mid, hi]
+            else:
+                los = np.empty((0, d - 1))
+                his = np.empty((0, d - 1))
+            level += 1
+
+            if not use_cache:
+                registry.clear()
+                store = _CornerStore(packed_width(n), k)
+
+    finally:
+        if own_engine:
+            engine.close()  # release the fan-out pool, if one was spun up
     result.indices = sorted(selected)
     return result
 

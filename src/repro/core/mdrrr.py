@@ -58,6 +58,7 @@ def collect_ksets(
     enumerator: str = "auto",
     patience: int = 100,
     rng: int | np.random.Generator | None = None,
+    n_jobs: int | None = None,
 ) -> tuple[list[frozenset[int]], str, int]:
     """Collect the k-sets of ``values`` with the requested strategy.
 
@@ -80,7 +81,7 @@ def collect_ksets(
             return enumerate_ksets_2d(matrix, k), "exact-2d-sweep", 0
         return enumerate_ksets_bfs(matrix, k), "exact-bfs", 0
     if enumerator == "sample":
-        outcome = sample_ksets(matrix, k, patience=patience, rng=rng)
+        outcome = sample_ksets(matrix, k, patience=patience, rng=rng, n_jobs=n_jobs)
         return outcome.ksets, "sample", outcome.draws
     raise ValidationError(f"unknown enumerator {enumerator!r}")
 
@@ -95,6 +96,7 @@ def md_rrr(
     ksets: Sequence[frozenset[int]] | None = None,
     verify_functions: int = 0,
     max_repair_rounds: int = 10,
+    n_jobs: int | None = None,
 ) -> MDRRRResult:
     """MDRRR (Algorithm 3): hitting set over the k-set collection.
 
@@ -127,6 +129,9 @@ def md_rrr(
         verification restores the observed always-≤-k behaviour of §6.2.
     max_repair_rounds:
         Cap on verification/repair iterations.
+    n_jobs:
+        Worker processes for K-SETr's batched scoring (``None``/``1`` =
+        serial, ``-1`` = all cores); draws are bit-identical either way.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -137,7 +142,8 @@ def md_rrr(
     draws = 0
     if ksets is None:
         collection, used, draws = collect_ksets(
-            matrix, k, enumerator=enumerator, patience=patience, rng=rng
+            matrix, k, enumerator=enumerator, patience=patience, rng=rng,
+            n_jobs=n_jobs,
         )
     else:
         collection, used = list(ksets), "provided"

@@ -17,6 +17,12 @@ Consumers (all refactored onto this engine):
 * the :mod:`repro.baselines` regret-ratio algorithms — shared chunked
   scoring.
 
+:mod:`repro.engine.parallel` is the shared-memory fan-out layer: with
+``ScoreEngine(..., n_jobs=N)`` every bulk call above a calibrated work
+cutover is split into function-chunk or row-chunk work units, run over a
+persistent process pool that maps the data matrix zero-copy, and merged
+deterministically — bit-identical to the serial path.
+
 :mod:`repro.engine.reference` keeps the frozen pre-engine
 implementations that the equivalence tests and the perf-regression gate
 (``benchmarks/perf_gate.py``) compare against.
@@ -31,11 +37,15 @@ from repro.engine.bitset import (
     popcount,
     unpack_indices,
 )
+from repro.engine.parallel import ParallelExecutor, SharedMatrix, resolve_n_jobs
 from repro.engine.score_engine import ScoreEngine, TopKBatch
 
 __all__ = [
     "ScoreEngine",
     "TopKBatch",
+    "ParallelExecutor",
+    "SharedMatrix",
+    "resolve_n_jobs",
     "BitsetTable",
     "pack_indices",
     "pack_membership",

@@ -1,0 +1,272 @@
+"""Shared-memory multi-process execution layer for :class:`ScoreEngine`.
+
+The engine's three bulk entry points — ``topk_batch``, ``score_batch`` and
+``rank_of_best_batch`` — are embarrassingly parallel once the data matrix
+is visible to every worker: each call splits into *function-chunk* work
+units (slices of the weight batch, the natural cut for MDRC frontiers and
+the 10k-function Monte-Carlo estimator) or *row-chunk* work units (slices
+of the data rows, for few functions over a large matrix), and partial
+results merge deterministically.
+
+Architecture
+------------
+* the ``(n, d)`` float64 matrix is published once per engine through
+  :mod:`multiprocessing.shared_memory` (:class:`SharedMatrix`); workers
+  map it zero-copy — nothing per-task but the weight slice crosses the
+  pipe;
+* a persistent :class:`concurrent.futures.ProcessPoolExecutor` is built
+  lazily on the first above-cutover call and reused for the engine's
+  lifetime.  Its initializer attaches the shared matrix and constructs
+  one :class:`~repro.engine.score_engine.ScoreEngine` *per worker
+  process* over it (serial, same configuration).  That worker engine
+  persists across tasks, so lazily-built state — norm/attribute pruning
+  orderings, the top-k memo — is built once per worker, not once per
+  chunk;
+* merging is pure bookkeeping: function-chunk results concatenate in
+  submission order; row-chunk partial counts sum and row-chunk top-k
+  candidates are re-scored exactly by the parent.  Because every work
+  unit honours the engine's exactness contract (results bit-identical to
+  the scalar ``top_k``/``rank_of`` path), the merged output is
+  bit-identical to the serial tiered path for any split.
+
+Determinism note: worker scheduling order never matters — futures are
+collected in submission order and every merge is order-preserving.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MIN_PARALLEL_WORK",
+    "ParallelExecutor",
+    "SharedMatrix",
+    "resolve_n_jobs",
+]
+
+# Serial fast-path cutover: calls with fewer than this many score-matrix
+# entries (n rows x m functions) stay in-process, so small problems never
+# pay pool dispatch (~1 ms/task) or result pickling.  Calibrated so the
+# parallel path only engages once one GEMM costs >~10 ms.
+DEFAULT_MIN_PARALLEL_WORK = 1 << 23
+
+# Work units per worker and parallel call: more units than workers gives
+# the pool slack to balance uneven chunks (tie-heavy columns fall back to
+# scalar probes and can be 10x slower than clean ones).
+_UNITS_PER_WORKER = 4
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob: None/1 -> serial, -1 -> all cores.
+
+    Any other non-positive value is rejected rather than guessed at.
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
+def _default_context():
+    """fork where available (cheap startup, Linux), else spawn.
+
+    Overridable through ``REPRO_MP_CONTEXT`` (``fork`` | ``spawn`` |
+    ``forkserver``) without touching call sites.
+    """
+    name = os.environ.get("REPRO_MP_CONTEXT")
+    if name:
+        return get_context(name)
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return get_context("spawn")
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment without touching the resource tracker.
+
+    Attaching registers the segment with the tracker on CPython < 3.13
+    (gh-82300), so workers would try to clean up — or, under fork, send
+    spurious unregisters to the parent's tracker — for a segment the
+    creating engine owns.  3.13+ has ``track=False``; earlier versions
+    get the standard workaround of muting ``register`` for the call.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - CPython < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedMatrix:
+    """One float64 matrix in a shared-memory segment.
+
+    The parent :meth:`create`-s it (one copy, at pool construction);
+    workers :meth:`attach` by name and wrap the buffer in a read-only,
+    C-contiguous ndarray — exactly the layout :class:`ScoreEngine`
+    accepts without copying.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, array: np.ndarray, owner: bool
+    ) -> None:
+        self._shm = shm
+        self.array = array
+        self._owner = owner
+
+    @classmethod
+    def create(cls, matrix: np.ndarray) -> "SharedMatrix":
+        shm = shared_memory.SharedMemory(create=True, size=matrix.nbytes)
+        array = np.ndarray(matrix.shape, dtype=np.float64, buffer=shm.buf)
+        array[:] = matrix
+        array.flags.writeable = False
+        return cls(shm, array, owner=True)
+
+    @property
+    def spec(self) -> tuple[str, tuple[int, ...]]:
+        """Picklable handle: (segment name, matrix shape)."""
+        return self._shm.name, self.array.shape
+
+    @classmethod
+    def attach(cls, spec: tuple[str, tuple[int, ...]]) -> "SharedMatrix":
+        name, shape = spec
+        shm = _attach_untracked(name)
+        array = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+        array.flags.writeable = False
+        return cls(shm, array, owner=False)
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - double close
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side.  One engine per worker process, built by the initializer
+# and reused across every task the pool hands this worker — orderings
+# and memo state are therefore constructed once per worker, never once
+# per chunk.
+_WORKER: dict = {}
+
+
+def _init_worker(spec: tuple[str, tuple[int, ...]], config: dict) -> None:
+    from repro.engine.score_engine import ScoreEngine
+
+    shared = SharedMatrix.attach(spec)
+    _WORKER["shared"] = shared
+    _WORKER["engine"] = ScoreEngine(shared.array, **config)
+
+
+def _run_task(kind: str, *args):
+    engine = _WORKER["engine"]
+    if kind == "topk":
+        weights, k = args
+        return engine.topk_order_batch(weights, k)
+    if kind == "rank":
+        weights, members = args
+        return engine.rank_of_best_batch(weights, members)
+    if kind == "score":
+        weights, = args
+        return engine.score_batch(weights)
+    if kind == "topk_rows":
+        weights, k, lo, hi = args
+        return engine.topk_candidates_slice(weights, k, lo, hi)
+    if kind == "rank_rows":
+        weights, members, lo, hi = args
+        return engine.rank_count_slice(weights, members, lo, hi)
+    raise ValueError(f"unknown work-unit kind {kind!r}")  # pragma: no cover
+
+
+def _cleanup(pool: ProcessPoolExecutor, shared: SharedMatrix) -> None:
+    pool.shutdown(wait=False, cancel_futures=True)
+    shared.close()
+
+
+class ParallelExecutor:
+    """Persistent worker pool + shared matrix for one engine.
+
+    Owns no scoring semantics: the parent engine decides how a call is
+    split and how partials merge; this class only ships work units and
+    returns their results in submission order.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        config: dict,
+        n_jobs: int,
+        mp_context: str | None = None,
+    ) -> None:
+        self.n_jobs = int(n_jobs)
+        self._shared = SharedMatrix.create(values)
+        context = get_context(mp_context) if mp_context else _default_context()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_jobs,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(self._shared.spec, config),
+        )
+        self.tasks_dispatched = 0
+        self._finalizer = weakref.finalize(self, _cleanup, self._pool, self._shared)
+
+    # ------------------------------------------------------------------
+    def function_chunk_bounds(self, m: int, align: int = 1) -> list[tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` slices of an m-function batch.
+
+        ``align`` forces boundaries onto multiples of the engine's serial
+        GEMM chunk so ``score_batch`` work units replay the exact serial
+        matmul calls (bit-identical raw scores).
+        """
+        units = min(m, self.n_jobs * _UNITS_PER_WORKER)
+        size = -(-m // units)  # ceil
+        if align > 1:
+            size = -(-size // align) * align
+        return [(lo, min(m, lo + size)) for lo in range(0, m, size)]
+
+    def row_chunk_bounds(self, n: int) -> list[tuple[int, int]]:
+        units = min(n, self.n_jobs * _UNITS_PER_WORKER)
+        size = -(-n // units)
+        return [(lo, min(n, lo + size)) for lo in range(0, n, size)]
+
+    def run_function_chunks(self, kind: str, weights, args=(), align: int = 1):
+        """Ship one work unit per weight slice; results in slice order."""
+        bounds = self.function_chunk_bounds(weights.shape[0], align=align)
+        futures = [
+            self._pool.submit(_run_task, kind, weights[lo:hi], *args)
+            for lo, hi in bounds
+        ]
+        self.tasks_dispatched += len(futures)
+        return [future.result() for future in futures]
+
+    def run_row_chunks(self, kind: str, weights, n: int, args=()):
+        """Ship one work unit per data-row slice; results in slice order."""
+        bounds = self.row_chunk_bounds(n)
+        futures = [
+            self._pool.submit(_run_task, kind, weights, *args, lo, hi)
+            for lo, hi in bounds
+        ]
+        self.tasks_dispatched += len(futures)
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and release the shared segment."""
+        self._finalizer()

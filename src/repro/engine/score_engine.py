@@ -16,7 +16,15 @@ the ``(n, d)`` matrix and serves that batched path to every caller:
   an LRU memo keyed on the weight bytes (MDRC's shared cell corners,
   repeated workload functions);
 * :meth:`rank_of_best_batch` — the rank-regret estimator's inner
-  counting loop, batched and ulp-verified.
+  counting loop, batched, ulp-verified and *pruned*: each function is
+  routed through the norm/attribute orderings with the subset's best
+  score as a lower bound, so counting stops at a provably sufficient
+  prefix instead of scanning all n rows.
+
+With ``n_jobs > 1`` every bulk call above a calibrated work cutover is
+split into function-chunk or row-chunk work units and fanned out over a
+persistent shared-memory worker pool (:mod:`repro.engine.parallel`);
+the exactness contract makes any split bit-identical to the serial path.
 
 Exactness
 ---------
@@ -42,6 +50,7 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.engine.bitset import pack_membership, packed_width
+from repro.engine.parallel import DEFAULT_MIN_PARALLEL_WORK, resolve_n_jobs
 from repro.exceptions import ValidationError
 
 __all__ = ["ScoreEngine", "TopKBatch"]
@@ -50,6 +59,14 @@ __all__ = ["ScoreEngine", "TopKBatch"]
 # which GEMM scores are treated as potentially tied and re-verified.
 _TIE_BAND_ULPS = 64.0
 
+# Rank counting: grid base for quantizing attribute-ordering prefix needs
+# (prefixes round up to 2 * this, 4 * this, ...), and the target float32
+# score-buffer size per fused count chunk.  The buffer is sized to sit in
+# cache so the threshold passes read scores while they are still hot —
+# at bench scale this matters as much as the GEMM itself.
+_RANK_GRID_BASE = 128
+_RANK_BUFFER_BYTES = 1 << 23
+
 
 class _Ordering:
     """One pruning order over the data rows (see _build_orderings).
@@ -57,17 +74,20 @@ class _Ordering:
     ``perm`` maps prefix-local positions to global row ids; ``V`` is the
     matrix reordered accordingly; every row at position ≥ p scores at
     most ``a(w)·u[p] + b(w)·v[p]`` for the ordering's coefficients.
+    ``V32`` and ``inv`` (the inverse permutation) are filled lazily by
+    the consumers that need them and survive pickling with the rest.
     """
 
-    __slots__ = ("perm", "V", "V32", "u", "v", "attribute")
+    __slots__ = ("perm", "V", "V32", "u", "v", "attribute", "inv")
 
-    def __init__(self, perm, V, V32, u, v, attribute) -> None:
+    def __init__(self, perm, V, V32, u, v, attribute, inv=None) -> None:
         self.perm = perm
         self.V = V
         self.V32 = V32
         self.u = u
         self.v = v
         self.attribute = attribute
+        self.inv = inv
 
 
 def _geometric_grid(k: int, n: int) -> np.ndarray:
@@ -113,6 +133,20 @@ class ScoreEngine:
         regardless of how many functions a caller throws at one call.
     memo_size:
         Capacity of the single-function LRU memo (entries, not bytes).
+    n_jobs:
+        Worker processes for the shared-memory fan-out layer
+        (:mod:`repro.engine.parallel`).  ``None``/``1`` keeps every call
+        in-process; ``-1`` uses all cores.  The pool and the shared copy
+        of the matrix are created lazily on the first call whose
+        ``n x m`` work exceeds ``parallel_min_work`` and persist until
+        :meth:`close` (or garbage collection).
+    mp_context:
+        Multiprocessing start method for the pool (``"fork"`` |
+        ``"spawn"`` | ``"forkserver"``); default picks fork where
+        available.
+    parallel_min_work:
+        Serial fast-path cutover in score-matrix entries (``n * m``);
+        calls below it never touch the pool.
     """
 
     def __init__(
@@ -122,6 +156,9 @@ class ScoreEngine:
         float32: bool = False,
         chunk_bytes: int = 1 << 26,
         memo_size: int = 4096,
+        n_jobs: int | None = None,
+        mp_context: str | None = None,
+        parallel_min_work: int = DEFAULT_MIN_PARALLEL_WORK,
     ) -> None:
         matrix = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
@@ -143,15 +180,29 @@ class ScoreEngine:
         self._excess_work = 0
         if chunk_bytes < 8 * self.n:
             chunk_bytes = 8 * self.n
+        self._chunk_bytes = int(chunk_bytes)
         self._chunk_cols = max(1, int(chunk_bytes) // (8 * self.n))
         self._memo_size = int(memo_size)
         self._memo: OrderedDict[tuple[bytes, int], TopKBatch] = OrderedDict()
+        try:
+            self.n_jobs = resolve_n_jobs(n_jobs)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from None
+        self._mp_context = mp_context
+        self._parallel_min_work = int(parallel_min_work)
+        self._parallel = None  # lazy ParallelExecutor (see repro.engine.parallel)
+        # (k, ordering count) -> per-attribute-ordering grid gathers,
+        # reused across batches by _prefix_needs.
+        self._grid_cache: dict[tuple[int, int], list] = {}
+        self._max_row_norm: float | None = None  # lazy, see _noise_scale
         # Introspection counters (read by tests and the perf gate).
         self.stats = {
             "gemm_columns": 0,
             "verified_columns": 0,
             "memo_hits": 0,
             "memo_misses": 0,
+            "rank_prefix_rows": 0,
+            "parallel_calls": 0,
         }
 
     # ------------------------------------------------------------------
@@ -178,6 +229,63 @@ class ScoreEngine:
         return packed_width(self.n)
 
     # ------------------------------------------------------------------
+    # parallel execution layer (see repro.engine.parallel)
+    def _worker_config(self) -> dict:
+        """Constructor kwargs for the per-worker serial engine clones."""
+        return {
+            "float32": self.float32,
+            "chunk_bytes": self._chunk_bytes,
+            "memo_size": self._memo_size,
+            "n_jobs": 1,
+        }
+
+    def _parallel_plan(self, m: int) -> str | None:
+        """How to split an m-function call: None (serial), "functions",
+        or "rows".  Function chunks need enough columns to go around;
+        row chunks cover the few-functions-huge-matrix shape."""
+        if self.n_jobs <= 1 or m * self.n < self._parallel_min_work:
+            return None
+        if m >= 2 * self.n_jobs:
+            return "functions"
+        if self.n >= 16 * self.n_jobs:
+            return "rows"
+        return None
+
+    def _executor(self):
+        if self._parallel is None:
+            from repro.engine.parallel import ParallelExecutor
+
+            self._parallel = ParallelExecutor(
+                self.values, self._worker_config(), self.n_jobs, self._mp_context
+            )
+        self.stats["parallel_calls"] += 1
+        return self._parallel
+
+    def close(self) -> None:
+        """Shut down the worker pool and shared segment, if any."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "ScoreEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        """Pickle everything except the process pool.
+
+        Lazily-built state — the pruning orderings and the top-k memo —
+        travels with the engine, so an unpickled copy (or a worker
+        rebuilt from one) does not re-sort or re-probe what the original
+        already paid for.
+        """
+        state = self.__dict__.copy()
+        state["_parallel"] = None
+        return state
+
+    # ------------------------------------------------------------------
     # scoring
     def score_batch(self, weight_matrix: np.ndarray) -> np.ndarray:
         """All scores as an ``(n, m)`` float64 matrix, computed chunkwise.
@@ -189,6 +297,16 @@ class ScoreEngine:
         """
         W = self._check_weights(weight_matrix)
         m = W.shape[0]
+        # Function-chunk fan-out, aligned to the serial chunk boundaries
+        # so workers replay the exact serial matmul calls (raw GEMM
+        # output stays bit-identical to the serial path, not merely
+        # ulp-close).  Row-chunked GEMMs would not, so "rows" plans fall
+        # through to the serial loop.
+        if self._parallel_plan(m) == "functions" and m > self._chunk_cols:
+            parts = self._executor().run_function_chunks(
+                "score", W, align=self._chunk_cols
+            )
+            return np.concatenate(parts, axis=1)
         out = np.empty((self.n, m), dtype=np.float64)
         for lo in range(0, m, self._chunk_cols):
             hi = min(m, lo + self._chunk_cols)
@@ -209,13 +327,37 @@ class ScoreEngine:
         W = self._check_weights(weight_matrix)
         k = self._check_k(k)
         m = W.shape[0]
+        plan = self._parallel_plan(m)
+        if plan == "functions":
+            parts = self._executor().run_function_chunks("topk", W, args=(k,))
+            order = np.concatenate(parts, axis=0)
+        elif plan == "rows":
+            parts = self._executor().run_row_chunks(
+                "topk_rows", W, self.n, args=(k,)
+            )
+            order = self._topk_merge_candidates(W, k, parts)
+        else:
+            order = self.topk_order_batch(W, k)
+        members = pack_membership(order, self.n)
+        return TopKBatch(members=members, order=order)
+
+    def topk_order_batch(self, weight_matrix: np.ndarray, k: int) -> np.ndarray:
+        """The ``(m, k)`` best-first index rows of :meth:`topk_batch`,
+        without bitset packing.
+
+        This is the serial tiered evaluation — also the function-chunk
+        work unit the parallel layer ships to workers (packing happens
+        once, in the parent, over the merged order matrix).
+        """
+        W = self._check_weights(weight_matrix)
+        k = self._check_k(k)
+        m = W.shape[0]
         order = np.empty((m, k), dtype=np.int64)
         for lo in range(0, m, self._chunk_cols):
             hi = min(m, lo + self._chunk_cols)
             self._topk_chunk(W[lo:hi], k, order[lo:hi])
             self.stats["gemm_columns"] += hi - lo
-        members = pack_membership(order, self.n)
-        return TopKBatch(members=members, order=order)
+        return order
 
     def _topk_chunk(self, Wc: np.ndarray, k: int, out_order: np.ndarray) -> None:
         """Fill ``out_order`` (mc, k) with the top-k of one column chunk.
@@ -338,6 +480,100 @@ class ScoreEngine:
             B[:, o] = np.sqrt(np.maximum(w_norms**2 - wj**2, 0.0))
         return A, B
 
+    def _accumulate_probe_demand(self, Wc: np.ndarray, thr: np.ndarray) -> None:
+        """Build the attribute orderings once probe volume justifies them.
+
+        Charged with each batch's norm-ordering needs: when the
+        accumulated prefix work exceeds a few full passes over the
+        matrix, the sharper per-attribute orders pay for their argsorts
+        and copies.
+        """
+        if self._attr_orderings_built:
+            return
+        norm_coeff = np.linalg.norm(Wc, axis=1)
+        with np.errstate(divide="ignore"):
+            first_need = np.searchsorted(
+                -self._orderings[0].u,
+                -(thr / np.where(norm_coeff > 0.0, norm_coeff, np.inf)),
+                side="right",
+            )
+        self._excess_work += int(first_need.sum())
+        if self._excess_work > 8 * self.n * (self.d + 1):
+            self._build_attribute_orderings()
+
+    def _prefix_needs(self, Wc: np.ndarray, thr: np.ndarray, k: int) -> np.ndarray:
+        """Sufficient prefix sizes, one per (function, ordering).
+
+        Every row beyond position ``needs[i, o]`` of ordering ``o``
+        provably scores below ``thr[i]``.  Exact (searchsorted) under the
+        norm ordering; quantized to a doubling grid under the attribute
+        orderings, whose two-term bounds are only evaluated at grid
+        positions.
+        """
+        n = self.n
+        A, B = self._bound_coeffs(Wc)
+        needs = np.empty((Wc.shape[0], len(self._orderings)), dtype=np.int64)
+        needs[:, 0] = np.searchsorted(
+            -self._orderings[0].u,
+            -(thr / np.where(A[:, 0] > 0.0, A[:, 0], np.inf)),
+            side="right",
+        )
+        grid = _geometric_grid(k, n)
+        # The per-ordering grid gathers are probe-invariant; cache them
+        # per (k, ordering count) so repeated batches skip the fancy
+        # indexing (the cache is tiny: one grid-length pair per entry).
+        cache_key = (int(k), len(self._orderings))
+        cached = self._grid_cache.get(cache_key)
+        if cached is None:
+            cached = [
+                (ordering.u[grid], ordering.v[grid])
+                for ordering in self._orderings[1:]
+            ]
+            self._grid_cache[cache_key] = cached
+        for o, (u_grid, v_grid) in enumerate(cached, start=1):
+            bound = A[:, o, None] * u_grid[None, :] + B[:, o, None] * (
+                v_grid[None, :]
+            )
+            # The bound is non-increasing along the grid, so the count of
+            # still-live positions is the index of the first prunable one.
+            with np.errstate(invalid="ignore"):
+                first_dead = (bound >= thr[:, None]).sum(axis=1)
+            needs[:, o] = np.append(grid, n)[first_dead]
+            # Ineligible (negative-weight) pairs can never prune.
+            needs[np.isnan(A[:, o]), o] = n
+        return needs
+
+    def _ordering_v32(self, ordering: "_Ordering") -> np.ndarray:
+        """The ordering's float32 matrix copy, built once on demand."""
+        if ordering.V32 is None:
+            ordering.V32 = ordering.V.astype(np.float32)
+        return ordering.V32
+
+    def _ordering_inv(self, ordering: "_Ordering") -> np.ndarray:
+        """The ordering's inverse permutation (row id -> prefix position)."""
+        if ordering.inv is None:
+            inv = np.empty(self.n, dtype=np.int64)
+            inv[ordering.perm] = np.arange(self.n, dtype=np.int64)
+            ordering.inv = inv
+        return ordering.inv
+
+    def _noise_scale(self, W: np.ndarray) -> np.ndarray:
+        """Per-function magnitude bound for GEMM rounding noise.
+
+        Floating-point dot-product error scales with ``sum_i |w_i x_i| <=
+        ||w|| * max_row ||x||`` — NOT with the resulting score, which can
+        be far smaller under cancellation (mixed-sign weights, or
+        near-opposite columns).  Every ulp band in the counting paths
+        must therefore be scaled by this bound rather than by ``|best|``,
+        or rows can cross a threshold by more than the band and be
+        miscounted without ever triggering the exact fallback.
+        """
+        if self._max_row_norm is None:
+            self._max_row_norm = float(
+                np.sqrt((self.values * self.values).sum(axis=1).max())
+            )
+        return np.linalg.norm(W, axis=1) * self._max_row_norm
+
     def _topk_tier(
         self, Wc: np.ndarray, k: int, out_order: np.ndarray, use_f32: bool
     ) -> np.ndarray:
@@ -377,35 +613,8 @@ class ScoreEngine:
         # the attribute orderings; route each function to the cheapest.
         # The attribute orderings are only constructed once enough probe
         # demand has accumulated to amortize their argsorts and copies.
-        if not self._attr_orderings_built:
-            norm_coeff = np.linalg.norm(Wc, axis=1)
-            with np.errstate(divide="ignore"):
-                first_need = np.searchsorted(
-                    -self._orderings[0].u,
-                    -(thr / np.where(norm_coeff > 0.0, norm_coeff, np.inf)),
-                    side="right",
-                )
-            self._excess_work += int(first_need.sum())
-            if self._excess_work > 8 * self.n * (self.d + 1):
-                self._build_attribute_orderings()
-        A, B = self._bound_coeffs(Wc)
-        needs = np.empty((mc, len(self._orderings)), dtype=np.int64)
-        needs[:, 0] = np.searchsorted(
-            -norm_ord.u, -(thr / np.where(A[:, 0] > 0.0, A[:, 0], np.inf)),
-            side="right",
-        )
-        grid = _geometric_grid(k, n)
-        for o, ordering in enumerate(self._orderings[1:], start=1):
-            bound = A[:, o, None] * ordering.u[grid][None, :] + B[:, o, None] * (
-                ordering.v[grid][None, :]
-            )
-            # The bound is non-increasing along the grid, so the count of
-            # still-live positions is the index of the first prunable one.
-            with np.errstate(invalid="ignore"):
-                first_dead = (bound >= thr[:, None]).sum(axis=1)
-            needs[:, o] = np.append(grid, n)[first_dead]
-            # Ineligible (negative-weight) pairs can never prune.
-            needs[np.isnan(A[:, o]), o] = n
+        self._accumulate_probe_demand(Wc, thr)
+        needs = self._prefix_needs(Wc, thr, k)
         best_o = np.argmin(needs, axis=1)
 
         # The probe already holds the full answer for functions whose
@@ -491,10 +700,11 @@ class ScoreEngine:
         if fast.size:
             fblk = ordering.perm[blk[fast]]  # global row ids
             if use_f32:
-                # Order by float64 scores recomputed per row.
-                scr = np.einsum(
-                    "fkd,fd->fk", self.values[fblk], Wc[rows[fast]], optimize=True
-                )
+                # Order by float64 scores recomputed per row (batched
+                # matvec: no einsum path search on the hot loop).
+                scr = np.matmul(
+                    self.values[fblk], Wc[rows[fast], :, None]
+                )[:, :, 0]
             else:
                 scr = block_scores[fast]
             if k > 1:
@@ -564,6 +774,14 @@ class ScoreEngine:
 
     # ------------------------------------------------------------------
     # batched rank counting
+    def _check_subset(self, subset: np.ndarray) -> np.ndarray:
+        members = np.asarray(sorted({int(i) for i in np.asarray(subset).reshape(-1)}))
+        if members.size == 0:
+            raise ValidationError("subset must be non-empty")
+        if members[0] < 0 or members[-1] >= self.n:
+            raise ValidationError("subset indices out of range")
+        return members
+
     def rank_of_best_batch(
         self, weight_matrix: np.ndarray, subset: np.ndarray
     ) -> np.ndarray:
@@ -572,42 +790,216 @@ class ScoreEngine:
         Returns ``(m,)`` int64: ``1 +`` the number of rows scoring
         *strictly* above the subset's best score under each function —
         the quantity the Monte-Carlo rank-regret estimator maximizes.
-        Rows whose GEMM score falls within an ulp band of the subset
-        best are re-verified with deterministic float64 dots, so
-        bit-level GEMM noise (e.g. between identical rows) can never
-        inflate a rank.
+
+        Counting is pruned and tiered: the subset's best score (one
+        small float64 GEMM over the member rows) is a lower bound no
+        counted row may miss, so each function is routed to the
+        norm/attribute ordering with the smallest sufficient prefix and
+        counted over that prefix only, in float32, in cache-sized fused
+        chunks.  Any function with a non-member row inside the float32
+        ulp band around the bound is recomputed with the deterministic
+        scalar float64 kernel — so GEMM noise (e.g. between identical
+        rows) can never inflate a rank, and the result is bit-identical
+        to the pre-pruning full-scan path for every input.
         """
         W = self._check_weights(weight_matrix)
-        members = np.asarray(sorted({int(i) for i in np.asarray(subset).reshape(-1)}))
-        if members.size == 0:
-            raise ValidationError("subset must be non-empty")
-        if members[0] < 0 or members[-1] >= self.n:
-            raise ValidationError("subset indices out of range")
-        member_mask = np.zeros(self.n, dtype=bool)
-        member_mask[members] = True
+        members = self._check_subset(subset)
+        m = W.shape[0]
+        plan = self._parallel_plan(m)
+        if plan == "functions":
+            parts = self._executor().run_function_chunks("rank", W, args=(members,))
+            return np.concatenate(parts)
+        if plan == "rows":
+            return self._rank_row_merge(W, members)
+        return self._rank_functions(W, members)
+
+    def _rank_functions(self, W: np.ndarray, members: np.ndarray) -> np.ndarray:
+        """Serial pruned rank counting (also the function-chunk work unit)."""
+        n = self.n
         m = W.shape[0]
         ranks = np.empty(m, dtype=np.int64)
-        eps = float(np.finfo(np.float64).eps)
+        if m == 0:
+            return ranks
+        # The exactness anchor: each function's best member score, from a
+        # dedicated float64 GEMM over the s << n member rows.
+        member_values = self.values[members]
+        best = np.empty(m)
         for lo in range(0, m, self._chunk_cols):
             hi = min(m, lo + self._chunk_cols)
-            Wc = W[lo:hi]
-            S = Wc @ self.values.T  # (mc, n), one contiguous row per function
-            self.stats["gemm_columns"] += hi - lo
-            sub = S[:, members]  # (mc, s)
-            best = sub.max(axis=1)  # (mc,)
-            tol = _TIE_BAND_ULPS * eps * np.abs(best)
-            above = (S > (best + tol)[:, None]).sum(axis=1)
-            # Any *non-member* row inside the ulp band could be a GEMM
-            # artefact (or a genuine photo-finish): recompute those
-            # functions with the scalar GEMV kernel, which scores every
-            # row with per-row accumulation — bit-identical to rank_of.
-            # The band population is counted without a dedicated mask
-            # pass: rows above best − tol, minus the members among them.
-            near = (S > (best - tol)[:, None]).sum(axis=1)
-            members_near = (sub > (best - tol)[:, None]).sum(axis=1)
-            for j in np.flatnonzero(near - members_near != above):
-                exact = self.values @ Wc[j]
-                above[j] = int((exact > exact[members].max()).sum())
-                self.stats["verified_columns"] += 1
-            ranks[lo:hi] = above + 1
+            best[lo:hi] = (W[lo:hi] @ member_values.T).max(axis=1)
+        eps32 = float(np.finfo(np.float32).eps)
+        # Band scaled by the rounding-noise bound ||w|| * max ||row||, not
+        # by |best|: under cancellation float32 scores can be off by far
+        # more than any |best|-relative band, and rows must land in the
+        # contested band (-> exact fallback) rather than be miscounted.
+        tol = _TIE_BAND_ULPS * eps32 * self._noise_scale(W)
+        thr = best - 4.0 * tol
+        if self._orderings is None:
+            self._orderings = self._build_orderings()
+        self._accumulate_probe_demand(W, thr)
+        needs = self._prefix_needs(W, thr, _RANK_GRID_BASE)
+        best_o = np.argmin(needs, axis=1)
+        need = np.clip(needs[np.arange(m), best_o], 1, n)
+        # Quantize prefix sizes to a doubling grid so one GEMM serves a
+        # whole group of similarly-needy functions.
+        sizes = np.append(_geometric_grid(_RANK_GRID_BASE, n), n)
+        bucket = np.searchsorted(sizes, need)
+        W32 = W.astype(np.float32)
+        hi_t = (best + tol).astype(np.float32)
+        lo_t = (best - tol).astype(np.float32)
+        group_key = best_o * (len(sizes) + 1) + bucket
+        order = np.argsort(group_key, kind="stable")
+        starts = np.flatnonzero(np.diff(group_key[order])) + 1
+        for group in np.split(order, starts):
+            ordering = self._orderings[int(best_o[group[0]])]
+            c = int(sizes[bucket[group[0]]])
+            prefix32 = self._ordering_v32(ordering)[:c]
+            positions = self._ordering_inv(ordering)[members]
+            in_prefix = positions[positions < c]
+            # Fused count chunks: size the float32 score buffer to sit in
+            # cache so the threshold passes run on hot data.
+            cols = max(16, min(1024, _RANK_BUFFER_BYTES // (4 * c)))
+            for glo in range(0, group.size, cols):
+                rows = group[glo : glo + cols]
+                S = W32[rows] @ prefix32.T  # (|rows|, c)
+                above = (S > hi_t[rows][:, None]).sum(axis=1)
+                near = (S > lo_t[rows][:, None]).sum(axis=1)
+                if in_prefix.size:
+                    member_near = (
+                        S[:, in_prefix] > lo_t[rows][:, None]
+                    ).sum(axis=1)
+                else:
+                    member_near = 0
+                self.stats["gemm_columns"] += rows.size
+                self.stats["rank_prefix_rows"] += rows.size * c
+                # Members never clear best + tol, so `above` counts
+                # non-members only; a non-member inside the band means
+                # the float32 decision is contestable -> exact fallback.
+                for j in np.flatnonzero(near - member_near != above):
+                    exact = self.values @ W[rows[j]]
+                    above[j] = int((exact > exact[members].max()).sum())
+                    self.stats["verified_columns"] += 1
+                ranks[rows] = above + 1
         return ranks
+
+    def rank_count_slice(
+        self, weight_matrix: np.ndarray, subset: np.ndarray, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-chunk work unit: strictly-above counts over rows [lo, hi).
+
+        Returns ``(above, contested)``: per function, the number of rows
+        in the slice scoring above the subset's best + tolerance, and
+        whether any non-member slice row landed inside the ulp band (the
+        parent then resolves that function with the exact scalar
+        kernel).  Summing ``above`` over a partition of the rows equals
+        the full-scan count because every uncontested decision is exact.
+        """
+        W = self._check_weights(weight_matrix)
+        members = self._check_subset(subset)
+        best = (W @ self.values[members].T).max(axis=1)
+        eps = float(np.finfo(np.float64).eps)
+        tol = _TIE_BAND_ULPS * eps * self._noise_scale(W)
+        S = W @ self.values[lo:hi].T
+        self.stats["gemm_columns"] += W.shape[0]
+        above = (S > (best + tol)[:, None]).sum(axis=1)
+        near = (S > (best - tol)[:, None]).sum(axis=1)
+        inside = members[(members >= lo) & (members < hi)]
+        if inside.size:
+            member_near = (S[:, inside - lo] > (best - tol)[:, None]).sum(axis=1)
+        else:
+            member_near = np.zeros(W.shape[0], dtype=np.int64)
+        return above.astype(np.int64), near - member_near != above
+
+    def _rank_row_merge(self, W: np.ndarray, members: np.ndarray) -> np.ndarray:
+        """Fan a small batch out over row chunks and merge the counts.
+
+        Row chunks scan the full matrix, so they only pay off when the
+        pruned serial path could not already cut the work: a cheap
+        norm-ordering probe routes strongly-prunable calls back to
+        :meth:`_rank_functions` instead of inflating total work across
+        the pool.
+        """
+        if self._orderings is None:
+            self._orderings = self._build_orderings()
+        best = (W @ self.values[members].T).max(axis=1)
+        eps32 = float(np.finfo(np.float32).eps)
+        thr = best - 4.0 * _TIE_BAND_ULPS * eps32 * self._noise_scale(W)
+        norms = np.linalg.norm(W, axis=1)
+        need = np.searchsorted(
+            -self._orderings[0].u,
+            -(thr / np.where(norms > 0.0, norms, np.inf)),
+            side="right",
+        )
+        if int(need.max(initial=0)) < self.n // 2:
+            return self._rank_functions(W, members)
+        parts = self._executor().run_row_chunks(
+            "rank_rows", W, self.n, args=(members,)
+        )
+        above = np.zeros(W.shape[0], dtype=np.int64)
+        contested = np.zeros(W.shape[0], dtype=bool)
+        for part_above, part_contested in parts:
+            above += part_above
+            contested |= part_contested
+        for j in np.flatnonzero(contested):
+            exact = self.values @ W[j]
+            above[j] = int((exact > exact[members].max()).sum())
+            self.stats["verified_columns"] += 1
+        return above + 1
+
+    # ------------------------------------------------------------------
+    # row-chunked top-k (work unit + merge)
+    def topk_candidates_slice(
+        self, weight_matrix: np.ndarray, k: int, lo: int, hi: int
+    ) -> list[np.ndarray]:
+        """Row-chunk work unit: top-k *candidates* within rows [lo, hi).
+
+        Per function, every slice row whose GEMM score reaches the
+        slice's k-th best minus the ulp band — a superset of the rows
+        that can appear in the global top-k, since a true top-k row
+        ranks in the top-k of its own slice by exact scores and GEMM
+        deviations are far smaller than the band.
+        """
+        W = self._check_weights(weight_matrix)
+        k = self._check_k(k)
+        height = hi - lo
+        S = W @ self.values[lo:hi].T  # (m, height)
+        self.stats["gemm_columns"] += W.shape[0]
+        if k >= height:
+            full = np.arange(lo, hi, dtype=np.int64)
+            return [full] * W.shape[0]
+        eps = float(np.finfo(np.float64).eps)
+        tol = _TIE_BAND_ULPS * eps * self._noise_scale(W)
+        blk = np.argpartition(S, height - k, axis=1)[:, height - k :]
+        kth = np.take_along_axis(S, blk, axis=1).min(axis=1)
+        return [
+            (lo + np.flatnonzero(S[i] >= kth[i] - tol[i])).astype(np.int64)
+            for i in range(W.shape[0])
+        ]
+
+    def _topk_merge_candidates(
+        self, W: np.ndarray, k: int, parts: list[list[np.ndarray]]
+    ) -> np.ndarray:
+        """Merge per-slice candidate lists into exact top-k rows.
+
+        Candidates are re-scored with per-row float64 dots (the scalar
+        kernel's accumulation) and ordered by (score desc, index asc);
+        any (near-)tie within the band among the boundary-deciding
+        scores falls back to the scalar algorithm verbatim, exactly like
+        the tiered serial path.
+        """
+        m = W.shape[0]
+        out = np.empty((m, k), dtype=np.int64)
+        eps = float(np.finfo(np.float64).eps)
+        scales = self._noise_scale(W)
+        for i in range(m):
+            cand = np.concatenate([part[i] for part in parts])
+            scores = self.values[cand] @ W[i]
+            order = np.lexsort((cand, -scores))
+            boundary = scores[order[: min(cand.size, k + 1)]]
+            tol = _TIE_BAND_ULPS * eps * scales[i]
+            if (np.diff(boundary) > -tol).any():
+                out[i] = self._verified_topk_column(W[i], k)
+                self.stats["verified_columns"] += 1
+            else:
+                out[i] = cand[order[:k]]
+        return out

@@ -14,6 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.engine import ScoreEngine
 from repro.evaluation.regret import (
     rank_regret_exact_2d,
     rank_regret_sampled,
@@ -56,11 +57,14 @@ def evaluate_representative(
     exact: bool | None = None,
     num_functions: int = 10_000,
     rng: int | np.random.Generator | None = 0,
+    n_jobs: int | None = None,
 ) -> RepresentativeReport:
     """Measure a representative set the way the paper's §6 does.
 
     ``exact=None`` (default) picks the exact 2-D sweep when d = 2 and the
     sampled estimator otherwise; pass True/False to force either.
+    ``n_jobs`` fans the Monte-Carlo measurements out over worker
+    processes (``None``/``1`` = serial, ``-1`` = all cores).
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -69,17 +73,24 @@ def evaluate_representative(
     if not members:
         raise ValidationError("subset must be non-empty")
     use_exact = (matrix.shape[1] == 2) if exact is None else bool(exact)
-    if use_exact:
-        if matrix.shape[1] != 2:
-            raise ValidationError("exact rank-regret is only available in 2-D")
-        regret = rank_regret_exact_2d(matrix, members)
-    else:
-        regret = int(
-            rank_regret_sampled(matrix, members, num_functions=num_functions, rng=rng)
+    # One engine serves both Monte-Carlo estimators, so the pool /
+    # shared-memory copy / pruning orderings are paid for once per call.
+    with ScoreEngine(matrix, n_jobs=n_jobs) as engine:
+        if use_exact:
+            if matrix.shape[1] != 2:
+                raise ValidationError("exact rank-regret is only available in 2-D")
+            regret = rank_regret_exact_2d(matrix, members)
+        else:
+            regret = int(
+                rank_regret_sampled(
+                    matrix, members, num_functions=num_functions, rng=rng,
+                    engine=engine,
+                )
+            )
+        ratio = regret_ratio_sampled(
+            matrix, members, num_functions=min(num_functions, 1000), rng=rng,
+            engine=engine,
         )
-    ratio = regret_ratio_sampled(
-        matrix, members, num_functions=min(num_functions, 1000), rng=rng
-    )
     return RepresentativeReport(
         size=len(members),
         rank_regret=int(regret),

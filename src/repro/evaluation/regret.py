@@ -10,7 +10,7 @@ to evaluate the HD-RRMS baseline on its own terms.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 
@@ -101,6 +101,8 @@ def rank_regret_sampled(
     num_functions: int = DEFAULT_NUM_FUNCTIONS,
     rng: int | np.random.Generator | None = None,
     return_distribution: bool = False,
+    n_jobs: int | None = None,
+    engine: ScoreEngine | None = None,
 ) -> int | np.ndarray:
     """Monte-Carlo estimate of RR_L(X) over uniformly sampled functions.
 
@@ -109,12 +111,18 @@ def rank_regret_sampled(
     instead of their maximum — useful for percentile reporting.
 
     Counting runs through
-    :meth:`repro.engine.ScoreEngine.rank_of_best_batch`: chunked GEMM
-    (flat peak memory however many functions are requested) with an ulp
-    band around the subset's best score that is re-verified in exact
-    float64, so blocked-BLAS noise between (near-)identical rows cannot
-    inflate a rank — the estimator agrees with the scalar
+    :meth:`repro.engine.ScoreEngine.rank_of_best_batch`: pruned float32
+    counting over a provably sufficient prefix of the norm/attribute
+    orderings (flat peak memory however many functions are requested)
+    with an ulp band around the subset's best score that is re-verified
+    in exact float64, so blocked-BLAS noise between (near-)identical
+    rows cannot inflate a rank — the estimator agrees with the scalar
     :func:`repro.ranking.topk.rank_of` even on degenerate data.
+    ``n_jobs`` fans the counting out over the engine's shared-memory
+    worker pool (``None``/``1`` = serial, ``-1`` = all cores) with
+    bit-identical results.  Pass a pre-built ``engine`` over the same
+    matrix to reuse its pool/orderings across calls (``n_jobs`` is then
+    ignored — the engine keeps its own configuration).
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -123,7 +131,11 @@ def rank_regret_sampled(
         raise ValidationError("num_functions must be >= 1")
     members = _validate_subset(matrix.shape[0], subset)
     weights = sample_functions(matrix.shape[1], num_functions, rng)
-    regrets = ScoreEngine(matrix).rank_of_best_batch(weights, members)
+    if engine is not None:
+        regrets = engine.rank_of_best_batch(weights, members)
+    else:
+        with ScoreEngine(matrix, n_jobs=n_jobs) as own:
+            regrets = own.rank_of_best_batch(weights, members)
     if return_distribution:
         return regrets
     return int(regrets.max())
@@ -149,8 +161,13 @@ def regret_ratio_sampled(
     subset: Iterable[int],
     num_functions: int = 1000,
     rng: int | np.random.Generator | None = None,
+    n_jobs: int | None = None,
+    engine: ScoreEngine | None = None,
 ) -> float:
-    """Monte-Carlo maximum regret-ratio of ``subset`` over sampled functions."""
+    """Monte-Carlo maximum regret-ratio of ``subset`` over sampled functions.
+
+    ``engine`` as in :func:`rank_regret_sampled`.
+    """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
         raise ValidationError("values must be an (n, d) matrix")
@@ -158,7 +175,11 @@ def regret_ratio_sampled(
         raise ValidationError("num_functions must be >= 1")
     members = _validate_subset(matrix.shape[0], subset)
     weights = sample_functions(matrix.shape[1], num_functions, rng)
-    score_matrix = ScoreEngine(matrix).score_batch(weights)
+    if engine is not None:
+        score_matrix = engine.score_batch(weights)
+    else:
+        with ScoreEngine(matrix, n_jobs=n_jobs) as own:
+            score_matrix = own.score_batch(weights)
     top = score_matrix.max(axis=0)
     achieved = score_matrix[members].max(axis=0)
     safe_top = np.where(top > 0, top, 1.0)

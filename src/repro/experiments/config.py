@@ -13,8 +13,7 @@ Two scales are provided for every experiment:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Sequence
+from dataclasses import dataclass, replace
 
 __all__ = [
     "ExperimentConfig",

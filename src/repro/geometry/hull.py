@@ -47,7 +47,6 @@ def convex_hull_2d(values: np.ndarray) -> np.ndarray:
     extreme points, or the single distinct point.
     """
     points = _as_points(values, d=2)
-    n = points.shape[0]
     order = np.lexsort((points[:, 1], points[:, 0]))
     # Deduplicate identical points, keeping the smallest row index
     # (consistent with the library-wide tie-breaker).

@@ -105,6 +105,7 @@ def sample_ksets(
     rng: int | np.random.Generator | None = None,
     max_draws: int = 1_000_000,
     batch_size: int = 256,
+    n_jobs: int | None = None,
 ) -> KSetSampleResult:
     """K-SETr (Algorithm 4): randomized k-set collection.
 
@@ -121,6 +122,10 @@ def sample_ksets(
     rule is still applied draw-by-draw, so results are identical to the
     scalar loop for any given RNG stream; ``frozenset`` objects are only
     materialized for the rare *new* k-sets that enter the result.
+
+    ``n_jobs`` fans each batch's top-k out over the engine's
+    shared-memory worker pool (``None``/``1`` = serial, ``-1`` = all
+    cores) — bit-identical draws either way.
     """
     matrix, k = _validate(values, k)
     if patience < 1:
@@ -132,27 +137,30 @@ def sample_ksets(
     # the float32 noise band) is re-resolved by the engine on the exact
     # float64 scalar path, so results stay identical to float64 scoring
     # while clean draws run at twice the GEMM/selection throughput.
-    engine = ScoreEngine(matrix, float32=True)
-    result = KSetSampleResult(ksets=[])
-    table = BitsetTable(matrix.shape[0])
-    misses = 0
-    while result.draws < max_draws:
-        batch = min(batch_size, max_draws - result.draws)
-        weights = sample_functions(matrix.shape[1], batch, generator)
-        members, order = engine.topk_batch(weights, k)
-        for column in range(batch):
-            result.draws += 1
-            _, is_new = table.add(members[column])
-            if is_new:
-                result.ksets.append(frozenset(int(i) for i in order[column]))
-                result.functions.append(weights[column])
-                misses = 0
-            else:
-                misses += 1
-                if misses >= patience:
-                    return result
-    result.exhausted = True
-    return result
+    engine = ScoreEngine(matrix, float32=True, n_jobs=n_jobs)
+    try:
+        result = KSetSampleResult(ksets=[])
+        table = BitsetTable(matrix.shape[0])
+        misses = 0
+        while result.draws < max_draws:
+            batch = min(batch_size, max_draws - result.draws)
+            weights = sample_functions(matrix.shape[1], batch, generator)
+            members, order = engine.topk_batch(weights, k)
+            for column in range(batch):
+                result.draws += 1
+                _, is_new = table.add(members[column])
+                if is_new:
+                    result.ksets.append(frozenset(order[column].tolist()))
+                    result.functions.append(weights[column])
+                    misses = 0
+                else:
+                    misses += 1
+                    if misses >= patience:
+                        return result
+        result.exhausted = True
+        return result
+    finally:
+        engine.close()
 
 
 def enumerate_ksets_bfs(values: np.ndarray, k: int) -> list[frozenset[int]]:

@@ -1,0 +1,274 @@
+"""Bit-identity and lifecycle tests for the shared-memory fan-out layer.
+
+The contract under test: for every work split — function chunks, row
+chunks, any worker count — the parallel engine returns *bit-identical*
+results to the serial tiered path, including on tie-dense and
+duplicate-row data that exercises the scalar fallback tier.  Pool and
+shared-segment lifecycle (lazy creation, n_jobs=1 degradation, close,
+pickling) is covered alongside.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import ScoreEngine, SharedMatrix, resolve_n_jobs
+from repro.engine import parallel as par
+from repro.exceptions import ValidationError
+from repro.ranking import sample_functions
+
+
+def _engines(values, n_jobs=2, **kwargs):
+    """(serial, parallel-with-zero-cutover) engine pair."""
+    serial = ScoreEngine(values)
+    fanout = ScoreEngine(values, n_jobs=n_jobs, parallel_min_work=0, **kwargs)
+    return serial, fanout
+
+
+def _instances():
+    rng = np.random.default_rng(20260731)
+    cases = []
+    for n, d, m in ((31, 2, 17), (64, 3, 40), (300, 4, 65)):
+        values = rng.random((n, d))
+        cases.append((values, sample_functions(d, m, rng)))
+    # Tie-dense: quantized scores hit the scalar verification tier.
+    values = np.round(rng.random((60, 3)), 1)
+    cases.append((values, np.round(sample_functions(3, 24, rng), 1) + 0.1))
+    # Degenerate: identical rows provoke blocked-BLAS score noise.
+    cases.append((np.full((40, 3), 0.873046875), sample_functions(3, 24, rng)))
+    return cases
+
+
+class TestFunctionChunkIdentity:
+    @pytest.mark.parametrize("case", range(len(_instances())))
+    def test_topk_bit_identical(self, case):
+        values, weights = _instances()[case]
+        serial, fanout = _engines(values)
+        with fanout:
+            k = max(1, values.shape[0] // 4)
+            a = serial.topk_batch(weights, k)
+            b = fanout.topk_batch(weights, k)
+            assert np.array_equal(a.order, b.order)
+            assert np.array_equal(a.members, b.members)
+
+    @pytest.mark.parametrize("case", range(len(_instances())))
+    def test_rank_bit_identical(self, case):
+        values, weights = _instances()[case]
+        serial, fanout = _engines(values)
+        with fanout:
+            subset = [0, values.shape[0] // 2, values.shape[0] - 1]
+            assert np.array_equal(
+                serial.rank_of_best_batch(weights, subset),
+                fanout.rank_of_best_batch(weights, subset),
+            )
+
+    def test_score_batch_bit_identical(self):
+        # Aligned function chunks replay the serial matmul calls, so raw
+        # GEMM output matches bitwise, not just to an ulp.
+        rng = np.random.default_rng(5)
+        values = rng.random((50, 4))
+        weights = sample_functions(4, 96, 5)
+        serial = ScoreEngine(values, chunk_bytes=1)
+        fanout = ScoreEngine(values, chunk_bytes=1, n_jobs=2, parallel_min_work=0)
+        with fanout:
+            assert np.array_equal(
+                serial.score_batch(weights), fanout.score_batch(weights)
+            )
+
+
+class TestRowChunkIdentity:
+    def test_topk_bit_identical(self):
+        # m < 2 * n_jobs with a large-enough n selects the row-chunk plan.
+        rng = np.random.default_rng(6)
+        values = rng.random((400, 3))
+        weights = sample_functions(3, 3, 6)
+        serial, fanout = _engines(values)
+        with fanout:
+            for k in (1, 7, 400):
+                a = serial.topk_batch(weights, k)
+                b = fanout.topk_batch(weights, k)
+                assert np.array_equal(a.order, b.order)
+
+    def test_topk_duplicate_rows(self):
+        values = np.full((120, 3), 0.873046875)
+        weights = sample_functions(3, 2, 0)
+        serial, fanout = _engines(values)
+        with fanout:
+            a = serial.topk_batch(weights, 5)
+            b = fanout.topk_batch(weights, 5)
+            assert np.array_equal(a.order, b.order)
+
+    def test_rank_bit_identical(self):
+        rng = np.random.default_rng(7)
+        values = rng.random((500, 3))
+        weights = sample_functions(3, 3, 7)
+        serial, fanout = _engines(values)
+        with fanout:
+            assert np.array_equal(
+                serial.rank_of_best_batch(weights, [2, 250]),
+                fanout.rank_of_best_batch(weights, [2, 250]),
+            )
+
+
+class TestPlanning:
+    def test_forced_multi_chunk_small_matrix(self):
+        # A matrix far below the default cutover still splits into many
+        # work units once the cutover is forced to zero.
+        rng = np.random.default_rng(8)
+        values = rng.random((40, 3))
+        weights = sample_functions(3, 64, 8)
+        serial, fanout = _engines(values, n_jobs=3)
+        with fanout:
+            a = serial.topk_batch(weights, 7)
+            b = fanout.topk_batch(weights, 7)
+            assert np.array_equal(a.order, b.order)
+            assert fanout.stats["parallel_calls"] == 1
+            assert fanout._parallel.tasks_dispatched > 1
+
+    def test_default_cutover_keeps_small_calls_serial(self):
+        values = np.random.default_rng(9).random((40, 3))
+        engine = ScoreEngine(values, n_jobs=2)  # default parallel_min_work
+        engine.topk_batch(sample_functions(3, 10, 9), 5)
+        assert engine._parallel is None
+        assert engine.stats["parallel_calls"] == 0
+
+    def test_n_jobs_one_degrades_to_serial(self):
+        values = np.random.default_rng(10).random((40, 3))
+        weights = sample_functions(3, 30, 10)
+        serial = ScoreEngine(values)
+        inline = ScoreEngine(values, n_jobs=1, parallel_min_work=0)
+        a = serial.topk_batch(weights, 4)
+        b = inline.topk_batch(weights, 4)
+        assert np.array_equal(a.order, b.order)
+        assert inline._parallel is None
+        assert inline.stats["parallel_calls"] == 0
+
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(-1) >= 1
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+        with pytest.raises(ValidationError):
+            ScoreEngine(np.ones((3, 2)), n_jobs=-2)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        values = np.random.default_rng(11).random((64, 3))
+        engine = ScoreEngine(values, n_jobs=2, parallel_min_work=0)
+        engine.topk_batch(sample_functions(3, 20, 11), 3)
+        assert engine._parallel is not None
+        engine.close()
+        assert engine._parallel is None
+        engine.close()
+        # The engine keeps working serially after close.
+        engine.topk_order_batch(sample_functions(3, 4, 12), 3)
+
+    def test_shared_matrix_roundtrip(self):
+        matrix = np.arange(12.0).reshape(4, 3)
+        shared = SharedMatrix.create(matrix)
+        try:
+            attached = SharedMatrix.attach(shared.spec)
+            assert np.array_equal(attached.array, matrix)
+            assert not attached.array.flags.writeable
+            attached.close()
+        finally:
+            shared.close()
+
+
+class TestPicklingAndWorkerState:
+    def test_pickle_preserves_lazy_state(self):
+        values = np.random.default_rng(12).random((80, 3))
+        engine = ScoreEngine(values, n_jobs=2, parallel_min_work=0)
+        with engine:
+            w = sample_functions(3, 1, 12)[0]
+            engine.top_k(w, 5)  # one memo entry
+            # A direct serial probe builds the parent-side orderings (the
+            # parallel plans build them inside the workers instead).
+            engine.topk_order_batch(sample_functions(3, 4, 1), 5)
+            assert engine._orderings is not None
+            clone = pickle.loads(pickle.dumps(engine))
+        # Orderings and memo travelled: no re-sort, and the memoized
+        # probe hits without a recompute.
+        assert clone._orderings is not None
+        assert clone._parallel is None
+        misses_before = clone.stats["memo_misses"]
+        assert np.array_equal(clone.top_k(w, 5), engine.top_k(w, 5))
+        assert clone.stats["memo_misses"] == misses_before
+
+    def test_worker_engine_built_once_per_process(self):
+        # Drive the worker entry points in-process: the initializer
+        # builds one engine, every task reuses it, and lazily-built
+        # orderings persist across tasks instead of re-sorting per chunk.
+        values = np.random.default_rng(13).random((64, 3))
+        shared = SharedMatrix.create(values)
+        saved = dict(par._WORKER)
+        try:
+            par._init_worker(shared.spec, {"n_jobs": 1})
+            first_engine = par._WORKER["engine"]
+            weights = sample_functions(3, 8, 13)
+            out1 = par._run_task("topk", weights, 4)
+            orderings_after_first = par._WORKER["engine"]._orderings
+            assert orderings_after_first is not None
+            out2 = par._run_task("topk", weights, 4)
+            assert par._WORKER["engine"] is first_engine
+            assert par._WORKER["engine"]._orderings is orderings_after_first
+            assert np.array_equal(out1, out2)
+            assert np.array_equal(out1, ScoreEngine(values).topk_order_batch(weights, 4))
+        finally:
+            par._WORKER.get("shared", shared).close()
+            par._WORKER.clear()
+            par._WORKER.update(saved)
+            shared.close()
+
+
+class TestPrunedRankCounting:
+    def test_matches_full_scan_on_grid(self):
+        rng = np.random.default_rng(14)
+        for n, d in ((50, 2), (300, 4), (997, 3)):
+            values = rng.random((n, d))
+            weights = sample_functions(d, 60, rng)
+            subset = [0, n // 3, n - 1]
+            engine = ScoreEngine(values)
+            got = engine.rank_of_best_batch(weights, subset)
+            # Row-chunk counting is the pre-pruning full scan; summing it
+            # over one full-range slice reproduces the legacy path.
+            above, contested = engine.rank_count_slice(weights, subset, 0, n)
+            for j in np.flatnonzero(contested):
+                exact = values @ weights[j]
+                above[j] = int((exact > exact[subset].max()).sum())
+            assert np.array_equal(got, above + 1)
+
+    def test_cancellation_heavy_scores_stay_exact(self):
+        # Float32 counting noise scales with ||w||*||x||, not with the
+        # resulting score: near-opposite columns at large magnitude make
+        # scores tiny relative to the rounding error, and every such row
+        # must fall into the contested band and be recounted exactly.
+        rng = np.random.default_rng(16)
+        values = np.column_stack(
+            [10000.0 + rng.random(400) * 0.002, np.full(400, 10000.0)]
+        )
+        weights = np.array([[1.0, -1.0], [0.5, -0.5], [1.0, -0.999]])
+        subset = [int(np.argsort(values[:, 0])[200])]
+        from repro.ranking import rank_of
+
+        engine = ScoreEngine(values)
+        got = engine.rank_of_best_batch(weights, subset)
+        for j, w in enumerate(weights):
+            assert got[j] == min(rank_of(values, w, i) for i in subset)
+        assert engine.stats["verified_columns"] > 0  # band fallback fired
+
+    def test_pruning_actually_prunes(self):
+        # A heavy-tailed norm profile lets the orderings cut the scanned
+        # prefix far below n x m.
+        rng = np.random.default_rng(15)
+        n, m = 4000, 300
+        values = rng.random((n, 3)) * rng.random((n, 1)) ** 4
+        top = np.argsort(-np.linalg.norm(values, axis=1))[:5]
+        engine = ScoreEngine(values)
+        weights = sample_functions(3, m, 15)
+        engine.rank_of_best_batch(weights, top)
+        assert engine.stats["rank_prefix_rows"] < 0.5 * n * m

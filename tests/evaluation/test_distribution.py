@@ -1,6 +1,5 @@
 """Unit tests for rank-regret distribution analysis."""
 
-import numpy as np
 import pytest
 
 from repro.core import mdrc

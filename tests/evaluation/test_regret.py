@@ -12,7 +12,7 @@ from repro.evaluation import (
     regret_ratio_sampled,
 )
 from repro.exceptions import ValidationError
-from repro.ranking import ranks, sample_functions, weights_from_angles
+from repro.ranking import ranks, weights_from_angles
 
 
 class TestRankRegretForFunction:

@@ -33,7 +33,7 @@ class TestSweepCorrectness:
         rng = np.random.default_rng(0)
         values = rng.random((40, 2))
         sweep = AngularSweep(values)
-        events = sweep.run()
+        sweep.run()
         # Re-run, checking the maintained order against brute force at the
         # midpoint of every inter-event gap.
         sweep = AngularSweep(values)
@@ -52,12 +52,10 @@ class TestSweepCorrectness:
         rng = np.random.default_rng(1)
         values = rng.random((25, 2))
         sweep = AngularSweep(values)
-        prev = 0.0
-        for event in sweep.events():
-            # Just before this event the maintained order was valid for the
-            # midpoint of (prev, theta): check against the pre-event state is
-            # not possible anymore, so check after: between theta and next.
-            prev = event.theta
+        # Drain the sweep; the maintained order is validated terminally
+        # (the pre-event states are no longer observable mid-iteration).
+        for _event in sweep.events():
+            pass
         # At least validate terminal state.
         final = brute_force_order(values, np.pi / 2 - 1e-9)
         assert np.array_equal(sweep.order, final)

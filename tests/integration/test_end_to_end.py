@@ -15,7 +15,7 @@ from repro import (
     synthetic_dot,
     two_d_rrr,
 )
-from repro.evaluation import rank_regret_exact_2d, rank_regret_sampled
+from repro.evaluation import rank_regret_exact_2d
 
 
 class TestPipelines:

@@ -54,8 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
         "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for engine-backed scoring "
+        help="workers for engine-backed scoring "
         "(default: serial; -1 = all cores); results are bit-identical",
+    )
+    common.add_argument(
+        "--backend", choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="execution backend for the fan-out: auto picks "
+        "serial/thread/process from problem size and measured per-call "
+        "work (default: auto)",
     )
 
     rep = sub.add_parser(
@@ -116,11 +123,12 @@ def _cmd_represent(args: argparse.Namespace, out) -> int:
         data = make_dataset(args.dataset, args.n, args.d, seed=args.seed)
     result = rank_regret_representative(
         data, _resolve_level(args.k, data.n), method=args.method, rng=args.seed,
-        n_jobs=args.jobs,
+        n_jobs=args.jobs, backend=args.backend,
     )
     report = evaluate_representative(
         data.values, result.indices, result.k,
         num_functions=args.eval_functions, rng=args.seed, n_jobs=args.jobs,
+        backend=args.backend,
     )
     print(f"dataset      : {data.name} (n={data.n}, d={data.d})", file=out)
     print(f"method       : {result.method}", file=out)
@@ -140,12 +148,14 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
     config = configs[args.figure]
     if isinstance(config, KSetCountConfig):
         rows = run_kset_count(
-            config, progress=lambda m: print(m, file=sys.stderr), n_jobs=args.jobs
+            config, progress=lambda m: print(m, file=sys.stderr),
+            n_jobs=args.jobs, backend=args.backend,
         )
         print(format_kset_table(rows), file=out)
     else:
         rows = run_experiment(
-            config, progress=lambda m: print(m, file=sys.stderr), n_jobs=args.jobs
+            config, progress=lambda m: print(m, file=sys.stderr),
+            n_jobs=args.jobs, backend=args.backend,
         )
         print(format_experiment_table(rows), file=out)
         shapes = summarize_shapes(rows)
@@ -164,7 +174,7 @@ def _cmd_ksets(args: argparse.Namespace, out) -> int:
     else:
         outcome = sample_ksets(
             data.values, k, patience=args.patience, rng=args.seed,
-            n_jobs=args.jobs,
+            n_jobs=args.jobs, backend=args.backend,
         )
         print(
             f"K-SETr: {len(outcome.ksets)} k-sets (k={k}) in "
@@ -194,6 +204,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 scale=args.scale,
                 progress=lambda m: print(m, file=sys.stderr),
                 n_jobs=args.jobs,
+                backend=args.backend,
             )
             if args.out:
                 with open(args.out, "w") as handle:

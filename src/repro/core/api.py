@@ -85,6 +85,7 @@ def rank_regret_representative(
     method: str = "auto",
     rng: int | np.random.Generator | None = None,
     n_jobs: int | None = None,
+    backend: str = "auto",
     **options: object,
 ) -> RRRResult:
     """Compute a k-RRR of ``data`` (the paper's headline operation).
@@ -104,10 +105,14 @@ def rank_regret_representative(
     rng:
         Seed/generator for the randomized pieces (MDRRR's K-SETr).
     n_jobs:
-        Worker processes for the engine-backed scoring inside MDRC and
-        MDRRR (``None``/``1`` = serial, ``-1`` = all cores).  Results
-        are bit-identical to the serial path; 2DRRR's sweep is
-        inherently sequential and ignores it.
+        Workers for the engine-backed scoring inside MDRC and MDRRR
+        (``None``/``1`` = serial, ``-1`` = all cores).  Results are
+        bit-identical to the serial path; 2DRRR's sweep is inherently
+        sequential and ignores it.
+    backend:
+        Execution backend for that scoring (``"auto"`` | ``"serial"`` |
+        ``"thread"`` | ``"process"``), as in
+        :class:`~repro.engine.ScoreEngine`.
     options:
         Forwarded to the chosen algorithm (e.g. ``enumerator=`` and
         ``hitting=`` for MDRRR, ``max_depth=`` / ``choice=`` for MDRC,
@@ -124,11 +129,11 @@ def rank_regret_representative(
         indices = two_d_rrr(matrix, level, **options)
         return RRRResult(tuple(indices), "2drrr", level, guarantee=2 * level)
     if method == "mdrrr":
-        outcome = md_rrr(matrix, level, rng=rng, n_jobs=n_jobs, **options)
+        outcome = md_rrr(matrix, level, rng=rng, n_jobs=n_jobs, backend=backend, **options)
         return RRRResult(tuple(outcome.indices), "mdrrr", level, guarantee=level)
     if method == "mdrc":
         if d < 2:
             raise ValidationError("mdrc requires d >= 2")
-        outcome = mdrc(matrix, level, n_jobs=n_jobs, **options)
+        outcome = mdrc(matrix, level, n_jobs=n_jobs, backend=backend, **options)
         return RRRResult(tuple(outcome.indices), "mdrc", level, guarantee=d * level)
     raise ValidationError(f"unknown method {method!r}")

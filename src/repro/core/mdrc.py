@@ -136,6 +136,7 @@ def mdrc(
     use_cache: bool = True,
     engine: ScoreEngine | None = None,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> MDRCResult:
     """MDRC (Algorithm 5): frontier-batched function-space partitioning.
 
@@ -162,10 +163,14 @@ def mdrc(
         ``values`` to share its GEMM chunking and memo across calls;
         built on the fly when omitted.
     n_jobs:
-        Worker processes for the engine's shared-memory fan-out when the
-        engine is built here (``None``/``1`` = serial, ``-1`` = all
-        cores); ignored when ``engine`` is passed — the caller's engine
-        keeps its own configuration.
+        Workers for the engine's fan-out layer when the engine is built
+        here (``None``/``1`` = serial, ``-1`` = all cores); ignored when
+        ``engine`` is passed — the caller's engine keeps its own
+        configuration.
+    backend:
+        Execution backend for the fan-out (``"auto"`` | ``"serial"`` |
+        ``"thread"`` | ``"process"``), as in :class:`ScoreEngine`;
+        likewise ignored when ``engine`` is passed.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -184,7 +189,7 @@ def mdrc(
         raise ValidationError(f"unknown choice policy {choice!r}")
     own_engine = engine is None
     if engine is None:
-        engine = ScoreEngine(matrix, n_jobs=n_jobs)
+        engine = ScoreEngine(matrix, n_jobs=n_jobs, backend=backend)
     elif engine.values.shape != matrix.shape or not np.array_equal(
         engine.values, matrix
     ):

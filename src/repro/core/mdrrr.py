@@ -59,6 +59,7 @@ def collect_ksets(
     patience: int = 100,
     rng: int | np.random.Generator | None = None,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> tuple[list[frozenset[int]], str, int]:
     """Collect the k-sets of ``values`` with the requested strategy.
 
@@ -81,7 +82,9 @@ def collect_ksets(
             return enumerate_ksets_2d(matrix, k), "exact-2d-sweep", 0
         return enumerate_ksets_bfs(matrix, k), "exact-bfs", 0
     if enumerator == "sample":
-        outcome = sample_ksets(matrix, k, patience=patience, rng=rng, n_jobs=n_jobs)
+        outcome = sample_ksets(
+            matrix, k, patience=patience, rng=rng, n_jobs=n_jobs, backend=backend
+        )
         return outcome.ksets, "sample", outcome.draws
     raise ValidationError(f"unknown enumerator {enumerator!r}")
 
@@ -97,6 +100,7 @@ def md_rrr(
     verify_functions: int = 0,
     max_repair_rounds: int = 10,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> MDRRRResult:
     """MDRRR (Algorithm 3): hitting set over the k-set collection.
 
@@ -130,8 +134,12 @@ def md_rrr(
     max_repair_rounds:
         Cap on verification/repair iterations.
     n_jobs:
-        Worker processes for K-SETr's batched scoring (``None``/``1`` =
-        serial, ``-1`` = all cores); draws are bit-identical either way.
+        Workers for K-SETr's batched scoring (``None``/``1`` = serial,
+        ``-1`` = all cores); draws are bit-identical either way.
+    backend:
+        Execution backend for that scoring (``"auto"`` | ``"serial"`` |
+        ``"thread"`` | ``"process"``), as in
+        :class:`~repro.engine.ScoreEngine`.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -143,7 +151,7 @@ def md_rrr(
     if ksets is None:
         collection, used, draws = collect_ksets(
             matrix, k, enumerator=enumerator, patience=patience, rng=rng,
-            n_jobs=n_jobs,
+            n_jobs=n_jobs, backend=backend,
         )
     else:
         collection, used = list(ksets), "provided"

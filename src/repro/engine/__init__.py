@@ -17,11 +17,20 @@ Consumers (all refactored onto this engine):
 * the :mod:`repro.baselines` regret-ratio algorithms — shared chunked
   scoring.
 
-:mod:`repro.engine.parallel` is the shared-memory fan-out layer: with
-``ScoreEngine(..., n_jobs=N)`` every bulk call above a calibrated work
-cutover is split into function-chunk or row-chunk work units, run over a
-persistent process pool that maps the data matrix zero-copy, and merged
-deterministically — bit-identical to the serial path.
+Decisions climb a four-tier exactness ladder — int8/int16 quantized
+screening (:mod:`repro.engine.quantize`), float32 batch, float64 batch,
+scalar GEMV fallback — each tier resolving only what it can prove, so
+results are always bit-identical to the scalar ``top_k``/``rank_of``
+path.
+
+:mod:`repro.engine.parallel` is the fan-out layer: with
+``ScoreEngine(..., n_jobs=N, backend=...)`` every bulk call above a
+calibrated work cutover is split into function-chunk or row-chunk work
+units, run over a persistent thread pool (zero-copy clones, GIL-free
+GEMM) or shared-memory process pool, and merged deterministically —
+bit-identical to the serial path.  ``backend="auto"`` picks
+serial/thread/process from problem size and the measured scalar-fallback
+ratio.
 
 :mod:`repro.engine.reference` keeps the frozen pre-engine
 implementations that the equivalence tests and the perf-regression gate
@@ -37,14 +46,26 @@ from repro.engine.bitset import (
     popcount,
     unpack_indices,
 )
-from repro.engine.parallel import ParallelExecutor, SharedMatrix, resolve_n_jobs
+from repro.engine.parallel import (
+    BACKENDS,
+    ParallelExecutor,
+    SharedMatrix,
+    ThreadExecutor,
+    resolve_backend,
+    resolve_n_jobs,
+)
+from repro.engine.quantize import Quantizer
 from repro.engine.score_engine import ScoreEngine, TopKBatch
 
 __all__ = [
     "ScoreEngine",
     "TopKBatch",
+    "BACKENDS",
     "ParallelExecutor",
     "SharedMatrix",
+    "ThreadExecutor",
+    "Quantizer",
+    "resolve_backend",
     "resolve_n_jobs",
     "BitsetTable",
     "pack_indices",

@@ -1,4 +1,4 @@
-"""Shared-memory multi-process execution layer for :class:`ScoreEngine`.
+"""Execution backends for :class:`ScoreEngine`'s bulk-call fan-out.
 
 The engine's three bulk entry points — ``topk_batch``, ``score_batch`` and
 ``rank_of_best_batch`` — are embarrassingly parallel once the data matrix
@@ -8,26 +8,39 @@ the 10k-function Monte-Carlo estimator) or *row-chunk* work units (slices
 of the data rows, for few functions over a large matrix), and partial
 results merge deterministically.
 
-Architecture
-------------
-* the ``(n, d)`` float64 matrix is published once per engine through
-  :mod:`multiprocessing.shared_memory` (:class:`SharedMatrix`); workers
-  map it zero-copy — nothing per-task but the weight slice crosses the
-  pipe;
-* a persistent :class:`concurrent.futures.ProcessPoolExecutor` is built
-  lazily on the first above-cutover call and reused for the engine's
-  lifetime.  Its initializer attaches the shared matrix and constructs
-  one :class:`~repro.engine.score_engine.ScoreEngine` *per worker
-  process* over it (serial, same configuration).  That worker engine
-  persists across tasks, so lazily-built state — norm/attribute pruning
-  orderings, the top-k memo — is built once per worker, not once per
-  chunk;
-* merging is pure bookkeeping: function-chunk results concatenate in
-  submission order; row-chunk partial counts sum and row-chunk top-k
-  candidates are re-scored exactly by the parent.  Because every work
-  unit honours the engine's exactness contract (results bit-identical to
-  the scalar ``top_k``/``rank_of`` path), the merged output is
-  bit-identical to the serial tiered path for any split.
+Two pool backends implement the same work-unit protocol:
+
+:class:`ThreadExecutor` (``backend="thread"``)
+    An in-process :class:`~concurrent.futures.ThreadPoolExecutor` whose
+    workers run serial *clones* of the parent engine sharing the matrix,
+    the pruning orderings, the quantized stores and the float32 copy by
+    reference — zero spawn, pickle and shared-memory cost.  NumPy
+    releases the GIL inside BLAS and the large ufunc/selection kernels,
+    so the GEMM-dominated tiers scale across threads; only the scalar
+    fallback tier serializes on the GIL.
+
+:class:`ParallelExecutor` (``backend="process"``)
+    The ``(n, d)`` float64 matrix is published once per engine through
+    :mod:`multiprocessing.shared_memory` (:class:`SharedMatrix`); a
+    persistent :class:`~concurrent.futures.ProcessPoolExecutor` attaches
+    it zero-copy and constructs one serial engine *per worker process*.
+    Worker engines persist across tasks, so lazily-built state —
+    orderings, quantized stores, the top-k memo — is built once per
+    worker, not once per chunk.  Immune to the GIL, at the price of
+    spawn latency and per-task argument/result pickling.
+
+``backend="auto"`` (the engine default) stays serial below the work
+cutover, starts with threads above it, and escalates to processes when
+the measured scalar-fallback ratio shows the workload is GIL-bound (see
+``ScoreEngine._select_backend``).
+
+Merging is pure bookkeeping either way: function-chunk results
+concatenate in submission order; row-chunk partial counts sum and
+row-chunk top-k candidates are re-scored exactly by the parent.  Because
+every work unit honours the engine's exactness contract (results
+bit-identical to the scalar ``top_k``/``rank_of`` path), the merged
+output is bit-identical to the serial tiered path for any split and any
+backend.
 
 Determinism note: worker scheduling order never matters — futures are
 collected in submission order and every merge is order-preserving.
@@ -36,18 +49,24 @@ collected in submission order and every merge is order-preserving.
 from __future__ import annotations
 
 import os
+import threading
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import get_context, shared_memory
 
 import numpy as np
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_MIN_PARALLEL_WORK",
     "ParallelExecutor",
     "SharedMatrix",
+    "ThreadExecutor",
+    "resolve_backend",
     "resolve_n_jobs",
 ]
+
+BACKENDS = ("auto", "serial", "thread", "process")
 
 # Serial fast-path cutover: calls with fewer than this many score-matrix
 # entries (n rows x m functions) stay in-process, so small problems never
@@ -74,6 +93,29 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
     return n_jobs
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalize a ``backend`` knob; None means ``"auto"``."""
+    if backend is None:
+        return "auto"
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
+def _chunk_bounds(total: int, n_jobs: int, align: int = 1) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` work-unit slices of ``total`` items.
+
+    ``align`` forces boundaries onto multiples of the engine's serial
+    GEMM chunk so ``score_batch`` work units replay the exact serial
+    matmul calls (bit-identical raw scores).
+    """
+    units = min(total, n_jobs * _UNITS_PER_WORKER)
+    size = -(-total // units)  # ceil
+    if align > 1:
+        size = -(-size // align) * align
+    return [(lo, min(total, lo + size)) for lo in range(0, total, size)]
 
 
 def _default_context():
@@ -175,8 +217,8 @@ def _init_worker(spec: tuple[str, tuple[int, ...]], config: dict) -> None:
     _WORKER["engine"] = ScoreEngine(shared.array, **config)
 
 
-def _run_task(kind: str, *args):
-    engine = _WORKER["engine"]
+def _dispatch(engine, kind: str, *args):
+    """Run one work unit against a (serial) engine."""
     if kind == "topk":
         weights, k = args
         return engine.topk_order_batch(weights, k)
@@ -184,7 +226,7 @@ def _run_task(kind: str, *args):
         weights, members = args
         return engine.rank_of_best_batch(weights, members)
     if kind == "score":
-        weights, = args
+        (weights,) = args
         return engine.score_batch(weights)
     if kind == "topk_rows":
         weights, k, lo, hi = args
@@ -195,12 +237,50 @@ def _run_task(kind: str, *args):
     raise ValueError(f"unknown work-unit kind {kind!r}")  # pragma: no cover
 
 
+def _run_task(kind: str, *args):
+    return _dispatch(_WORKER["engine"], kind, *args)
+
+
 def _cleanup(pool: ProcessPoolExecutor, shared: SharedMatrix) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
     shared.close()
 
 
-class ParallelExecutor:
+class _ChunkDispatch:
+    """Shared work-unit dispatch: split, submit, collect in order.
+
+    Subclasses provide ``n_jobs``, ``tasks_dispatched`` and ``_submit``;
+    everything else — the chunk math and the submission-order collection
+    — is common, so the two executors cannot drift apart.
+    """
+
+    def function_chunk_bounds(self, m: int, align: int = 1) -> list[tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` slices of an m-function batch."""
+        return _chunk_bounds(m, self.n_jobs, align)
+
+    def row_chunk_bounds(self, n: int) -> list[tuple[int, int]]:
+        return _chunk_bounds(n, self.n_jobs)
+
+    def run_function_chunks(self, kind: str, weights, args=(), align: int = 1):
+        """Ship one work unit per weight slice; results in slice order."""
+        bounds = self.function_chunk_bounds(weights.shape[0], align=align)
+        futures = [
+            self._submit(kind, weights[lo:hi], *args) for lo, hi in bounds
+        ]
+        self.tasks_dispatched += len(futures)
+        return [future.result() for future in futures]
+
+    def run_row_chunks(self, kind: str, weights, n: int, args=()):
+        """Ship one work unit per data-row slice; results in slice order."""
+        bounds = self.row_chunk_bounds(n)
+        futures = [
+            self._submit(kind, weights, *args, lo, hi) for lo, hi in bounds
+        ]
+        self.tasks_dispatched += len(futures)
+        return [future.result() for future in futures]
+
+
+class ParallelExecutor(_ChunkDispatch):
     """Persistent worker pool + shared matrix for one engine.
 
     Owns no scoring semantics: the parent engine decides how a call is
@@ -228,45 +308,82 @@ class ParallelExecutor:
         self._finalizer = weakref.finalize(self, _cleanup, self._pool, self._shared)
 
     # ------------------------------------------------------------------
-    def function_chunk_bounds(self, m: int, align: int = 1) -> list[tuple[int, int]]:
-        """Contiguous ``[lo, hi)`` slices of an m-function batch.
+    def _submit(self, kind: str, *args):
+        return self._pool.submit(_run_task, kind, *args)
 
-        ``align`` forces boundaries onto multiples of the engine's serial
-        GEMM chunk so ``score_batch`` work units replay the exact serial
-        matmul calls (bit-identical raw scores).
-        """
-        units = min(m, self.n_jobs * _UNITS_PER_WORKER)
-        size = -(-m // units)  # ceil
-        if align > 1:
-            size = -(-size // align) * align
-        return [(lo, min(m, lo + size)) for lo in range(0, m, size)]
-
-    def row_chunk_bounds(self, n: int) -> list[tuple[int, int]]:
-        units = min(n, self.n_jobs * _UNITS_PER_WORKER)
-        size = -(-n // units)
-        return [(lo, min(n, lo + size)) for lo in range(0, n, size)]
-
-    def run_function_chunks(self, kind: str, weights, args=(), align: int = 1):
-        """Ship one work unit per weight slice; results in slice order."""
-        bounds = self.function_chunk_bounds(weights.shape[0], align=align)
-        futures = [
-            self._pool.submit(_run_task, kind, weights[lo:hi], *args)
-            for lo, hi in bounds
-        ]
-        self.tasks_dispatched += len(futures)
-        return [future.result() for future in futures]
-
-    def run_row_chunks(self, kind: str, weights, n: int, args=()):
-        """Ship one work unit per data-row slice; results in slice order."""
-        bounds = self.row_chunk_bounds(n)
-        futures = [
-            self._pool.submit(_run_task, kind, weights, *args, lo, hi)
-            for lo, hi in bounds
-        ]
-        self.tasks_dispatched += len(futures)
-        return [future.result() for future in futures]
-
-    # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the pool down and release the shared segment."""
         self._finalizer()
+
+
+class ThreadExecutor(_ChunkDispatch):
+    """In-process thread pool over serial clones of one engine.
+
+    Same work-unit protocol as :class:`ParallelExecutor`, none of its
+    costs: no process spawn, no shared-memory segment, no pickling — a
+    work unit crosses a queue as a tuple of references.  Each pool
+    thread lazily builds one serial clone of the parent engine
+    (:meth:`ScoreEngine._thread_clone`) sharing the matrix, orderings
+    and quantized stores by reference and owning its mutable small
+    state, so concurrent units never write to shared objects.  The
+    parent's orderings are completed eagerly up front — clones only ever
+    read them.
+
+    The GIL note: the tiers are built from GEMMs, selections and big
+    ufunc sweeps, all of which release the GIL; only the scalar
+    verification tier holds it.  The engine's ``"auto"`` policy watches
+    exactly that ratio and escalates to the process pool when threads
+    would serialize.
+    """
+
+    # Eager attribute-ordering build cap: clones never extend the shared
+    # orderings list (racy), so for matrices whose per-attribute copies
+    # stay modest the executor completes them up front; larger matrices
+    # keep norm-only routing until the parent's own serial calls justify
+    # the build adaptively.
+    _EAGER_ORDERINGS_BYTES = 1 << 26
+
+    def __init__(self, engine, n_jobs: int) -> None:
+        self.n_jobs = int(n_jobs)
+        engine._ensure_orderings()
+        if (
+            not engine._attr_orderings_built
+            and engine.n * engine.d * (engine.d + 1) * 8 <= self._EAGER_ORDERINGS_BYTES
+        ):
+            engine._build_attribute_orderings()
+        self._engine = engine
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n_jobs, thread_name_prefix="repro-engine"
+        )
+        self.tasks_dispatched = 0
+
+    def _run(self, kind: str, *args):
+        clone = getattr(self._local, "engine", None)
+        if clone is None:
+            clone = self._engine._thread_clone()
+            self._local.engine = clone
+        before = dict(clone.stats)
+        rank_columns = clone._rank_float_columns
+        rank_fallbacks = clone._rank_float_fallbacks
+        try:
+            return _dispatch(clone, kind, *args)
+        finally:
+            # Fold the work-unit's counter deltas back into the parent so
+            # measured-work policies — the auto thread→process escalation
+            # and the adaptive rank-quant engagement — keep seeing
+            # fanned-out calls, not just serial ones.
+            parent = self._engine
+            with self._stats_lock:
+                for key, value in clone.stats.items():
+                    parent.stats[key] += value - before[key]
+                parent._rank_float_columns += clone._rank_float_columns - rank_columns
+                parent._rank_float_fallbacks += clone._rank_float_fallbacks - rank_fallbacks
+
+    def _submit(self, kind: str, *args):
+        return self._pool.submit(self._run, kind, *args)
+
+    def close(self) -> None:
+        """Shut the thread pool down (clones die with their threads)."""
+        self._pool.shutdown(wait=False, cancel_futures=True)

@@ -23,23 +23,37 @@ the ``(n, d)`` matrix and serves that batched path to every caller:
 
 With ``n_jobs > 1`` every bulk call above a calibrated work cutover is
 split into function-chunk or row-chunk work units and fanned out over a
-persistent shared-memory worker pool (:mod:`repro.engine.parallel`);
-the exactness contract makes any split bit-identical to the serial path.
+worker pool — an in-process thread pool of zero-copy engine clones, the
+PR-3 shared-memory process pool, or whichever the ``backend="auto"``
+policy picks from problem size and the measured scalar-fallback ratio
+(:mod:`repro.engine.parallel`); the exactness contract makes any split
+bit-identical to the serial path.
 
 Exactness
 ---------
 Tie-breaking follows the library-wide rule (score descending, row index
 ascending), and the contract is *bit-identical results to the scalar*
-``top_k``/``rank_of`` *path*.  The fast path trusts the GEMM scores; any
-column with a contested decision — ties or near-ties within an ulp band
-at the k boundary or between adjacent ranked scores, which blocked BLAS
-kernels can produce even for identical rows — falls back to the scalar
-algorithm verbatim (one float64 GEMV plus the seed's over-select /
-lexsort), so contested columns match the scalar path by construction and
-uncontested columns match it because their gaps exceed any GEMM↔GEMV
-deviation.  With ``float32=True`` scoring runs in single precision (≈2×
-GEMM throughput, half the memory traffic), block ordering is recomputed
-in float64, and the same fallback applies with a float32-wide band.
+``top_k``/``rank_of`` *path*.  Decisions climb a four-tier ladder —
+``int8 → float32 → float64 → scalar`` — in which each tier resolves
+only the columns it can prove and promotes the rest:
+
+* the **quantized tier** (:mod:`repro.engine.quantize`) bounds every
+  score from both sides with exact small-integer arithmetic; functions
+  whose candidate set (or rank band) it isolates are finished from a
+  tiny exact rescore, and functions whose decision boundary falls
+  inside the quantization envelope are promoted;
+* the **float batch tiers** trust the GEMM scores except where an ulp
+  band at the k boundary or between adjacent ranked scores says a
+  blocked-BLAS deviation could flip the decision (possible even for
+  identical rows);
+* contested columns fall back to the **scalar algorithm verbatim** (one
+  float64 GEMV plus the seed's over-select / lexsort), so they match
+  the scalar path by construction, and uncontested columns match it
+  because their gaps exceed any GEMM↔GEMV deviation.
+
+With ``float32=True`` the batch tier runs in single precision (≈2× GEMM
+throughput, half the memory traffic), block ordering is recomputed in
+float64, and the same fallback applies with a float32-wide band.
 """
 
 from __future__ import annotations
@@ -50,7 +64,12 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.engine.bitset import pack_membership, packed_width
-from repro.engine.parallel import DEFAULT_MIN_PARALLEL_WORK, resolve_n_jobs
+from repro.engine.parallel import (
+    DEFAULT_MIN_PARALLEL_WORK,
+    resolve_backend,
+    resolve_n_jobs,
+)
+from repro.engine.quantize import Quantizer
 from repro.exceptions import ValidationError
 
 __all__ = ["ScoreEngine", "TopKBatch"]
@@ -66,6 +85,28 @@ _TIE_BAND_ULPS = 64.0
 # at bench scale this matters as much as the GEMM itself.
 _RANK_GRID_BASE = 128
 _RANK_BUFFER_BYTES = 1 << 23
+
+# Quantized tier caps: a function whose integer-envelope candidate (resp.
+# rank band) count exceeds these is promoted to the float tiers instead
+# of paying a wide gather — the envelope evidently straddles too much of
+# the data for screening to pay.  Promoted sets at or below
+# _QUANT_SCALAR_PROMOTE skip the batch tiers for the scalar kernel
+# directly: per-function GEMV beats the tier setup cost at that size.
+_QUANT_RANK_CAP = 256
+_QUANT_SCALAR_PROMOTE = 16
+
+# Rank counting engages the quantized screen adaptively: only once the
+# float32 banded count has dropped more than this fraction of functions
+# to the exact scalar kernel (each drop rescans all n rows), measured
+# over at least _RANK_QUANT_MIN_SAMPLE counted functions.
+_RANK_QUANT_FALLBACK_RATIO = 0.02
+_RANK_QUANT_MIN_SAMPLE = 64
+
+# Auto backend policy: escalate from the thread pool to the process pool
+# once this fraction of decided columns needed the scalar (GIL-bound)
+# fallback tier, measured over at least _BACKEND_MIN_SAMPLE columns.
+_BACKEND_ESCALATE_RATIO = 0.05
+_BACKEND_MIN_SAMPLE = 4096
 
 
 class _Ordering:
@@ -134,19 +175,35 @@ class ScoreEngine:
     memo_size:
         Capacity of the single-function LRU memo (entries, not bytes).
     n_jobs:
-        Worker processes for the shared-memory fan-out layer
-        (:mod:`repro.engine.parallel`).  ``None``/``1`` keeps every call
-        in-process; ``-1`` uses all cores.  The pool and the shared copy
-        of the matrix are created lazily on the first call whose
-        ``n x m`` work exceeds ``parallel_min_work`` and persist until
+        Workers for the fan-out layer (:mod:`repro.engine.parallel`).
+        ``None``/``1`` keeps every call in-process; ``-1`` uses all
+        cores.  The pool (and, for the process backend, the shared copy
+        of the matrix) is created lazily on the first call whose
+        ``n x m`` work exceeds ``parallel_min_work`` and persists until
         :meth:`close` (or garbage collection).
+    backend:
+        Execution backend for above-cutover bulk calls: ``"serial"``
+        never fans out, ``"thread"`` uses an in-process pool (zero
+        spawn/pickle/shared-memory cost — NumPy releases the GIL inside
+        BLAS, so GEMM-bound work scales), ``"process"`` the PR-3
+        shared-memory process pool.  ``"auto"`` (default) stays serial
+        below the work cutover, starts with threads above it, and
+        escalates permanently to processes when the measured scalar-
+        fallback ratio shows the workload is GIL-bound.  Results are
+        bit-identical across backends.
+    quantize:
+        Quantized screening tier (:mod:`repro.engine.quantize`):
+        ``"auto"`` (default) picks int8/int16 from the data's dynamic
+        range and adapts to the observed promote rate, ``"int8"`` /
+        ``"int16"`` pin the level, ``None`` disables the tier.  Results
+        are bit-identical either way.
     mp_context:
-        Multiprocessing start method for the pool (``"fork"`` |
+        Multiprocessing start method for the process pool (``"fork"`` |
         ``"spawn"`` | ``"forkserver"``); default picks fork where
         available.
     parallel_min_work:
         Serial fast-path cutover in score-matrix entries (``n * m``);
-        calls below it never touch the pool.
+        calls below it never touch a pool.
     """
 
     def __init__(
@@ -157,6 +214,8 @@ class ScoreEngine:
         chunk_bytes: int = 1 << 26,
         memo_size: int = 4096,
         n_jobs: int | None = None,
+        backend: str = "auto",
+        quantize: str | None = "auto",
         mp_context: str | None = None,
         parallel_min_work: int = DEFAULT_MIN_PARALLEL_WORK,
     ) -> None:
@@ -186,11 +245,21 @@ class ScoreEngine:
         self._memo: OrderedDict[tuple[bytes, int], TopKBatch] = OrderedDict()
         try:
             self.n_jobs = resolve_n_jobs(n_jobs)
+            self.backend = resolve_backend(backend)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from None
+        try:
+            self._quantizer = Quantizer(matrix, quantize) if quantize else None
         except ValueError as exc:
             raise ValidationError(str(exc)) from None
         self._mp_context = mp_context
         self._parallel_min_work = int(parallel_min_work)
-        self._parallel = None  # lazy ParallelExecutor (see repro.engine.parallel)
+        # Lazy executors, keyed "thread"/"process" (see repro.engine.parallel).
+        self._executors: dict = {}
+        self._backend_escalated = False
+        # Adaptive rank-tier policy inputs (see _rank_functions).
+        self._rank_float_columns = 0
+        self._rank_float_fallbacks = 0
         # (k, ordering count) -> per-attribute-ordering grid gathers,
         # reused across batches by _prefix_needs.
         self._grid_cache: dict[tuple[int, int], list] = {}
@@ -203,6 +272,8 @@ class ScoreEngine:
             "memo_misses": 0,
             "rank_prefix_rows": 0,
             "parallel_calls": 0,
+            "quant_columns": 0,
+            "quant_resolved": 0,
         }
 
     # ------------------------------------------------------------------
@@ -237,13 +308,16 @@ class ScoreEngine:
             "chunk_bytes": self._chunk_bytes,
             "memo_size": self._memo_size,
             "n_jobs": 1,
+            "quantize": self._quantizer.mode if self._quantizer is not None else None,
         }
 
     def _parallel_plan(self, m: int) -> str | None:
         """How to split an m-function call: None (serial), "functions",
         or "rows".  Function chunks need enough columns to go around;
         row chunks cover the few-functions-huge-matrix shape."""
-        if self.n_jobs <= 1 or m * self.n < self._parallel_min_work:
+        if self.n_jobs <= 1 or self.backend == "serial":
+            return None
+        if m * self.n < self._parallel_min_work:
             return None
         if m >= 2 * self.n_jobs:
             return "functions"
@@ -251,21 +325,64 @@ class ScoreEngine:
             return "rows"
         return None
 
-    def _executor(self):
-        if self._parallel is None:
-            from repro.engine.parallel import ParallelExecutor
+    def _select_backend(self) -> str:
+        """The concrete pool kind for this above-cutover call.
 
-            self._parallel = ParallelExecutor(
-                self.values, self._worker_config(), self.n_jobs, self._mp_context
-            )
+        ``"auto"`` prefers the thread pool: workers share the matrix,
+        orderings and quantized stores by reference (no spawn, no
+        pickling, no shared-memory segment; each clone keeps its own
+        memo and counters) and NumPy releases the GIL inside BLAS, so
+        GEMM-bound work scales.  Columns that reach the
+        scalar kernel run Python under the GIL, however — tie fallbacks
+        and quantized-tier straggler promotes alike, which is why both
+        count into ``verified_columns`` — so a measured scalar ratio
+        above ``_BACKEND_ESCALATE_RATIO`` escalates — permanently, for
+        this engine — to the process pool.  Thread work units fold their
+        counters back into these stats, so fanned-out calls feed the
+        measurement too.
+        """
+        if self.backend != "auto":
+            return self.backend
+        if not self._backend_escalated:
+            decided = self.stats["gemm_columns"]
+            verified = self.stats["verified_columns"]
+            if decided >= _BACKEND_MIN_SAMPLE and verified > _BACKEND_ESCALATE_RATIO * decided:
+                self._backend_escalated = True
+                # The thread pool is dead weight from here on; free its
+                # OS threads and per-thread clones now, not at close().
+                stale = self._executors.pop("thread", None)
+                if stale is not None:
+                    stale.close()
+        return "process" if self._backend_escalated else "thread"
+
+    def _executor(self):
+        kind = self._select_backend()
+        executor = self._executors.get(kind)
+        if executor is None:
+            if kind == "process":
+                from repro.engine.parallel import ParallelExecutor
+
+                executor = ParallelExecutor(
+                    self.values, self._worker_config(), self.n_jobs, self._mp_context
+                )
+            else:
+                from repro.engine.parallel import ThreadExecutor
+
+                executor = ThreadExecutor(self, self.n_jobs)
+            self._executors[kind] = executor
         self.stats["parallel_calls"] += 1
-        return self._parallel
+        return executor
+
+    @property
+    def _parallel(self):
+        """The most capable live executor, if any (introspection only)."""
+        return self._executors.get("process") or self._executors.get("thread")
 
     def close(self) -> None:
-        """Shut down the worker pool and shared segment, if any."""
-        if self._parallel is not None:
-            self._parallel.close()
-            self._parallel = None
+        """Shut down the worker pools and shared segment, if any."""
+        executors, self._executors = self._executors, {}
+        for executor in executors.values():
+            executor.close()
 
     def __enter__(self) -> "ScoreEngine":
         return self
@@ -274,16 +391,47 @@ class ScoreEngine:
         self.close()
 
     def __getstate__(self) -> dict:
-        """Pickle everything except the process pool.
+        """Pickle everything except the worker pools.
 
-        Lazily-built state — the pruning orderings and the top-k memo —
-        travels with the engine, so an unpickled copy (or a worker
-        rebuilt from one) does not re-sort or re-probe what the original
-        already paid for.
+        Lazily-built state — the pruning orderings, the quantized
+        stores and the top-k memo — travels with the engine, so an
+        unpickled copy (or a worker rebuilt from one) does not re-sort
+        or re-probe what the original already paid for.
         """
         state = self.__dict__.copy()
-        state["_parallel"] = None
+        state["_executors"] = {}
         return state
+
+    def _ensure_orderings(self) -> list["_Ordering"]:
+        if self._orderings is None:
+            self._orderings = self._build_orderings()
+        return self._orderings
+
+    def _thread_clone(self) -> "ScoreEngine":
+        """A serial view of this engine for one thread-pool worker.
+
+        Shares every heavy immutable structure — the matrix, its float32
+        copy, the pruning orderings and the quantizer — by reference,
+        and isolates the small mutable state (stats, memo, grid cache)
+        so concurrent workers never write to shared objects.  The
+        orderings list must be fully built before cloning; the clone
+        never extends it (``_attr_orderings_built`` is pinned), it only
+        reads whatever snapshot the parent maintains between calls.
+        """
+        clone = object.__new__(ScoreEngine)
+        clone.__dict__.update(self.__dict__)
+        clone.n_jobs = 1
+        clone.backend = "serial"
+        clone._executors = {}
+        clone._memo = OrderedDict()
+        clone._grid_cache = {}
+        clone._excess_work = 0
+        clone._attr_orderings_built = True
+        clone.stats = dict.fromkeys(self.stats, 0)
+        # The adaptive rank-quant counters are inherited as-is: the clone
+        # starts from the parent's evidence and the executor folds only
+        # the per-task deltas back, so nothing double-counts.
+        return clone
 
     # ------------------------------------------------------------------
     # scoring
@@ -324,22 +472,29 @@ class ScoreEngine:
         :func:`repro.ranking.topk.top_k` (score desc, index asc), with
         contested k boundaries resolved by float64 re-verification.
         """
+        order = self.topk_orders(weight_matrix, k)
+        members = pack_membership(order, self.n)
+        return TopKBatch(members=members, order=order)
+
+    def topk_orders(self, weight_matrix: np.ndarray, k: int) -> np.ndarray:
+        """The ``(m, k)`` best-first index rows of :meth:`topk_batch`
+        without bitset packing, fan-out plan included.
+
+        For callers that never touch the packed members (K-SETr dedups
+        on the index rows directly) this skips the ``O(m · n)`` bit
+        packing entirely.
+        """
         W = self._check_weights(weight_matrix)
         k = self._check_k(k)
         m = W.shape[0]
         plan = self._parallel_plan(m)
         if plan == "functions":
             parts = self._executor().run_function_chunks("topk", W, args=(k,))
-            order = np.concatenate(parts, axis=0)
-        elif plan == "rows":
-            parts = self._executor().run_row_chunks(
-                "topk_rows", W, self.n, args=(k,)
-            )
-            order = self._topk_merge_candidates(W, k, parts)
-        else:
-            order = self.topk_order_batch(W, k)
-        members = pack_membership(order, self.n)
-        return TopKBatch(members=members, order=order)
+            return np.concatenate(parts, axis=0)
+        if plan == "rows":
+            parts = self._executor().run_row_chunks("topk_rows", W, self.n, args=(k,))
+            return self._topk_merge_candidates(W, k, parts)
+        return self.topk_order_batch(W, k)
 
     def topk_order_batch(self, weight_matrix: np.ndarray, k: int) -> np.ndarray:
         """The ``(m, k)`` best-first index rows of :meth:`topk_batch`,
@@ -364,19 +519,45 @@ class ScoreEngine:
 
         Tiered resolution, cheapest first:
 
+        0. int8/int16 quantized screening (when enabled): one integer
+           GEMM bounds every score rigorously; functions whose candidate
+           set resolves inside the envelope are finished with one tiny
+           exact rescore, the rest are promoted;
         1. float32 norm-pruned batch (when ``float32=True``);
         2. float64 norm-pruned batch for the rows tier 1 left contested;
         3. the scalar float64 GEMV algorithm, verbatim, for rows with
            genuine (near-)ties at a decision boundary.
 
         Each tier only sees the rows the previous tier could not decide,
-        so clean data runs almost entirely in tier 1 while degenerate
-        data degrades gracefully to the seed's exact per-probe cost.
+        so clean data runs almost entirely in the bottom tier while
+        degenerate data degrades gracefully to the seed's exact
+        per-probe cost.
         """
         n = self.n
         if k >= n:
             self._topk_full_rank(Wc, k, out_order)
             return
+        if self._quantizer is not None and self._quantizer.active:
+            promoted = self._quant_topk_chunk(Wc, k, out_order)
+            if promoted.size == 0:
+                return
+            if promoted.size <= _QUANT_SCALAR_PROMOTE:
+                # A handful of stragglers: the scalar kernel per function
+                # is cheaper than spinning up the batch-tier machinery,
+                # and identical by the exactness contract.
+                for j in promoted:
+                    out_order[j] = self._verified_topk_column(Wc[j], k)
+                    self.stats["verified_columns"] += 1
+                return
+            if promoted.size < Wc.shape[0]:
+                sub_order = np.empty((promoted.size, k), dtype=np.int64)
+                self._float_tiers(np.ascontiguousarray(Wc[promoted]), k, sub_order)
+                out_order[promoted] = sub_order
+                return
+        self._float_tiers(Wc, k, out_order)
+
+    def _float_tiers(self, Wc: np.ndarray, k: int, out_order: np.ndarray) -> None:
+        """Tiers 1-3: the float32/float64 batch passes + scalar fallback."""
         if self.float32:
             contested = self._topk_tier(Wc, k, out_order, use_f32=True)
             if contested.size:
@@ -392,6 +573,159 @@ class ScoreEngine:
             for j in contested:
                 out_order[j] = self._verified_topk_column(Wc[j], k)
                 self.stats["verified_columns"] += 1
+
+    def _quant_topk_chunk(self, Wc: np.ndarray, k: int, out_order: np.ndarray) -> np.ndarray:
+        """Tier 0: integer-envelope top-k screening; returns promoted rows.
+
+        One integer GEMM over a routed prefix bounds every score from
+        both sides (:mod:`repro.engine.quantize`).  A probe over the top
+        of the norm ordering yields a rigorous lower bound ``thr`` on
+        each function's k-th score; every row whose upper bound reaches
+        ``thr`` is a candidate, and the candidate set provably contains
+        the whole top-k *including any boundary ties*.  Functions whose
+        candidate count stays within the cap are finished here: the few
+        candidates are re-scored exactly in float64 and ordered with the
+        usual ulp-band checks (near-ties fall to the scalar kernel
+        verbatim), so the result is bit-identical to the scalar path.
+        Functions whose k-boundary sits inside the quantization envelope
+        — candidate counts past the cap — are promoted to the float
+        tiers, and the promote rate feeds the quantizer's adaptive
+        int8 → int16 → off policy.
+        """
+        n = self.n
+        mc = Wc.shape[0]
+        if 4 * k >= n:
+            # The probe would cover (most of) the matrix; the float tiers
+            # resolve such shapes directly from their own probe.
+            return np.arange(mc)
+        state = self._quantizer.state
+        if state is None:
+            return np.arange(mc)
+        Wq, b, usum, degenerate = state.quantize_weights(Wc)
+        orderings = self._ensure_orderings()
+        self.stats["quant_columns"] += mc
+        # Probe: each function's k-th best *exact* score over the head of
+        # the norm ordering cannot exceed its true k-th score, so (minus
+        # the GEMM noise band) it is a rigorous screening threshold for
+        # the whole matrix — and it is tighter than a quantized probe by
+        # the width of the quantization envelope.
+        c0 = min(n, max(4 * k, 64))
+        use_f32 = self.float32
+        _, _, block_scores = self._prefix_eval(orderings[0], Wc, k, c0, use_f32)
+        L = block_scores.min(axis=1).astype(np.float64)
+        eps = float(np.finfo(np.float64).eps)
+        eps_probe = float(np.finfo(np.float32 if use_f32 else np.float64).eps)
+        noise = self._noise_scale(Wc)
+        tol = _TIE_BAND_ULPS * eps * noise
+        thr = L - 4.0 * _TIE_BAND_ULPS * eps_probe * noise
+        self._accumulate_probe_demand(Wc, thr)
+        needs = self._prefix_needs(Wc, thr, k)
+        best_o = np.argmin(needs, axis=1)
+        cap = int(min(n, max(3 * k, 24)))
+        # Candidate ids and exact scores for the whole chunk, scattered
+        # into one rectangle (-1 / -inf pads): groups only screen and
+        # gather, so the expensive finish — selection, ordering, band
+        # checks — runs once per chunk, not once per (ordering, group).
+        padded_ids = np.full((mc, cap), -1, dtype=np.int64)
+        padded_scores = np.full((mc, cap), -np.inf)
+        used_cap = k
+        resolved_parts: list[np.ndarray] = []
+        promoted_parts = [np.flatnonzero(degenerate)]
+        rest = np.flatnonzero(~degenerate)
+        for o, ordering in enumerate(self._orderings):
+            rows = rest[best_o[rest] == o]
+            if not rows.size:
+                continue
+            store = state.store(o, ordering.V)
+            if store is None:
+                promoted_parts.append(rows)
+                continue
+            c = min(n, max(int(needs[rows, o].max()), k))
+            S = Wq[rows] @ store.Q[:c].T  # shifted integer sums, exact
+            rhs = state.upper_rhs(thr[rows], b[rows], usum[rows]).astype(S.dtype)
+            flat = np.flatnonzero((S >= rhs[:, None]).ravel())
+            local = flat // c
+            counts = np.bincount(local, minlength=rows.size)
+            # The envelope must isolate at least k and at most cap rows,
+            # else the boundary sits inside quantization noise: promote.
+            good = (counts >= k) & (counts <= cap)
+            if not good.all():
+                promoted_parts.append(rows[~good])
+                keep = good[local]
+                flat = flat[keep]
+                local = local[keep]
+                if not flat.size:
+                    continue
+            kept = np.where(good, counts, 0)
+            used_cap = max(used_cap, int(kept.max()))
+            starts = np.cumsum(kept) - kept
+            pos = np.arange(flat.size, dtype=np.int64) - starts[local]
+            func = rows[local]
+            gids = ordering.perm[flat % c]
+            padded_ids[func, pos] = gids
+            # Exact per-candidate float64 dots (the scalar kernel's
+            # per-row accumulation), computed flat — no padding waste.
+            padded_scores[func, pos] = np.einsum(
+                "ij,ij->i", self.values[gids], Wc[func]
+            )
+            resolved_parts.append(rows[good])
+        if resolved_parts:
+            resolved = np.sort(np.concatenate(resolved_parts))
+            self._quant_topk_finish(
+                resolved,
+                padded_ids[resolved, :used_cap],
+                padded_scores[resolved, :used_cap],
+                Wc,
+                k,
+                tol,
+                out_order,
+            )
+        promoted = np.sort(np.concatenate(promoted_parts))
+        self.stats["quant_resolved"] += mc - promoted.size
+        self._quantizer.observe(mc, promoted.size)
+        return promoted
+
+    def _quant_topk_finish(
+        self,
+        rows: np.ndarray,
+        gids: np.ndarray,
+        scores: np.ndarray,
+        Wc: np.ndarray,
+        k: int,
+        tol: np.ndarray,
+        out_order: np.ndarray,
+    ) -> None:
+        """Order the screened candidates' k-blocks and write the top-k.
+
+        ``gids``/``scores`` hold each function's candidate row ids and
+        exact float64 scores (-1 / -inf pads).  The k-block is selected
+        and ordered by score alone: for an uncontested function every
+        boundary-deciding gap exceeds the ulp band, so score order *is*
+        the scalar (score desc, index asc) order; any (near-)tie — which
+        could make block content or internal order diverge from the
+        scalar tie-break — lands in the banded checks and falls back to
+        the scalar algorithm verbatim, exactly like the float tiers.
+        """
+        cap = scores.shape[1]
+        if cap > k:
+            blk = np.argpartition(scores, cap - k, axis=1)[:, cap - k :]
+            blk_scores = np.take_along_axis(scores, blk, axis=1)
+            blk_ids = np.take_along_axis(gids, blk, axis=1)
+        else:
+            blk_scores = scores
+            blk_ids = gids
+        order_in = np.argsort(-blk_scores, axis=1, kind="stable")
+        sorted_scores = np.take_along_axis(blk_scores, order_in, axis=1)
+        kth = sorted_scores[:, k - 1]
+        tol_rows = tol[rows]
+        contested = (scores >= (kth - tol_rows)[:, None]).sum(axis=1) != k
+        if k > 1:
+            tight = np.diff(sorted_scores, axis=1) > -tol_rows[:, None]
+            contested |= tight.any(axis=1)
+        out_order[rows] = np.take_along_axis(blk_ids, order_in, axis=1)
+        for j in np.flatnonzero(contested):
+            out_order[rows[j]] = self._verified_topk_column(Wc[rows[j]], k)
+            self.stats["verified_columns"] += 1
 
     def _topk_full_rank(self, Wc: np.ndarray, k: int, out_order: np.ndarray) -> None:
         """k ≥ n: full ranking per function via one batched lexsort.
@@ -814,8 +1148,20 @@ class ScoreEngine:
         return self._rank_functions(W, members)
 
     def _rank_functions(self, W: np.ndarray, members: np.ndarray) -> np.ndarray:
-        """Serial pruned rank counting (also the function-chunk work unit)."""
-        n = self.n
+        """Serial pruned rank counting (also the function-chunk work unit).
+
+        Tiered like :meth:`_topk_chunk`, with one twist: on clean data
+        the float32 banded count and the quantized screen issue the same
+        GEMM, but the screen pays extra threshold passes and a band
+        gather, so quantization only *wins* when the float path keeps
+        dropping whole functions to the exact scalar kernel (tie-dense
+        or duplicate-heavy data, where each drop costs a full ``n·d``
+        rescan).  The engine therefore measures the float path's
+        fallback rate and engages the quantized screen — which resolves
+        the same near-ties from a small exact gather instead — once that
+        rate crosses ``_RANK_QUANT_FALLBACK_RATIO``.  Either route is
+        bit-identical to ``rank_of``.
+        """
         m = W.shape[0]
         ranks = np.empty(m, dtype=np.int64)
         if m == 0:
@@ -827,6 +1173,33 @@ class ScoreEngine:
         for lo in range(0, m, self._chunk_cols):
             hi = min(m, lo + self._chunk_cols)
             best[lo:hi] = (W[lo:hi] @ member_values.T).max(axis=1)
+        use_quant = (
+            self._quantizer is not None
+            and self._rank_float_columns >= _RANK_QUANT_MIN_SAMPLE
+            and self._rank_float_fallbacks
+            > _RANK_QUANT_FALLBACK_RATIO * self._rank_float_columns
+            and self._quantizer.active
+        )
+        if use_quant:
+            promoted = self._quant_rank(W, members, best, ranks)
+            if promoted.size == 0:
+                return ranks
+            if promoted.size < m:
+                ranks[promoted] = self._rank_functions_float(
+                    np.ascontiguousarray(W[promoted]), members, best[promoted]
+                )
+                return ranks
+        ranks[:] = self._rank_functions_float(W, members, best)
+        return ranks
+
+    def _rank_functions_float(
+        self, W: np.ndarray, members: np.ndarray, best: np.ndarray
+    ) -> np.ndarray:
+        """Pruned float32 banded counting (tiers 1-3 of the rank ladder)."""
+        n = self.n
+        m = W.shape[0]
+        ranks = np.empty(m, dtype=np.int64)
+        fallbacks_before = self.stats["verified_columns"]
         eps32 = float(np.finfo(np.float32).eps)
         # Band scaled by the rounding-noise bound ||w|| * max ||row||, not
         # by |best|: under cancellation float32 scores can be off by far
@@ -880,7 +1253,119 @@ class ScoreEngine:
                     above[j] = int((exact > exact[members].max()).sum())
                     self.stats["verified_columns"] += 1
                 ranks[rows] = above + 1
+        # Feed the adaptive rank-tier policy (see _rank_functions).
+        self._rank_float_columns += m
+        self._rank_float_fallbacks += self.stats["verified_columns"] - fallbacks_before
         return ranks
+
+    def _quant_rank(
+        self,
+        W: np.ndarray,
+        members: np.ndarray,
+        best: np.ndarray,
+        ranks: np.ndarray,
+    ) -> np.ndarray:
+        """Tier 0 of rank counting: integer screening; returns promoted rows.
+
+        Per function, one integer GEMM over the routed prefix splits the
+        rows three ways with rigorous bounds: *surely above* the
+        subset's best score (counted without ever computing an exact
+        score), *surely below* (ignored), and an *envelope band* that is
+        gathered and re-scored exactly.  Band rows within the ulp band
+        of ``best`` drop the whole function to the exact scalar kernel;
+        a band wider than ``_QUANT_RANK_CAP`` promotes the function to
+        the float32 banded count instead.  Counts written into ``ranks``
+        are bit-identical to the full-scan scalar path.
+        """
+        n = self.n
+        m = W.shape[0]
+        state = self._quantizer.state
+        if state is None:
+            return np.arange(m)
+        Wq, b, usum, degenerate = state.quantize_weights(W)
+        self._ensure_orderings()
+        self.stats["quant_columns"] += m
+        eps = float(np.finfo(np.float64).eps)
+        tol = _TIE_BAND_ULPS * eps * self._noise_scale(W)
+        thr = best - 4.0 * tol
+        self._accumulate_probe_demand(W, thr)
+        needs = self._prefix_needs(W, thr, _RANK_GRID_BASE)
+        best_o = np.argmin(needs, axis=1)
+        need = np.clip(needs[np.arange(m), best_o], 1, n)
+        sizes = np.append(_geometric_grid(_RANK_GRID_BASE, n), n)
+        bucket = np.searchsorted(sizes, need)
+        is_member = np.zeros(n, dtype=bool)
+        is_member[members] = True
+        promoted_parts = [np.flatnonzero(degenerate)]
+        group_key = best_o * (len(sizes) + 1) + bucket
+        rest = np.flatnonzero(~degenerate)
+        order = rest[np.argsort(group_key[rest], kind="stable")]
+        starts = np.flatnonzero(np.diff(group_key[order])) + 1
+        for group in np.split(order, starts) if order.size else []:
+            ordering = self._orderings[int(best_o[group[0]])]
+            store = state.store(int(best_o[group[0]]), ordering.V)
+            if store is None:
+                promoted_parts.append(group)
+                continue
+            c = int(sizes[bucket[group[0]]])
+            Qc = store.Q[:c]
+            absq = store.absq[:c]
+            itemsize = Qc.dtype.itemsize
+            cols = max(16, min(1024, _RANK_BUFFER_BYTES // (itemsize * c)))
+            for glo in range(0, group.size, cols):
+                rows = group[glo : glo + cols]
+                S = Wq[rows] @ Qc.T  # shifted integer sums, exact in carrier
+                rhs_hi = state.lower_rhs(
+                    best[rows] + tol[rows], b[rows], usum[rows]
+                ).astype(S.dtype)
+                rhs_lo = state.upper_rhs(
+                    best[rows] - tol[rows], b[rows], usum[rows]
+                ).astype(S.dtype)
+                sure_mask = (S - absq[None, :]) > rhs_hi[:, None]
+                band_mask = (S >= rhs_lo[:, None]) & ~sure_mask
+                sure = sure_mask.sum(axis=1, dtype=np.int64)
+                band = band_mask.sum(axis=1, dtype=np.int64)
+                self.stats["gemm_columns"] += rows.size
+                self.stats["rank_prefix_rows"] += rows.size * c
+                ok = band <= _QUANT_RANK_CAP
+                if not ok.all():
+                    promoted_parts.append(rows[~ok])
+                    rows = rows[ok]
+                    if not rows.size:
+                        continue
+                    sure = sure[ok]
+                    band_mask = band_mask[ok]
+                    band = band[ok]
+                ranks[rows] = sure + 1
+                if not band.any():
+                    continue
+                # Gather and exactly re-score the envelope-band rows.
+                flat = np.flatnonzero(band_mask.ravel())
+                starts_b = np.cumsum(band) - band
+                pos = np.arange(flat.size, dtype=np.int64) - np.repeat(starts_b, band)
+                row_rep = np.repeat(np.arange(rows.size, dtype=np.int64), band)
+                padded = np.full((rows.size, int(band.max())), -1, dtype=np.int64)
+                padded[row_rep, pos] = flat % c
+                pad = padded < 0
+                gids = ordering.perm[np.where(pad, 0, padded)]
+                # Members sit inside the band by construction (their
+                # scores ARE near best); they are never counted, and must
+                # not trigger the near-tie fallback either.
+                drop = pad | is_member[gids]
+                scores = np.matmul(self.values[gids], W[rows][:, :, None])[:, :, 0]
+                scores[drop] = -np.inf
+                best_r = best[rows][:, None]
+                tol_r = tol[rows][:, None]
+                ranks[rows] += (scores > best_r).sum(axis=1)
+                near = np.abs(scores - best_r) <= tol_r
+                for j in np.flatnonzero(near.any(axis=1)):
+                    exact = self.values @ W[rows[j]]
+                    ranks[rows[j]] = int((exact > exact[members].max()).sum()) + 1
+                    self.stats["verified_columns"] += 1
+        promoted = np.sort(np.concatenate(promoted_parts))
+        self.stats["quant_resolved"] += m - promoted.size
+        self._quantizer.observe(m, promoted.size)
+        return promoted
 
     def rank_count_slice(
         self, weight_matrix: np.ndarray, subset: np.ndarray, lo: int, hi: int

@@ -58,13 +58,15 @@ def evaluate_representative(
     num_functions: int = 10_000,
     rng: int | np.random.Generator | None = 0,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> RepresentativeReport:
     """Measure a representative set the way the paper's §6 does.
 
     ``exact=None`` (default) picks the exact 2-D sweep when d = 2 and the
     sampled estimator otherwise; pass True/False to force either.
-    ``n_jobs`` fans the Monte-Carlo measurements out over worker
-    processes (``None``/``1`` = serial, ``-1`` = all cores).
+    ``n_jobs``/``backend`` fan the Monte-Carlo measurements out over
+    the engine's worker pool (``None``/``1`` = serial, ``-1`` = all
+    cores; thread, process or auto backend).
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -75,7 +77,7 @@ def evaluate_representative(
     use_exact = (matrix.shape[1] == 2) if exact is None else bool(exact)
     # One engine serves both Monte-Carlo estimators, so the pool /
     # shared-memory copy / pruning orderings are paid for once per call.
-    with ScoreEngine(matrix, n_jobs=n_jobs) as engine:
+    with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend) as engine:
         if use_exact:
             if matrix.shape[1] != 2:
                 raise ValidationError("exact rank-regret is only available in 2-D")

@@ -102,6 +102,7 @@ def rank_regret_sampled(
     rng: int | np.random.Generator | None = None,
     return_distribution: bool = False,
     n_jobs: int | None = None,
+    backend: str = "auto",
     engine: ScoreEngine | None = None,
 ) -> int | np.ndarray:
     """Monte-Carlo estimate of RR_L(X) over uniformly sampled functions.
@@ -118,10 +119,11 @@ def rank_regret_sampled(
     in exact float64, so blocked-BLAS noise between (near-)identical
     rows cannot inflate a rank — the estimator agrees with the scalar
     :func:`repro.ranking.topk.rank_of` even on degenerate data.
-    ``n_jobs`` fans the counting out over the engine's shared-memory
-    worker pool (``None``/``1`` = serial, ``-1`` = all cores) with
-    bit-identical results.  Pass a pre-built ``engine`` over the same
-    matrix to reuse its pool/orderings across calls (``n_jobs`` is then
+    ``n_jobs``/``backend`` fan the counting out over the engine's
+    worker pool (``None``/``1`` = serial, ``-1`` = all cores; thread,
+    process or auto backend) with bit-identical results.  Pass a
+    pre-built ``engine`` over the same matrix to reuse its
+    pool/orderings across calls (``n_jobs``/``backend`` are then
     ignored — the engine keeps its own configuration).
     """
     matrix = np.asarray(values, dtype=np.float64)
@@ -134,7 +136,7 @@ def rank_regret_sampled(
     if engine is not None:
         regrets = engine.rank_of_best_batch(weights, members)
     else:
-        with ScoreEngine(matrix, n_jobs=n_jobs) as own:
+        with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend) as own:
             regrets = own.rank_of_best_batch(weights, members)
     if return_distribution:
         return regrets
@@ -162,6 +164,7 @@ def regret_ratio_sampled(
     num_functions: int = 1000,
     rng: int | np.random.Generator | None = None,
     n_jobs: int | None = None,
+    backend: str = "auto",
     engine: ScoreEngine | None = None,
 ) -> float:
     """Monte-Carlo maximum regret-ratio of ``subset`` over sampled functions.
@@ -178,7 +181,7 @@ def regret_ratio_sampled(
     if engine is not None:
         score_matrix = engine.score_batch(weights)
     else:
-        with ScoreEngine(matrix, n_jobs=n_jobs) as own:
+        with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend) as own:
             score_matrix = own.score_batch(weights)
     top = score_matrix.max(axis=0)
     achieved = score_matrix[members].max(axis=0)

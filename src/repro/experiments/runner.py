@@ -80,6 +80,7 @@ def _run_algorithm(
     mdrc_size_hint: int | None,
     verify_functions: int = 2000,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> tuple[list[int], float]:
     """Run one algorithm, returning (indices, wall seconds)."""
     start = time.perf_counter()
@@ -87,10 +88,11 @@ def _run_algorithm(
         indices = two_d_rrr(values, k)
     elif name == "mdrrr":
         indices = md_rrr(
-            values, k, rng=seed, verify_functions=verify_functions, n_jobs=n_jobs
+            values, k, rng=seed, verify_functions=verify_functions,
+            n_jobs=n_jobs, backend=backend,
         ).indices
     elif name == "mdrc":
-        indices = mdrc(values, k, n_jobs=n_jobs).indices
+        indices = mdrc(values, k, n_jobs=n_jobs, backend=backend).indices
     elif name == "hd_rrms":
         budget = mdrc_size_hint if mdrc_size_hint else max(1, min(20, values.shape[0]))
         indices = list(hd_rrms(values, budget, rng=seed).indices)
@@ -104,12 +106,13 @@ def run_experiment(
     config: ExperimentConfig,
     progress: Callable[[str], None] | None = None,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> list[ExperimentRow]:
     """Execute a comparison experiment and return its measurement rows.
 
-    ``n_jobs`` fans the engine-backed algorithms and the Monte-Carlo
-    quality measurement out over worker processes; measured outputs are
-    bit-identical to the serial run.
+    ``n_jobs``/``backend`` fan the engine-backed algorithms and the
+    Monte-Carlo quality measurement out over the engine's worker pool;
+    measured outputs are bit-identical to the serial run.
     """
     rows: list[ExperimentRow] = []
     for value in config.values:
@@ -131,7 +134,7 @@ def run_experiment(
             indices, elapsed = _run_algorithm(
                 algorithm, values, k, config.seed, mdrc_size,
                 verify_functions=config.eval_functions,
-                n_jobs=n_jobs,
+                n_jobs=n_jobs, backend=backend,
             )
             if algorithm == "mdrc":
                 mdrc_size = len(indices)
@@ -142,6 +145,7 @@ def run_experiment(
                 num_functions=config.eval_functions,
                 rng=config.seed,
                 n_jobs=n_jobs,
+                backend=backend,
             )
             rows.append(
                 ExperimentRow(
@@ -164,6 +168,7 @@ def run_kset_count(
     config: KSetCountConfig,
     progress: Callable[[str], None] | None = None,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> list[KSetCountRow]:
     """Execute a k-set count experiment (Figures 13–16)."""
     rows: list[KSetCountRow] = []
@@ -182,7 +187,8 @@ def run_kset_count(
             draws = 0
         else:
             outcome = sample_ksets(
-                values, k, patience=config.patience, rng=config.seed, n_jobs=n_jobs
+                values, k, patience=config.patience, rng=config.seed,
+                n_jobs=n_jobs, backend=backend,
             )
             ksets = outcome.ksets
             draws = outcome.draws

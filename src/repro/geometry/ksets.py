@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine import BitsetTable, ScoreEngine
+from repro.engine import ScoreEngine
 from repro.exceptions import ValidationError
 from repro.geometry.halfspace import is_separable
 from repro.geometry.sweep import AngularSweep
@@ -104,8 +104,9 @@ def sample_ksets(
     patience: int = 100,
     rng: int | np.random.Generator | None = None,
     max_draws: int = 1_000_000,
-    batch_size: int = 256,
+    batch_size: int = 1024,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> KSetSampleResult:
     """K-SETr (Algorithm 4): randomized k-set collection.
 
@@ -115,17 +116,22 @@ def sample_ksets(
     with the paper's default ``c = 100`` (§6.1).
 
     Functions are drawn in batches; each batch is resolved by one call to
-    :meth:`repro.engine.ScoreEngine.topk_batch` (a single GEMM plus one
-    ``argpartition`` across all columns) and deduplicated through the
-    engine's packed-bitset table — a byte-content hash per draw instead of
-    building and hashing a Python ``frozenset`` per draw.  The patience
-    rule is still applied draw-by-draw, so results are identical to the
-    scalar loop for any given RNG stream; ``frozenset`` objects are only
-    materialized for the rare *new* k-sets that enter the result.
+    :meth:`repro.engine.ScoreEngine.topk_batch` (one quantized-screened
+    GEMM pass across all columns) and deduplicated on the packed-bitset
+    byte content — one ``bytes`` slice per draw instead of building and
+    hashing a Python ``frozenset`` per draw.  The patience rule is still
+    applied draw-by-draw, so results are identical to the scalar loop for
+    any given RNG stream; ``frozenset`` objects are only materialized for
+    the rare *new* k-sets that enter the result.
 
-    ``n_jobs`` fans each batch's top-k out over the engine's
-    shared-memory worker pool (``None``/``1`` = serial, ``-1`` = all
-    cores) — bit-identical draws either way.
+    Functions are drawn ``batch_size`` at a time; the patience rule is
+    applied draw-by-draw within each batch, so any batch size yields the
+    identical k-set sequence and draw count — larger batches only
+    amortize per-call engine overhead (and, at worst, score up to one
+    surplus batch after the stopping draw).  ``n_jobs``/``backend`` fan
+    each batch's top-k out over the engine's worker pool (``None``/``1``
+    = serial; see :mod:`repro.engine.parallel`) — bit-identical draws
+    either way.
     """
     matrix, k = _validate(values, k)
     if patience < 1:
@@ -137,26 +143,38 @@ def sample_ksets(
     # the float32 noise band) is re-resolved by the engine on the exact
     # float64 scalar path, so results stay identical to float64 scoring
     # while clean draws run at twice the GEMM/selection throughput.
-    engine = ScoreEngine(matrix, float32=True, n_jobs=n_jobs)
+    engine = ScoreEngine(matrix, float32=True, n_jobs=n_jobs, backend=backend)
     try:
         result = KSetSampleResult(ksets=[])
-        table = BitsetTable(matrix.shape[0])
+        # Dedup on the sorted top-k index rows: sorting makes the byte
+        # content canonical (a k-set IS its sorted member tuple), so one
+        # batch-level sort + tobytes and a bytes slice per draw replace
+        # any per-draw hashing structure — and the engine can skip
+        # bitset packing entirely.
+        seen: set[bytes] = set()
         misses = 0
         while result.draws < max_draws:
             batch = min(batch_size, max_draws - result.draws)
             weights = sample_functions(matrix.shape[1], batch, generator)
-            members, order = engine.topk_batch(weights, k)
+            order = engine.topk_orders(weights, k)
+            canonical = np.sort(order, axis=1)
+            width = canonical.shape[1] * canonical.itemsize
+            blob = canonical.tobytes()
+            offset = 0
             for column in range(batch):
-                result.draws += 1
-                _, is_new = table.add(members[column])
-                if is_new:
+                key = blob[offset : offset + width]
+                offset += width
+                if key in seen:
+                    misses += 1
+                    if misses >= patience:
+                        result.draws += column + 1
+                        return result
+                else:
+                    seen.add(key)
                     result.ksets.append(frozenset(order[column].tolist()))
                     result.functions.append(weights[column])
                     misses = 0
-                else:
-                    misses += 1
-                    if misses >= patience:
-                        return result
+            result.draws += batch
         result.exhausted = True
         return result
     finally:

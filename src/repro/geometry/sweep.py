@@ -124,12 +124,20 @@ class AngularSweep:
         Only exchanges where ``lower`` genuinely overtakes ``upper`` at an
         angle not yet swept are queued; each ordered pair crosses at most
         once in (0, π/2), so a pushed-pairs set suffices to avoid
-        duplicates.  The crossing test is the sign condition of
-        :func:`repro.geometry.dual.crossing_angle_2d`, inlined on floats.
+        duplicates.  The score gap is ``dx·cosθ − dy·sinθ``, so a
+        *future* sign flip needs ``dx > 0`` (upper ahead near θ = 0) AND
+        ``dy > 0`` (lower growing faster) — both-negative is the same
+        crossing angle seen from the far side, i.e. a crossing already
+        behind the sweep.  Queueing those used to corrupt the order when
+        several pairs crossed at one identical (degenerate) angle: the
+        ``theta < self.theta`` staleness guard passes at exactly-equal θ,
+        the backwards event un-does a just-performed exchange, and the
+        pushed-pairs dedup then suppresses the legitimate re-queue, so
+        the sweep silently lost every later exchange.
         """
         dx = self._xs[upper] - self._xs[lower]
         dy = self._ys[lower] - self._ys[upper]
-        if (dx > 0.0) == (dy > 0.0) and dx != 0.0 and dy != 0.0:
+        if dx > 0.0 and dy > 0.0:
             theta = math.atan2(abs(dx), abs(dy))
             if theta <= 0.0 or theta >= _HALF_PI or theta < self.theta:
                 return

@@ -272,3 +272,102 @@ class TestPrunedRankCounting:
         weights = sample_functions(3, m, 15)
         engine.rank_of_best_batch(weights, top)
         assert engine.stats["rank_prefix_rows"] < 0.5 * n * m
+
+
+class TestBackends:
+    """Thread-vs-process-vs-serial bit-identity and the auto policy."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("case", range(len(_instances())))
+    def test_topk_bit_identical_per_backend(self, backend, case):
+        values, weights = _instances()[case]
+        serial = ScoreEngine(values, backend="serial")
+        fanout = ScoreEngine(
+            values, n_jobs=2, parallel_min_work=0, backend=backend
+        )
+        with fanout:
+            k = max(1, values.shape[0] // 4)
+            a = serial.topk_batch(weights, k)
+            b = fanout.topk_batch(weights, k)
+            assert np.array_equal(a.order, b.order)
+            assert np.array_equal(a.members, b.members)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_rank_and_score_bit_identical_per_backend(self, backend):
+        values, weights = _instances()[2]
+        serial = ScoreEngine(values, chunk_bytes=1, backend="serial")
+        fanout = ScoreEngine(
+            values, chunk_bytes=1, n_jobs=2, parallel_min_work=0, backend=backend
+        )
+        with fanout:
+            subset = [0, values.shape[0] // 2, values.shape[0] - 1]
+            assert np.array_equal(
+                serial.rank_of_best_batch(weights, subset),
+                fanout.rank_of_best_batch(weights, subset),
+            )
+            assert np.array_equal(
+                serial.score_batch(weights), fanout.score_batch(weights)
+            )
+
+    def test_serial_backend_never_pools(self):
+        values = np.random.default_rng(21).random((60, 3))
+        engine = ScoreEngine(values, n_jobs=4, parallel_min_work=0, backend="serial")
+        engine.topk_batch(sample_functions(3, 40, 21), 5)
+        assert engine._parallel is None
+        assert engine.stats["parallel_calls"] == 0
+
+    def test_auto_starts_with_threads(self):
+        from repro.engine import ThreadExecutor
+
+        values = np.random.default_rng(22).random((60, 3))
+        engine = ScoreEngine(values, n_jobs=2, parallel_min_work=0)
+        with engine:
+            assert engine.backend == "auto"
+            engine.topk_batch(sample_functions(3, 40, 22), 5)
+            assert isinstance(engine._parallel, ThreadExecutor)
+
+    def test_auto_escalates_to_processes_when_gil_bound(self):
+        from repro.engine import ParallelExecutor
+
+        values = np.random.default_rng(23).random((60, 3))
+        engine = ScoreEngine(values, n_jobs=2, parallel_min_work=0)
+        with engine:
+            # Synthesize a measured scalar-fallback-heavy history.
+            engine.stats["gemm_columns"] = 100_000
+            engine.stats["verified_columns"] = 50_000
+            assert engine._select_backend() == "process"
+            engine.topk_batch(sample_functions(3, 40, 23), 5)
+            assert isinstance(engine._parallel, ParallelExecutor)
+            # Escalation is sticky even after the ratio normalizes.
+            engine.stats["verified_columns"] = 0
+            assert engine._select_backend() == "process"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            ScoreEngine(np.ones((3, 2)), backend="gpu")
+
+    def test_thread_clone_shares_heavy_state(self):
+        values = np.random.default_rng(24).random((200, 3))
+        engine = ScoreEngine(values)
+        engine.topk_batch(sample_functions(3, 30, 24), 9)
+        engine._ensure_orderings()
+        clone = engine._thread_clone()
+        assert clone.values is engine.values
+        assert clone._orderings is engine._orderings
+        assert clone._quantizer is engine._quantizer
+        assert clone.stats is not engine.stats
+        assert clone._memo is not engine._memo
+        assert clone.n_jobs == 1 and clone.backend == "serial"
+        w = sample_functions(3, 6, 25)
+        assert np.array_equal(
+            clone.topk_order_batch(w, 9), engine.topk_order_batch(w, 9)
+        )
+
+    def test_thread_worker_stats_fold_back_into_parent(self):
+        # The auto escalation policy reads the parent's counters, so
+        # fanned-out work must land there, not die with the clones.
+        values = np.random.default_rng(26).random((80, 3))
+        engine = ScoreEngine(values, n_jobs=2, parallel_min_work=0, backend="thread")
+        with engine:
+            engine.topk_batch(sample_functions(3, 60, 26), 6)
+            assert engine.stats["gemm_columns"] >= 60

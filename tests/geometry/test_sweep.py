@@ -134,3 +134,29 @@ class TestSweepDegeneracies:
     def test_rejects_nan(self):
         with pytest.raises(ValidationError):
             AngularSweep(np.array([[np.nan, 0.0]]))
+
+
+class TestDegenerateSimultaneousCrossings:
+    def test_backwards_events_cannot_corrupt_the_order(self):
+        # Hypothesis-found instance: rows 0, 3 and 13 cross pairwise at
+        # nearly one angle while duplicate rows pile ties underneath.
+        # The candidate predicate used to also queue the both-negative
+        # (already-crossed) orientation of a pair, whose angle equals the
+        # current sweep angle in this degenerate cluster; executing it
+        # re-inverted a just-swapped pair and the dedup set then starved
+        # the sweep of every later exchange — enumerate_ksets_2d missed
+        # the k-set of every function past the cluster.
+        import numpy as np
+
+        from repro.geometry.ksets import enumerate_ksets_2d
+        from repro.ranking import sample_functions, top_k_set
+
+        values = np.zeros((14, 2))
+        values[0] = [0.0, 0.945]
+        values[1] = [1.0, 0.5]
+        values[3] = [1.0, 0.4]
+        values[13] = [0.4, 0.727]
+        collection = set(enumerate_ksets_2d(values, 1))
+        for w in sample_functions(2, 25, rng=0):
+            assert top_k_set(values, w, 1) in collection
+        assert frozenset({0}) in collection and frozenset({1}) in collection

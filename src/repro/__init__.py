@@ -46,7 +46,7 @@ from repro.core import (
     resolve_k,
     two_d_rrr,
 )
-from repro.engine import BitsetTable, ScoreEngine
+from repro.engine import BitsetTable, ScoreEngine, TuningProfile
 from repro.datasets import (
     Dataset,
     anticorrelated,
@@ -115,6 +115,7 @@ __all__ = [
     "load_csv",
     # engine
     "ScoreEngine",
+    "TuningProfile",
     "BitsetTable",
     # ranking / geometry
     "LinearFunction",

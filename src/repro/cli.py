@@ -64,6 +64,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serial/thread/process from problem size and measured per-call "
         "work (default: auto)",
     )
+    common.add_argument(
+        "--tuning-profile", default=None, metavar="PATH",
+        help="JSON engine tuning profile (repro.engine.autotune): loaded "
+        "when the file exists, otherwise derived by a one-off calibration "
+        "probe on this command's dataset and written there, so services "
+        "skip the probe on restart; results are bit-identical either way",
+    )
 
     rep = sub.add_parser(
         "represent", help="compute a rank-regret representative", parents=[common]
@@ -116,19 +123,54 @@ def _resolve_level(k: float, n: int) -> int | float:
     return k if 0 < k < 1 else int(k)
 
 
+def _resolve_tuning(path: str | None, values=None, n_jobs: int | None = None):
+    """Load (or derive and persist) the CLI's engine tuning profile.
+
+    An existing file is loaded as-is.  A missing file triggers one
+    calibration probe — on ``values`` when the command has a concrete
+    dataset, else on a bench-scale synthetic stand-in, with the
+    command's ``--jobs`` setting so the derived cutover/escalation
+    values match the engines the run will actually build — and the
+    derived profile is written to ``path`` so the next invocation skips
+    the probe.  Returns a value for the ``tune=`` plumbing (``None``
+    when no profile was requested).
+    """
+    if path is None:
+        return None
+    import os
+
+    from repro.engine import ScoreEngine, TuningProfile
+
+    if os.path.exists(path):
+        try:
+            return TuningProfile.load(path)
+        except (ValueError, OSError) as exc:
+            raise ReproError(f"could not load tuning profile {path!r}: {exc}") from exc
+    if values is None:
+        from repro.experiments.runner import make_dataset
+
+        values = make_dataset("dot", 20_000, 4, seed=0).values
+    with ScoreEngine(values, n_jobs=n_jobs) as probe_engine:
+        profile = probe_engine.calibrate()
+    profile.save(path)
+    print(f"calibrated tuning profile written to {path}", file=sys.stderr)
+    return profile
+
+
 def _cmd_represent(args: argparse.Namespace, out) -> int:
     if args.csv:
         data = load_csv(args.csv).normalized()
     else:
         data = make_dataset(args.dataset, args.n, args.d, seed=args.seed)
+    tune = _resolve_tuning(args.tuning_profile, data.values, n_jobs=args.jobs)
     result = rank_regret_representative(
         data, _resolve_level(args.k, data.n), method=args.method, rng=args.seed,
-        n_jobs=args.jobs, backend=args.backend,
+        n_jobs=args.jobs, backend=args.backend, tune=tune,
     )
     report = evaluate_representative(
         data.values, result.indices, result.k,
         num_functions=args.eval_functions, rng=args.seed, n_jobs=args.jobs,
-        backend=args.backend,
+        backend=args.backend, tune=tune,
     )
     print(f"dataset      : {data.name} (n={data.n}, d={data.d})", file=out)
     print(f"method       : {result.method}", file=out)
@@ -146,16 +188,17 @@ def _cmd_represent(args: argparse.Namespace, out) -> int:
 def _cmd_experiment(args: argparse.Namespace, out) -> int:
     configs = BENCH_EXPERIMENTS if args.scale == "bench" else PAPER_EXPERIMENTS
     config = configs[args.figure]
+    tune = _resolve_tuning(args.tuning_profile, n_jobs=args.jobs)
     if isinstance(config, KSetCountConfig):
         rows = run_kset_count(
             config, progress=lambda m: print(m, file=sys.stderr),
-            n_jobs=args.jobs, backend=args.backend,
+            n_jobs=args.jobs, backend=args.backend, tune=tune,
         )
         print(format_kset_table(rows), file=out)
     else:
         rows = run_experiment(
             config, progress=lambda m: print(m, file=sys.stderr),
-            n_jobs=args.jobs, backend=args.backend,
+            n_jobs=args.jobs, backend=args.backend, tune=tune,
         )
         print(format_experiment_table(rows), file=out)
         shapes = summarize_shapes(rows)
@@ -175,6 +218,7 @@ def _cmd_ksets(args: argparse.Namespace, out) -> int:
         outcome = sample_ksets(
             data.values, k, patience=args.patience, rng=args.seed,
             n_jobs=args.jobs, backend=args.backend,
+            tune=_resolve_tuning(args.tuning_profile, data.values, n_jobs=args.jobs),
         )
         print(
             f"K-SETr: {len(outcome.ksets)} k-sets (k={k}) in "
@@ -205,6 +249,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 progress=lambda m: print(m, file=sys.stderr),
                 n_jobs=args.jobs,
                 backend=args.backend,
+                tune=_resolve_tuning(args.tuning_profile, n_jobs=args.jobs),
             )
             if args.out:
                 with open(args.out, "w") as handle:

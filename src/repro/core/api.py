@@ -86,6 +86,7 @@ def rank_regret_representative(
     rng: int | np.random.Generator | None = None,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
     **options: object,
 ) -> RRRResult:
     """Compute a k-RRR of ``data`` (the paper's headline operation).
@@ -113,6 +114,10 @@ def rank_regret_representative(
         Execution backend for that scoring (``"auto"`` | ``"serial"`` |
         ``"thread"`` | ``"process"``), as in
         :class:`~repro.engine.ScoreEngine`.
+    tune:
+        Engine runtime tuning (``None`` | ``"auto"`` | a
+        :class:`~repro.engine.TuningProfile`, e.g. loaded from the CLI's
+        ``--tuning-profile`` JSON).  Bit-identical results either way.
     options:
         Forwarded to the chosen algorithm (e.g. ``enumerator=`` and
         ``hitting=`` for MDRRR, ``max_depth=`` / ``choice=`` for MDRC,
@@ -129,11 +134,14 @@ def rank_regret_representative(
         indices = two_d_rrr(matrix, level, **options)
         return RRRResult(tuple(indices), "2drrr", level, guarantee=2 * level)
     if method == "mdrrr":
-        outcome = md_rrr(matrix, level, rng=rng, n_jobs=n_jobs, backend=backend, **options)
+        outcome = md_rrr(
+            matrix, level, rng=rng, n_jobs=n_jobs, backend=backend, tune=tune,
+            **options,
+        )
         return RRRResult(tuple(outcome.indices), "mdrrr", level, guarantee=level)
     if method == "mdrc":
         if d < 2:
             raise ValidationError("mdrc requires d >= 2")
-        outcome = mdrc(matrix, level, n_jobs=n_jobs, backend=backend, **options)
+        outcome = mdrc(matrix, level, n_jobs=n_jobs, backend=backend, tune=tune, **options)
         return RRRResult(tuple(outcome.indices), "mdrc", level, guarantee=d * level)
     raise ValidationError(f"unknown method {method!r}")

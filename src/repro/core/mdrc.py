@@ -137,6 +137,7 @@ def mdrc(
     engine: ScoreEngine | None = None,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
 ) -> MDRCResult:
     """MDRC (Algorithm 5): frontier-batched function-space partitioning.
 
@@ -171,6 +172,10 @@ def mdrc(
         Execution backend for the fan-out (``"auto"`` | ``"serial"`` |
         ``"thread"`` | ``"process"``), as in :class:`ScoreEngine`;
         likewise ignored when ``engine`` is passed.
+    tune:
+        Runtime tuning for the engine built here (``None`` | ``"auto"``
+        | a :class:`~repro.engine.TuningProfile`); ignored when
+        ``engine`` is passed.  Results are bit-identical either way.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -189,11 +194,16 @@ def mdrc(
         raise ValidationError(f"unknown choice policy {choice!r}")
     own_engine = engine is None
     if engine is None:
-        engine = ScoreEngine(matrix, n_jobs=n_jobs, backend=backend)
-    elif engine.values.shape != matrix.shape or not np.array_equal(
-        engine.values, matrix
-    ):
-        raise ValidationError("engine was built over a different matrix")
+        engine = ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune)
+    else:
+        # Settle any journaled row mutations before reading the engine's
+        # matrix: a caller who mutated and then passed ``engine.values``
+        # gets a clean mismatch error instead of stale-shape corruption.
+        engine.compact()
+        if engine.values.shape != matrix.shape or not np.array_equal(
+            engine.values, matrix
+        ):
+            raise ValidationError("engine was built over a different matrix")
 
     result = MDRCResult(indices=[])
     selected: set[int] = set()

@@ -60,6 +60,7 @@ def collect_ksets(
     rng: int | np.random.Generator | None = None,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
 ) -> tuple[list[frozenset[int]], str, int]:
     """Collect the k-sets of ``values`` with the requested strategy.
 
@@ -83,7 +84,8 @@ def collect_ksets(
         return enumerate_ksets_bfs(matrix, k), "exact-bfs", 0
     if enumerator == "sample":
         outcome = sample_ksets(
-            matrix, k, patience=patience, rng=rng, n_jobs=n_jobs, backend=backend
+            matrix, k, patience=patience, rng=rng, n_jobs=n_jobs, backend=backend,
+            tune=tune,
         )
         return outcome.ksets, "sample", outcome.draws
     raise ValidationError(f"unknown enumerator {enumerator!r}")
@@ -101,6 +103,7 @@ def md_rrr(
     max_repair_rounds: int = 10,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
 ) -> MDRRRResult:
     """MDRRR (Algorithm 3): hitting set over the k-set collection.
 
@@ -151,7 +154,7 @@ def md_rrr(
     if ksets is None:
         collection, used, draws = collect_ksets(
             matrix, k, enumerator=enumerator, patience=patience, rng=rng,
-            n_jobs=n_jobs, backend=backend,
+            n_jobs=n_jobs, backend=backend, tune=tune,
         )
     else:
         collection, used = list(ksets), "provided"

@@ -32,11 +32,23 @@ bit-identical to the serial path.  ``backend="auto"`` picks
 serial/thread/process from problem size and the measured scalar-fallback
 ratio.
 
+:mod:`repro.engine.autotune` is the self-tuning layer: every perf
+constant lives in a per-engine :class:`TuningProfile` (defaults = the
+legacy hand-tuned values), and a sub-second calibration probe
+(``ScoreEngine(..., tune="auto")`` / :meth:`ScoreEngine.calibrate`)
+derives machine- and matrix-specific values, persistable to JSON.
+:mod:`repro.engine.delta` gives long-lived engines incremental
+:meth:`ScoreEngine.insert_rows` / :meth:`ScoreEngine.delete_rows`:
+journaled mutations compact lazily by merge-repairing the orderings and
+quantized stores instead of rebuilding them, bit-identical to a fresh
+engine on the mutated matrix.
+
 :mod:`repro.engine.reference` keeps the frozen pre-engine
 implementations that the equivalence tests and the perf-regression gate
 (``benchmarks/perf_gate.py``) compare against.
 """
 
+from repro.engine.autotune import TuningProfile, calibrate_engine
 from repro.engine.bitset import (
     BitsetTable,
     intersect_all,
@@ -60,6 +72,8 @@ from repro.engine.score_engine import ScoreEngine, TopKBatch
 __all__ = [
     "ScoreEngine",
     "TopKBatch",
+    "TuningProfile",
+    "calibrate_engine",
     "BACKENDS",
     "ParallelExecutor",
     "SharedMatrix",

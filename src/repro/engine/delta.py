@@ -1,0 +1,309 @@
+"""Incremental row updates for long-lived :class:`ScoreEngine` instances.
+
+A deployed representative-serving engine lives with a matrix that
+*changes*: listings appear and expire, flights land, rows are corrected.
+Before this module, any change meant throwing the engine away — and with
+it the pre-sorted norm/attribute orderings (one ``argsort`` per
+ordering), the quantized integer stores (a full re-quantization each),
+the dynamic-range probe and the accumulated adaptive-policy evidence.
+Dynamic query answering under updates (Berkholz et al.) and incremental
+view maintenance both rest on the same observation: point updates touch
+derived structures in ways that are *linear*, not loglinear, to repair.
+
+The public surface is :meth:`ScoreEngine.insert_rows` /
+:meth:`ScoreEngine.delete_rows`; this module implements the journal they
+write and the compaction that settles it:
+
+* **Journal (merge + tombstone).**  Mutation calls defer all heavy
+  structure repair: inserted rows queue in ``_pending_rows``; deletions
+  tombstone entries of the sorted live-slot array ``_live`` (built
+  lazily — ``None`` means "all committed rows live, nothing pending").
+  A mutation call's own cost is one pass over that int64 id array —
+  bookkeeping only, never the orderings/stores/matrix.
+  ``engine.n`` always reflects the logical size, and delete indices are
+  interpreted against the *current* view, exactly like a chain of
+  ``np.delete`` / ``vstack`` calls on a plain matrix.
+* **Compaction.**  The first query after a mutation (or an explicit
+  :meth:`ScoreEngine.compact`) settles the whole journal in one linear
+  pass: the committed matrix is filtered and the surviving pending rows
+  appended; each pruning ordering is repaired by *filter + merge* — the
+  surviving permutation entries are re-indexed and kept in place (their
+  relative, tie-stable order is already correct) and the new rows are
+  merge-inserted at their ``searchsorted`` positions — never re-sorted;
+  each cached quantized store reuses the survivors' integer rows
+  verbatim and quantizes only the inserted rows, unless the new rows'
+  dynamic range escapes the per-attribute envelope, in which case the
+  level is re-scaled wholesale (stores then re-quantize lazily).  An
+  insert burst therefore costs one compaction, not one per call.
+* **Invalidation.**  Compaction ends with
+  :meth:`ScoreEngine._invalidate_derived`: the single-probe LRU memo
+  (keyed on weight bytes only — it would silently serve pre-mutation
+  top-k sets), the grid-gather cache, the cached max row norm behind
+  the ulp noise bands, the chunk geometry, and the worker pools (their
+  clones and shared-memory segments hold the old matrix) are all
+  dropped explicitly.
+
+The contract is the engine-wide one: after any mutation sequence, every
+query is **bit-identical** to a fresh engine built on the mutated
+matrix.  Stability of the merge makes even the internal orderings match
+a fresh ``argsort(kind="stable")``: surviving rows keep their relative
+order and keep indices below every inserted row, and ``searchsorted``
+with ``side="right"`` lands equal-valued new rows after their old peers
+— exactly where the stable sort would put them.
+
+Mutations follow the engine's general threading rule: calls on one
+engine are not synchronized against each other; a service mutating
+while serving must serialize externally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["MergePlan", "delete_rows", "flush_mutations", "insert_rows"]
+
+# Compact eagerly once this many rows are queued in the journal: bounds
+# journal memory and keeps the eventual compaction pass from ballooning.
+_MAX_PENDING_ROWS = 65536
+
+
+class MergePlan:
+    """One ordering's filter + merge, as reusable scatter indices.
+
+    Several parallel arrays ride along every pruning ordering (``perm``,
+    ``u``, ``V``, ``V32``, ``rest``, and the quantized store's ``Q`` /
+    ``absq``); all of them undergo the *same* structural edit — drop the
+    positions of deleted rows, insert the new rows' values before their
+    ``searchsorted`` positions.  The plan computes that edit's gather /
+    scatter indices once (survivor positions, each survivor's final
+    destination, each inserted row's destination) so applying it to one
+    more array is just ``out[old_dest] = arr[keep_idx]; out[ins_dest] =
+    new`` — two linear passes, no per-array mask rebuilds.
+
+    ``apply`` is equivalent to ``np.insert(arr[keep_idx], pos, new,
+    axis=0)`` for the plan's non-decreasing ``pos``; ties in ``pos``
+    keep the inserted order, matching the stable-merge contract.
+
+    ``rows`` carries the inserted float64 data rows (already in merge
+    order) for consumers that derive per-row values — the quantized
+    store quantizes exactly these.
+    """
+
+    __slots__ = ("keep_idx", "old_dest", "ins_dest", "rows", "size")
+
+    def __init__(self, keep_mask: np.ndarray, pos: np.ndarray, rows: np.ndarray) -> None:
+        self.keep_idx = np.flatnonzero(keep_mask)
+        kept = self.keep_idx.size
+        m = rows.shape[0]
+        self.rows = rows
+        self.size = kept + m
+        # Survivor i shifts right by the number of insertions at <= i.
+        shift = np.cumsum(np.bincount(pos, minlength=kept + 1))[:kept]
+        self.old_dest = np.arange(kept, dtype=np.int64) + shift
+        self.ins_dest = pos + np.arange(m, dtype=np.int64)
+
+    def apply(self, old: np.ndarray, new: np.ndarray) -> np.ndarray:
+        out = np.empty((self.size, *old.shape[1:]), dtype=old.dtype)
+        out[self.old_dest] = old[self.keep_idx]
+        out[self.ins_dest] = new
+        return out
+
+
+def _live_view(engine) -> np.ndarray:
+    if engine._live is None:
+        engine._live = np.arange(engine._committed_n, dtype=np.int64)
+    return engine._live
+
+
+def insert_rows(engine, rows: np.ndarray) -> np.ndarray:
+    """Journal an append of ``rows``; returns their new row indices."""
+    rows = np.array(rows, dtype=np.float64, copy=True, order="C", ndmin=2)
+    if rows.ndim != 2 or rows.shape[1] != engine.d:
+        raise ValidationError(
+            f"inserted rows must be (m, {engine.d}), got shape {rows.shape}"
+        )
+    if not np.all(np.isfinite(rows)):
+        raise ValidationError("inserted rows must be finite")
+    m = rows.shape[0]
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    live = _live_view(engine)
+    next_slot = engine._committed_n + sum(len(p) for p in engine._pending_rows)
+    engine._pending_rows.append(rows)
+    engine._live = np.concatenate(
+        [live, next_slot + np.arange(m, dtype=np.int64)]
+    )
+    new_ids = np.arange(engine.n, engine.n + m, dtype=np.int64)
+    engine.n += m
+    engine._dirty_rows = True
+    engine.stats["row_inserts"] += m
+    if sum(len(p) for p in engine._pending_rows) > _MAX_PENDING_ROWS:
+        flush_mutations(engine)
+    return new_ids
+
+
+def delete_rows(engine, indices) -> int:
+    """Journal a deletion; indices refer to the current matrix view.
+
+    Accepts integer indices or a boolean mask of length ``n`` — the two
+    forms ``np.delete`` accepts — and rejects anything else rather than
+    silently casting (a float array or a wrong-length mask coerced to
+    int64 would delete the wrong rows).
+    """
+    arr = np.asarray(indices)
+    if arr.dtype == bool:
+        if arr.ndim != 1 or arr.size != engine.n:
+            raise ValidationError(
+                f"boolean delete mask must have length n={engine.n}, "
+                f"got shape {arr.shape}"
+            )
+        arr = np.flatnonzero(arr)
+    elif not (arr.dtype.kind in "iu" or arr.size == 0):
+        raise ValidationError(
+            f"delete indices must be integers or a boolean mask, got dtype {arr.dtype}"
+        )
+    idx = np.unique(arr.astype(np.int64).reshape(-1))
+    if idx.size == 0:
+        return 0
+    if idx[0] < 0 or idx[-1] >= engine.n:
+        raise ValidationError(
+            f"delete indices must be in [0, n)={engine.n}, got "
+            f"[{idx[0]}, {idx[-1]}]"
+        )
+    if idx.size >= engine.n:
+        raise ValidationError("cannot delete every row (engine must stay non-empty)")
+    engine._live = np.delete(_live_view(engine), idx)
+    engine.n -= idx.size
+    engine._dirty_rows = True
+    engine.stats["row_deletes"] += idx.size
+    return int(idx.size)
+
+
+def flush_mutations(engine) -> None:
+    """Compact the mutation journal into every derived structure."""
+    if not engine._dirty_rows:
+        return
+    cn = engine._committed_n
+    live = _live_view(engine)
+    pending = (
+        np.concatenate(engine._pending_rows)
+        if engine._pending_rows
+        else np.empty((0, engine.d))
+    )
+    split = int(np.searchsorted(live, cn))
+    committed_live = live[:split]
+    new_rows = np.ascontiguousarray(pending[live[split:] - cn])
+    keep = np.zeros(cn, dtype=bool)
+    keep[committed_live] = True
+    kept = committed_live.size
+    m = new_rows.shape[0]
+
+    if kept == cn and m == 0:
+        # The journal cancelled out (inserted rows deleted again before
+        # any query): nothing changed, nothing to invalidate.
+        _reset_journal(engine, cn)
+        return
+
+    idmap = np.cumsum(keep, dtype=np.int64) - 1  # old id -> new id (kept only)
+    new_n = kept + m
+    new_ids = kept + np.arange(m, dtype=np.int64)
+
+    values = np.empty((new_n, engine.d), dtype=np.float64)
+    values[:kept] = engine.values[keep]
+    values[kept:] = new_rows
+    engine.values = values
+    if engine._values32 is not None:
+        v32 = np.empty((new_n, engine.d), dtype=np.float32)
+        v32[:kept] = engine._values32[keep]
+        v32[kept:] = new_rows.astype(np.float32)
+        engine._values32 = v32
+
+    store_edits: list[tuple[int, MergePlan]] = []
+    if engine._orderings is not None:
+        new_norms = np.linalg.norm(new_rows, axis=1)
+        for o, ordering in enumerate(engine._orderings):
+            plan = _merge_ordering(
+                ordering, keep, idmap, new_rows, new_norms, new_ids, new_n
+            )
+            store_edits.append((o, plan))
+
+    if engine._quantizer is not None:
+
+        def apply_stores(level) -> None:
+            if engine._orderings is None:
+                level.drop_stores()
+                return
+            for o, plan in store_edits:
+                level.mutate_store(o, plan)
+
+        engine._quantizer = engine._quantizer.apply_mutation(
+            engine.values, new_rows, apply_stores
+        )
+
+    engine._invalidate_derived()
+    # Restart the attribute-ordering demand accumulator: under sustained
+    # churn every compaction would also have to repair the d extra
+    # orderings (and their quantized stores), so the sharper orderings
+    # must re-justify that recurring cost against *post-mutation* probe
+    # volume.  Orderings already built stay built (and maintained).
+    if not engine._attr_orderings_built:
+        engine._excess_work = 0
+    engine.stats["compactions"] += 1
+    _reset_journal(engine, new_n)
+
+
+def _reset_journal(engine, committed_n: int) -> None:
+    engine._committed_n = int(committed_n)
+    engine._live = None
+    engine._pending_rows = []
+    engine._dirty_rows = False
+
+
+def _merge_ordering(
+    ordering, keep: np.ndarray, idmap: np.ndarray, new_rows, new_norms, new_ids, new_n: int
+) -> MergePlan:
+    """Filter + merge one pruning ordering in place.
+
+    Returns the :class:`MergePlan` (survivor positions and insertion
+    destinations in the ordering's permuted space), which the quantized
+    store repair replays verbatim on its own parallel arrays.
+    """
+    if ordering.attribute < 0:
+        u_new = new_norms
+    else:
+        u_new = new_rows[:, ordering.attribute]
+    order_new = np.argsort(-u_new, kind="stable")
+    rows_sorted = np.ascontiguousarray(new_rows[order_new])
+    keep_pos = keep[ordering.perm]
+    u_f = ordering.u[keep_pos]
+    pos = np.searchsorted(-u_f, -u_new[order_new], side="right")
+    plan = MergePlan(keep_pos, pos, rows_sorted)
+    perm = np.empty(plan.size, dtype=np.int64)
+    perm[plan.old_dest] = idmap[ordering.perm[plan.keep_idx]]
+    perm[plan.ins_dest] = new_ids[order_new]
+    ordering.perm = perm
+    u = np.empty(plan.size)
+    u[plan.old_dest] = u_f
+    u[plan.ins_dest] = u_new[order_new]
+    ordering.u = u
+    ordering.V = plan.apply(ordering.V, rows_sorted)
+    if ordering.V32 is not None:
+        ordering.V32 = plan.apply(ordering.V32, rows_sorted.astype(np.float32))
+    if ordering.attribute < 0:
+        ordering.v = np.zeros(new_n)
+    else:
+        # Surviving rows keep their residual norms bit-for-bit; only the
+        # inserted rows' residuals are computed, and ``v`` is one cummax.
+        if ordering.rest is None:
+            norms = np.linalg.norm(ordering.V, axis=1)
+            ordering.rest = np.sqrt(np.maximum(norms**2 - ordering.u**2, 0.0))
+        else:
+            rest_new = np.sqrt(
+                np.maximum(new_norms[order_new] ** 2 - u_new[order_new] ** 2, 0.0)
+            )
+            ordering.rest = plan.apply(ordering.rest, rest_new)
+        ordering.v = np.maximum.accumulate(ordering.rest[::-1])[::-1]
+    ordering.inv = None
+    return plan

@@ -59,6 +59,7 @@ import numpy as np
 __all__ = [
     "BACKENDS",
     "DEFAULT_MIN_PARALLEL_WORK",
+    "DEFAULT_UNITS_PER_WORKER",
     "ParallelExecutor",
     "SharedMatrix",
     "ThreadExecutor",
@@ -70,14 +71,17 @@ BACKENDS = ("auto", "serial", "thread", "process")
 
 # Serial fast-path cutover: calls with fewer than this many score-matrix
 # entries (n rows x m functions) stay in-process, so small problems never
-# pay pool dispatch (~1 ms/task) or result pickling.  Calibrated so the
-# parallel path only engages once one GEMM costs >~10 ms.
+# pay pool dispatch (~1 ms/task) or result pickling.  This is the
+# *default profile* value (one GEMM >~10 ms on the original sandbox);
+# :func:`repro.engine.autotune.calibrate_engine` derives a per-machine
+# cutover from measured GEMM throughput and pool-dispatch latency.
 DEFAULT_MIN_PARALLEL_WORK = 1 << 23
 
-# Work units per worker and parallel call: more units than workers gives
-# the pool slack to balance uneven chunks (tie-heavy columns fall back to
-# scalar probes and can be 10x slower than clean ones).
-_UNITS_PER_WORKER = 4
+# Default work units per worker and parallel call: more units than
+# workers gives the pool slack to balance uneven chunks (tie-heavy
+# columns fall back to scalar probes and can be 10x slower than clean
+# ones).  Per-engine values come from the TuningProfile.
+DEFAULT_UNITS_PER_WORKER = 4
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -104,14 +108,16 @@ def resolve_backend(backend: str | None) -> str:
     return backend
 
 
-def _chunk_bounds(total: int, n_jobs: int, align: int = 1) -> list[tuple[int, int]]:
+def _chunk_bounds(
+    total: int, n_jobs: int, align: int = 1, units_per_worker: int = DEFAULT_UNITS_PER_WORKER
+) -> list[tuple[int, int]]:
     """Contiguous ``[lo, hi)`` work-unit slices of ``total`` items.
 
     ``align`` forces boundaries onto multiples of the engine's serial
     GEMM chunk so ``score_batch`` work units replay the exact serial
     matmul calls (bit-identical raw scores).
     """
-    units = min(total, n_jobs * _UNITS_PER_WORKER)
+    units = min(total, n_jobs * max(1, units_per_worker))
     size = -(-total // units)  # ceil
     if align > 1:
         size = -(-size // align) * align
@@ -254,12 +260,14 @@ class _ChunkDispatch:
     — is common, so the two executors cannot drift apart.
     """
 
+    units_per_worker: int = DEFAULT_UNITS_PER_WORKER
+
     def function_chunk_bounds(self, m: int, align: int = 1) -> list[tuple[int, int]]:
         """Contiguous ``[lo, hi)`` slices of an m-function batch."""
-        return _chunk_bounds(m, self.n_jobs, align)
+        return _chunk_bounds(m, self.n_jobs, align, self.units_per_worker)
 
     def row_chunk_bounds(self, n: int) -> list[tuple[int, int]]:
-        return _chunk_bounds(n, self.n_jobs)
+        return _chunk_bounds(n, self.n_jobs, units_per_worker=self.units_per_worker)
 
     def run_function_chunks(self, kind: str, weights, args=(), align: int = 1):
         """Ship one work unit per weight slice; results in slice order."""
@@ -294,8 +302,10 @@ class ParallelExecutor(_ChunkDispatch):
         config: dict,
         n_jobs: int,
         mp_context: str | None = None,
+        units_per_worker: int = DEFAULT_UNITS_PER_WORKER,
     ) -> None:
         self.n_jobs = int(n_jobs)
+        self.units_per_worker = int(units_per_worker)
         self._shared = SharedMatrix.create(values)
         context = get_context(mp_context) if mp_context else _default_context()
         self._pool = ProcessPoolExecutor(
@@ -343,8 +353,11 @@ class ThreadExecutor(_ChunkDispatch):
     # the build adaptively.
     _EAGER_ORDERINGS_BYTES = 1 << 26
 
-    def __init__(self, engine, n_jobs: int) -> None:
+    def __init__(
+        self, engine, n_jobs: int, units_per_worker: int = DEFAULT_UNITS_PER_WORKER
+    ) -> None:
         self.n_jobs = int(n_jobs)
+        self.units_per_worker = int(units_per_worker)
         engine._ensure_orderings()
         if (
             not engine._attr_orderings_built

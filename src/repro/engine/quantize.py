@@ -80,8 +80,10 @@ _LEVELS = {"int8": 127, "int16": 32767}
 # rounding and the float32 cast of a float64 right-hand side.
 _QUANT_SLACK = 2.0
 
-# Adaptive upgrade: once this many columns have been screened, a promote
-# rate above the limit means the envelope is too wide for the data.
+# Adaptive upgrade defaults: once this many columns have been screened,
+# a promote rate above the limit means the envelope is too wide for the
+# data.  Per-engine values come from the TuningProfile
+# (:mod:`repro.engine.autotune`).
 _PROMOTE_WINDOW = 512
 _PROMOTE_LIMIT = 0.25
 
@@ -177,6 +179,58 @@ class QuantLevel:
             self._stores[ordering_index] = store
             return store
 
+    def in_envelope(self, rows: np.ndarray) -> bool:
+        """Whether every entry of ``rows`` fits this level's scales.
+
+        The error decomposition is valid for *any* positive scale; the
+        only hard requirement is ``|rint(x/a)| <= qmax``, i.e. the data
+        stays inside the representable integer range.  New rows within
+        the existing per-attribute envelope can therefore be quantized
+        against the old scales with full rigor — no re-scaling needed.
+        """
+        if rows.size == 0:
+            return True
+        return bool(np.all(np.abs(rows).max(axis=0) <= self.scales * self.qmax))
+
+    def mutate_store(self, ordering_index: int, plan) -> None:
+        """Maintain one cached store across a row mutation.
+
+        ``plan`` is the owning ordering's
+        :class:`~repro.engine.delta.MergePlan`: the store's parallel
+        arrays undergo the exact structural edit the ordering did.  The
+        surviving rows' carrier integers are reused verbatim and the
+        inserted rows (``plan.rows``) are quantized with the level's
+        (unchanged) scales, so the result is bit-identical to a
+        from-scratch quantization of the mutated, re-permuted matrix.
+        Absent (or disabled) stores are dropped and rebuild lazily.
+        """
+        with self._lock:
+            store = self._stores.get(ordering_index, self)
+            if store is self or store is None:
+                self._stores.pop(ordering_index, None)
+                return
+            new_rows = plan.rows
+            q_new = np.rint(new_rows / self.scales) if new_rows.size else np.empty(
+                (0, self.scales.size)
+            )
+            if q_new.size and np.abs(q_new).max(initial=0.0) > self.qmax:
+                # Defensive: the caller's envelope check should prevent
+                # this; rebuild from scratch rather than store bad bits.
+                self._stores.pop(ordering_index, None)
+                return
+            absq_new = np.abs(q_new).sum(axis=1)
+            inserted = np.empty((q_new.shape[0], store.Q.shape[1]), dtype=store.Q.dtype)
+            inserted[:, :-1] = q_new
+            inserted[:, -1] = 0.5 * absq_new
+            Q = plan.apply(store.Q, inserted)
+            absq = plan.apply(store.absq, absq_new.astype(store.absq.dtype))
+            self._stores[ordering_index] = QuantStore(Q, absq, self.qmax)
+
+    def drop_stores(self) -> None:
+        """Forget every cached store (they rebuild lazily)."""
+        with self._lock:
+            self._stores.clear()
+
     def quantize_weights(
         self, W: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -222,10 +276,18 @@ class Quantizer:
     the immutable :class:`QuantLevel` snapshots it hands out.
     """
 
-    def __init__(self, values: np.ndarray, mode: str | None = "auto") -> None:
+    def __init__(
+        self,
+        values: np.ndarray,
+        mode: str | None = "auto",
+        promote_window: int = _PROMOTE_WINDOW,
+        promote_limit: float = _PROMOTE_LIMIT,
+    ) -> None:
         if mode is not None and mode not in ("auto", "int8", "int16"):
             raise ValueError(f"quantize must be 'auto', 'int8', 'int16' or None, got {mode!r}")
         self.mode = mode
+        self.promote_window = int(promote_window)
+        self.promote_limit = float(promote_limit)
         self._maxabs = np.abs(values).max(axis=0) if mode is not None else None
         self._probed = mode is None
         self._state: QuantLevel | None = None
@@ -305,6 +367,54 @@ class Quantizer:
         self._state = level if level.carrier is not None else None
 
     # ------------------------------------------------------------------
+    def apply_mutation(self, values: np.ndarray, new_rows: np.ndarray, store_updates):
+        """Maintain quantization state across an engine row mutation.
+
+        ``values`` is the post-mutation matrix, ``new_rows`` the inserted
+        rows (possibly empty), and ``store_updates`` a callable invoked
+        with the current :class:`QuantLevel` to apply the per-ordering
+        store edits.  Returns the quantizer to use afterwards — usually
+        ``self``, or a fresh replacement when no derived state exists yet
+        (nothing to maintain, so restarting the probe is cheapest).
+
+        The re-scale rule: a level's stores survive as long as the new
+        rows' dynamic range stays inside the existing per-attribute
+        envelope (``|x| <= scale * qmax`` — rigorous for any scale).  An
+        escape swaps in a fresh level at the same name with widened
+        scales; its stores requantize lazily on next use.  Deletions
+        never escape — the old (now possibly wider-than-necessary)
+        scales remain valid, and the exactness contract makes the
+        difference unobservable.
+        """
+        if self.mode is None:
+            return self
+        with self._lock:
+            if not self._probed:
+                # Level never chosen: no scales, no stores — restart over
+                # the mutated matrix; the probe runs at first use.
+                return Quantizer(
+                    values, self.mode, self.promote_window, self.promote_limit
+                )
+            if new_rows.size:
+                self._maxabs = np.maximum(
+                    self._maxabs, np.abs(new_rows).max(axis=0)
+                )
+            level = self._state
+            if level is None:
+                return self  # tier disabled (adaptively or by range); stays off
+            if not level.in_envelope(new_rows):
+                nonzero = self._maxabs[self._maxabs > 0.0]
+                if nonzero.size and (
+                    nonzero.min() < _SCALE_MIN or nonzero.max() > _SCALE_MAX
+                ):
+                    self._state = None  # widened range left the safe zone
+                    return self
+                fresh = QuantLevel(level.name, self._maxabs)
+                self._state = fresh if fresh.carrier is not None else None
+                return self
+            store_updates(level)
+            return self
+
     def observe(self, screened: int, promoted: int) -> None:
         """Feed the adaptive level policy one call's screen/promote counts."""
         if self.mode != "auto":
@@ -312,9 +422,9 @@ class Quantizer:
         with self._lock:
             self._screened += screened
             self._promoted += promoted
-            if self._screened < _PROMOTE_WINDOW:
+            if self._screened < self.promote_window:
                 return
-            if self._promoted > _PROMOTE_LIMIT * self._screened:
+            if self._promoted > self.promote_limit * self._screened:
                 current = self._state.name if self._state is not None else None
                 self._set_level("int16" if current == "int8" else None)
             self._screened = 0

@@ -63,12 +63,9 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro.engine.autotune import TuningProfile
 from repro.engine.bitset import pack_membership, packed_width
-from repro.engine.parallel import (
-    DEFAULT_MIN_PARALLEL_WORK,
-    resolve_backend,
-    resolve_n_jobs,
-)
+from repro.engine.parallel import resolve_backend, resolve_n_jobs
 from repro.engine.quantize import Quantizer
 from repro.exceptions import ValidationError
 
@@ -76,37 +73,15 @@ __all__ = ["ScoreEngine", "TopKBatch"]
 
 # Width of the ulp band (in units of eps * max|score| per column) inside
 # which GEMM scores are treated as potentially tied and re-verified.
+# Deliberately NOT part of the tuning profile: this constant is
+# load-bearing for exactness, not performance.
 _TIE_BAND_ULPS = 64.0
 
-# Rank counting: grid base for quantizing attribute-ordering prefix needs
-# (prefixes round up to 2 * this, 4 * this, ...), and the target float32
-# score-buffer size per fused count chunk.  The buffer is sized to sit in
-# cache so the threshold passes read scores while they are still hot —
-# at bench scale this matters as much as the GEMM itself.
-_RANK_GRID_BASE = 128
-_RANK_BUFFER_BYTES = 1 << 23
-
-# Quantized tier caps: a function whose integer-envelope candidate (resp.
-# rank band) count exceeds these is promoted to the float tiers instead
-# of paying a wide gather — the envelope evidently straddles too much of
-# the data for screening to pay.  Promoted sets at or below
-# _QUANT_SCALAR_PROMOTE skip the batch tiers for the scalar kernel
-# directly: per-function GEMV beats the tier setup cost at that size.
-_QUANT_RANK_CAP = 256
-_QUANT_SCALAR_PROMOTE = 16
-
-# Rank counting engages the quantized screen adaptively: only once the
-# float32 banded count has dropped more than this fraction of functions
-# to the exact scalar kernel (each drop rescans all n rows), measured
-# over at least _RANK_QUANT_MIN_SAMPLE counted functions.
-_RANK_QUANT_FALLBACK_RATIO = 0.02
-_RANK_QUANT_MIN_SAMPLE = 64
-
-# Auto backend policy: escalate from the thread pool to the process pool
-# once this fraction of decided columns needed the scalar (GIL-bound)
-# fallback tier, measured over at least _BACKEND_MIN_SAMPLE columns.
-_BACKEND_ESCALATE_RATIO = 0.05
-_BACKEND_MIN_SAMPLE = 4096
+# Every performance constant that used to live here — chunk sizes, the
+# fan-out cutover, the quantized/scalar routing caps, the adaptive
+# policy thresholds — is now a field of
+# :class:`repro.engine.autotune.TuningProfile` (whose defaults reproduce
+# the legacy values) and is read per-engine via ``self._tuning``.
 
 
 class _Ordering:
@@ -117,11 +92,16 @@ class _Ordering:
     most ``a(w)·u[p] + b(w)·v[p]`` for the ordering's coefficients.
     ``V32`` and ``inv`` (the inverse permutation) are filled lazily by
     the consumers that need them and survive pickling with the rest.
+    ``rest`` keeps the per-row residual norms behind an attribute
+    ordering's ``v`` (``v`` is their suffix-max), so the incremental
+    update path (:mod:`repro.engine.delta`) can filter/merge them like
+    ``u`` and re-derive ``v`` with one cummax instead of re-norming the
+    whole matrix.
     """
 
-    __slots__ = ("perm", "V", "V32", "u", "v", "attribute", "inv")
+    __slots__ = ("perm", "V", "V32", "u", "v", "attribute", "inv", "rest")
 
-    def __init__(self, perm, V, V32, u, v, attribute, inv=None) -> None:
+    def __init__(self, perm, V, V32, u, v, attribute, inv=None, rest=None) -> None:
         self.perm = perm
         self.V = V
         self.V32 = V32
@@ -129,6 +109,7 @@ class _Ordering:
         self.v = v
         self.attribute = attribute
         self.inv = inv
+        self.rest = rest
 
 
 def _geometric_grid(k: int, n: int) -> np.ndarray:
@@ -165,6 +146,9 @@ class ScoreEngine:
     ----------
     values:
         The data matrix; copied to a C-contiguous float64 array once.
+        Long-lived engines can mutate it afterwards through
+        :meth:`insert_rows` / :meth:`delete_rows`, which maintain every
+        derived structure incrementally (see :mod:`repro.engine.delta`).
     float32:
         Score in single precision with float64 tie/order verification
         (see module docstring).  Off by default.
@@ -172,6 +156,7 @@ class ScoreEngine:
         Target size of one score chunk; the weight batch is processed in
         column chunks of ``chunk_bytes / (8n)`` so peak memory stays flat
         regardless of how many functions a caller throws at one call.
+        ``None`` (default) takes the value from the tuning profile.
     memo_size:
         Capacity of the single-function LRU memo (entries, not bytes).
     n_jobs:
@@ -203,7 +188,16 @@ class ScoreEngine:
         available.
     parallel_min_work:
         Serial fast-path cutover in score-matrix entries (``n * m``);
-        calls below it never touch a pool.
+        calls below it never touch a pool.  ``None`` (default) takes the
+        value from the tuning profile.
+    tune:
+        Runtime tuning (:mod:`repro.engine.autotune`): ``None`` uses the
+        default :class:`TuningProfile` (the legacy hand-tuned
+        constants), a profile instance adopts it as-is (e.g. one loaded
+        from JSON via :meth:`TuningProfile.load`), and ``"auto"`` runs
+        the calibration probe lazily before the first bulk call —
+        explicit :meth:`calibrate` does the same eagerly.  Any profile
+        yields bit-identical results; only the speed changes.
     """
 
     def __init__(
@@ -211,13 +205,14 @@ class ScoreEngine:
         values: np.ndarray,
         *,
         float32: bool = False,
-        chunk_bytes: int = 1 << 26,
+        chunk_bytes: int | None = None,
         memo_size: int = 4096,
         n_jobs: int | None = None,
         backend: str = "auto",
         quantize: str | None = "auto",
         mp_context: str | None = None,
-        parallel_min_work: int = DEFAULT_MIN_PARALLEL_WORK,
+        parallel_min_work: int | None = None,
+        tune: TuningProfile | str | None = None,
     ) -> None:
         matrix = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
@@ -228,6 +223,19 @@ class ScoreEngine:
         self.n, self.d = matrix.shape
         self.float32 = bool(float32)
         self._values32 = matrix.astype(np.float32) if self.float32 else None
+        self._tune_pending = False
+        if tune is None:
+            self._tuning = TuningProfile()
+        elif isinstance(tune, TuningProfile):
+            self._tuning = tune
+        elif tune == "auto":
+            self._tuning = TuningProfile()
+            self._tune_pending = True
+        else:
+            raise ValidationError(
+                "tune must be None, 'auto' or a TuningProfile, "
+                f"got {tune!r} (load JSON profiles with TuningProfile.load)"
+            )
         # Pruning orderings: candidate row orders with per-position upper
         # bounds on any remaining row's score (see _build_orderings).
         # All of them are built lazily: the norm ordering on the first
@@ -237,6 +245,8 @@ class ScoreEngine:
         self._orderings: list[_Ordering] | None = None
         self._attr_orderings_built = False
         self._excess_work = 0
+        if chunk_bytes is None:
+            chunk_bytes = self._tuning.chunk_bytes
         if chunk_bytes < 8 * self.n:
             chunk_bytes = 8 * self.n
         self._chunk_bytes = int(chunk_bytes)
@@ -249,10 +259,21 @@ class ScoreEngine:
         except ValueError as exc:
             raise ValidationError(str(exc)) from None
         try:
-            self._quantizer = Quantizer(matrix, quantize) if quantize else None
+            self._quantizer = (
+                Quantizer(
+                    matrix,
+                    quantize,
+                    promote_window=self._tuning.quant_promote_window,
+                    promote_limit=self._tuning.quant_promote_limit,
+                )
+                if quantize
+                else None
+            )
         except ValueError as exc:
             raise ValidationError(str(exc)) from None
         self._mp_context = mp_context
+        if parallel_min_work is None:
+            parallel_min_work = self._tuning.parallel_min_work
         self._parallel_min_work = int(parallel_min_work)
         # Lazy executors, keyed "thread"/"process" (see repro.engine.parallel).
         self._executors: dict = {}
@@ -264,6 +285,14 @@ class ScoreEngine:
         # reused across batches by _prefix_needs.
         self._grid_cache: dict[tuple[int, int], list] = {}
         self._max_row_norm: float | None = None  # lazy, see _noise_scale
+        # Row-mutation journal (see repro.engine.delta): pending inserted
+        # rows, the sorted live-slot tombstone array (None = no pending
+        # deletes since the last compaction), and the committed matrix
+        # size.  ``self.n`` always reflects the *logical* size.
+        self._pending_rows: list[np.ndarray] = []
+        self._live: np.ndarray | None = None
+        self._committed_n = self.n
+        self._dirty_rows = False
         # Introspection counters (read by tests and the perf gate).
         self.stats = {
             "gemm_columns": 0,
@@ -274,6 +303,9 @@ class ScoreEngine:
             "parallel_calls": 0,
             "quant_columns": 0,
             "quant_resolved": 0,
+            "row_inserts": 0,
+            "row_deletes": 0,
+            "compactions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -300,6 +332,114 @@ class ScoreEngine:
         return packed_width(self.n)
 
     # ------------------------------------------------------------------
+    # runtime tuning (see repro.engine.autotune)
+    @property
+    def tuning(self) -> TuningProfile:
+        """The engine's current tuning profile (read-only snapshot)."""
+        return self._tuning
+
+    def calibrate(self, budget_s: float = 0.25) -> TuningProfile:
+        """Run the calibration probe now and adopt the resulting profile.
+
+        Measures GEMM throughput, per-call overhead, pool-dispatch
+        latency and the scalar/quantized kernel costs on this machine
+        and this matrix (:func:`repro.engine.autotune.calibrate_engine`),
+        then applies the derived profile wholesale — including over any
+        explicit ``chunk_bytes`` / ``parallel_min_work`` constructor
+        overrides.  Returns the profile so callers can persist it
+        (:meth:`TuningProfile.save`) and restart with ``tune=profile``
+        instead of re-probing.  Results stay bit-identical.
+        """
+        from repro.engine.autotune import calibrate_engine
+
+        self._tune_pending = False
+        self.compact()  # probe the post-mutation matrix
+        profile = calibrate_engine(self, budget_s=budget_s)
+        self._apply_tuning(profile)
+        return profile
+
+    def _apply_tuning(self, profile: TuningProfile) -> None:
+        """Adopt ``profile`` for every subsequent call."""
+        self._tuning = profile
+        self._tune_pending = False
+        chunk_bytes = max(int(profile.chunk_bytes), 8 * self.n)
+        self._chunk_bytes = chunk_bytes
+        self._chunk_cols = max(1, chunk_bytes // (8 * self.n))
+        self._parallel_min_work = int(profile.parallel_min_work)
+        if self._quantizer is not None:
+            self._quantizer.promote_window = int(profile.quant_promote_window)
+            self._quantizer.promote_limit = float(profile.quant_promote_limit)
+        self._grid_cache.clear()
+        # Live pools were built with the old granularity; rebuild lazily.
+        self.close()
+
+    def _sync(self) -> None:
+        """Settle deferred state before serving a query.
+
+        Applies any pending row mutations (compacting the journal into
+        every derived structure, see :mod:`repro.engine.delta`) and runs
+        the first-call calibration when the engine was constructed with
+        ``tune="auto"``.  Every public query entry point calls this, so
+        mutation and tuning latency is paid at a call boundary — never
+        inside the tiered kernels.
+        """
+        self.compact()
+        if self._tune_pending:
+            self.calibrate()
+
+    # ------------------------------------------------------------------
+    # incremental row updates (see repro.engine.delta)
+    def insert_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Append data rows; returns their new indices ``[n_old, n_new)``.
+
+        The mutation is journaled and compacted lazily at the next query
+        (or :meth:`compact`): pre-sorted orderings are merge-updated,
+        quantized stores are re-scaled only when the new rows escape the
+        per-attribute envelope, and the memo/caches are invalidated.
+        Results afterwards are bit-identical to a fresh engine built on
+        ``vstack([values, rows])``.
+        """
+        from repro.engine.delta import insert_rows
+
+        return insert_rows(self, rows)
+
+    def delete_rows(self, indices) -> int:
+        """Delete the given row indices; returns how many were removed.
+
+        Indices refer to the *current* matrix view; surviving rows are
+        re-indexed compactly (exactly ``np.delete(values, indices,
+        axis=0)`` semantics), so results afterwards are bit-identical to
+        a fresh engine on the deleted matrix.  Tombstoned via the
+        journal and compacted lazily, like :meth:`insert_rows`.
+        """
+        from repro.engine.delta import delete_rows
+
+        return delete_rows(self, indices)
+
+    def compact(self) -> None:
+        """Apply any journaled row mutations now instead of lazily."""
+        if self._dirty_rows:
+            from repro.engine.delta import flush_mutations
+
+            flush_mutations(self)
+
+    def _invalidate_derived(self) -> None:
+        """Drop every cache whose contents depend on the data matrix.
+
+        The explicit invalidation point for the mutation path: the
+        single-probe LRU memo (keyed on weight bytes only — a mutated
+        matrix would silently serve stale top-k sets), the per-(k,
+        orderings) grid gathers, the cached max row norm behind the
+        ulp noise bands, the chunk geometry, and the worker pools
+        (whose clones/shared segments hold the pre-mutation matrix).
+        """
+        self._memo.clear()
+        self._grid_cache.clear()
+        self._max_row_norm = None
+        self._chunk_cols = max(1, self._chunk_bytes // (8 * self.n))
+        self.close()
+
+    # ------------------------------------------------------------------
     # parallel execution layer (see repro.engine.parallel)
     def _worker_config(self) -> dict:
         """Constructor kwargs for the per-worker serial engine clones."""
@@ -309,6 +449,7 @@ class ScoreEngine:
             "memo_size": self._memo_size,
             "n_jobs": 1,
             "quantize": self._quantizer.mode if self._quantizer is not None else None,
+            "tune": self._tuning,
         }
 
     def _parallel_plan(self, m: int) -> str | None:
@@ -336,7 +477,7 @@ class ScoreEngine:
         scalar kernel run Python under the GIL, however — tie fallbacks
         and quantized-tier straggler promotes alike, which is why both
         count into ``verified_columns`` — so a measured scalar ratio
-        above ``_BACKEND_ESCALATE_RATIO`` escalates — permanently, for
+        above the profile's ``backend_escalate_ratio`` escalates — permanently, for
         this engine — to the process pool.  Thread work units fold their
         counters back into these stats, so fanned-out calls feed the
         measurement too.
@@ -346,14 +487,17 @@ class ScoreEngine:
         if not self._backend_escalated:
             decided = self.stats["gemm_columns"]
             verified = self.stats["verified_columns"]
-            if decided >= _BACKEND_MIN_SAMPLE and verified > _BACKEND_ESCALATE_RATIO * decided:
+            if (
+                decided >= self._tuning.backend_min_sample
+                and verified > self._tuning.backend_escalate_ratio * decided
+            ):
                 self._backend_escalated = True
                 # The thread pool is dead weight from here on; free its
                 # OS threads and per-thread clones now, not at close().
                 stale = self._executors.pop("thread", None)
                 if stale is not None:
                     stale.close()
-        return "process" if self._backend_escalated else "thread"
+        return "process" if self._backend_escalated else self._tuning.initial_backend
 
     def _executor(self):
         kind = self._select_backend()
@@ -363,12 +507,18 @@ class ScoreEngine:
                 from repro.engine.parallel import ParallelExecutor
 
                 executor = ParallelExecutor(
-                    self.values, self._worker_config(), self.n_jobs, self._mp_context
+                    self.values,
+                    self._worker_config(),
+                    self.n_jobs,
+                    self._mp_context,
+                    units_per_worker=self._tuning.units_per_worker,
                 )
             else:
                 from repro.engine.parallel import ThreadExecutor
 
-                executor = ThreadExecutor(self, self.n_jobs)
+                executor = ThreadExecutor(
+                    self, self.n_jobs, units_per_worker=self._tuning.units_per_worker
+                )
             self._executors[kind] = executor
         self.stats["parallel_calls"] += 1
         return executor
@@ -396,8 +546,10 @@ class ScoreEngine:
         Lazily-built state — the pruning orderings, the quantized
         stores and the top-k memo — travels with the engine, so an
         unpickled copy (or a worker rebuilt from one) does not re-sort
-        or re-probe what the original already paid for.
+        or re-probe what the original already paid for.  Journaled row
+        mutations are compacted first, so the pickled engine is clean.
         """
+        self.compact()
         state = self.__dict__.copy()
         state["_executors"] = {}
         return state
@@ -427,6 +579,12 @@ class ScoreEngine:
         clone._grid_cache = {}
         clone._excess_work = 0
         clone._attr_orderings_built = True
+        # Clones are created inside a bulk call, i.e. after _sync():
+        # the journal is settled and no clone ever mutates rows.
+        clone._pending_rows = []
+        clone._live = None
+        clone._dirty_rows = False
+        clone._tune_pending = False
         clone.stats = dict.fromkeys(self.stats, 0)
         # The adaptive rank-quant counters are inherited as-is: the clone
         # starts from the parent's evidence and the executor folds only
@@ -443,6 +601,7 @@ class ScoreEngine:
         should use :meth:`topk_batch` / :meth:`rank_of_best_batch`, which
         verify contested columns.
         """
+        self._sync()
         W = self._check_weights(weight_matrix)
         m = W.shape[0]
         # Function-chunk fan-out, aligned to the serial chunk boundaries
@@ -484,6 +643,7 @@ class ScoreEngine:
         on the index rows directly) this skips the ``O(m · n)`` bit
         packing entirely.
         """
+        self._sync()
         W = self._check_weights(weight_matrix)
         k = self._check_k(k)
         m = W.shape[0]
@@ -504,6 +664,7 @@ class ScoreEngine:
         work unit the parallel layer ships to workers (packing happens
         once, in the parent, over the merged order matrix).
         """
+        self._sync()
         W = self._check_weights(weight_matrix)
         k = self._check_k(k)
         m = W.shape[0]
@@ -541,7 +702,7 @@ class ScoreEngine:
             promoted = self._quant_topk_chunk(Wc, k, out_order)
             if promoted.size == 0:
                 return
-            if promoted.size <= _QUANT_SCALAR_PROMOTE:
+            if promoted.size <= self._tuning.quant_scalar_promote:
                 # A handful of stragglers: the scalar kernel per function
                 # is cheaper than spinning up the batch-tier machinery,
                 # and identical by the exactness contract.
@@ -792,6 +953,7 @@ class ScoreEngine:
                 u=self.values[perm, j],
                 v=np.maximum.accumulate(rest[::-1])[::-1],
                 attribute=j,
+                rest=rest,
             )
             if self.float32:
                 ordering.V32 = ordering.V.astype(np.float32)
@@ -1083,6 +1245,7 @@ class ScoreEngine:
         Returns a :class:`TopKBatch` with ``m = 1``; treat the arrays as
         read-only — they are shared with the memo.
         """
+        self._sync()
         w = np.ascontiguousarray(np.asarray(weights, dtype=np.float64).reshape(-1))
         if w.size != self.d:
             raise ValidationError(
@@ -1136,6 +1299,7 @@ class ScoreEngine:
         rows) can never inflate a rank, and the result is bit-identical
         to the pre-pruning full-scan path for every input.
         """
+        self._sync()
         W = self._check_weights(weight_matrix)
         members = self._check_subset(subset)
         m = W.shape[0]
@@ -1159,7 +1323,7 @@ class ScoreEngine:
         rescan).  The engine therefore measures the float path's
         fallback rate and engages the quantized screen — which resolves
         the same near-ties from a small exact gather instead — once that
-        rate crosses ``_RANK_QUANT_FALLBACK_RATIO``.  Either route is
+        rate crosses the profile's ``rank_quant_fallback_ratio``.  Either route is
         bit-identical to ``rank_of``.
         """
         m = W.shape[0]
@@ -1175,9 +1339,9 @@ class ScoreEngine:
             best[lo:hi] = (W[lo:hi] @ member_values.T).max(axis=1)
         use_quant = (
             self._quantizer is not None
-            and self._rank_float_columns >= _RANK_QUANT_MIN_SAMPLE
+            and self._rank_float_columns >= self._tuning.rank_quant_min_sample
             and self._rank_float_fallbacks
-            > _RANK_QUANT_FALLBACK_RATIO * self._rank_float_columns
+            > self._tuning.rank_quant_fallback_ratio * self._rank_float_columns
             and self._quantizer.active
         )
         if use_quant:
@@ -1199,23 +1363,52 @@ class ScoreEngine:
         n = self.n
         m = W.shape[0]
         ranks = np.empty(m, dtype=np.int64)
+        # The banded count is only sound while every quantity it compares
+        # is *finite* in float32: an overflowed threshold or score is inf
+        # (or nan via inf * 0 in the GEMM), and inf > inf is False — rows
+        # scoring strictly above the bound would be silently dropped from
+        # BOTH the `above` and `near` counts, so the near-band mismatch
+        # check that normally forces the exact fallback never fires and
+        # the rank is undercounted.  Functions whose magnitude bounds
+        # (||w||, max ||row||, or their product — the score bound) leave
+        # the float32 range therefore skip the float32 tier entirely and
+        # count with the exact float64 kernel.
+        f32_lim = float(np.finfo(np.float32).max) / 8.0
+        nscale = self._noise_scale(W)
+        w_norms = np.linalg.norm(W, axis=1)
+        unsafe = (nscale >= f32_lim) | (w_norms >= f32_lim)
+        if self._max_row_norm >= f32_lim:
+            unsafe[:] = True
+        if unsafe.any():
+            for j in np.flatnonzero(unsafe):
+                exact = self.values @ W[j]
+                ranks[j] = int((exact > exact[members].max()).sum()) + 1
+                self.stats["verified_columns"] += 1
+            self._rank_float_columns += int(unsafe.sum())
+            self._rank_float_fallbacks += int(unsafe.sum())
+            safe = np.flatnonzero(~unsafe)
+            if safe.size:
+                ranks[safe] = self._rank_functions_float(
+                    np.ascontiguousarray(W[safe]), members, best[safe]
+                )
+            return ranks
         fallbacks_before = self.stats["verified_columns"]
         eps32 = float(np.finfo(np.float32).eps)
         # Band scaled by the rounding-noise bound ||w|| * max ||row||, not
         # by |best|: under cancellation float32 scores can be off by far
         # more than any |best|-relative band, and rows must land in the
         # contested band (-> exact fallback) rather than be miscounted.
-        tol = _TIE_BAND_ULPS * eps32 * self._noise_scale(W)
+        tol = _TIE_BAND_ULPS * eps32 * nscale
         thr = best - 4.0 * tol
         if self._orderings is None:
             self._orderings = self._build_orderings()
         self._accumulate_probe_demand(W, thr)
-        needs = self._prefix_needs(W, thr, _RANK_GRID_BASE)
+        needs = self._prefix_needs(W, thr, self._tuning.rank_grid_base)
         best_o = np.argmin(needs, axis=1)
         need = np.clip(needs[np.arange(m), best_o], 1, n)
         # Quantize prefix sizes to a doubling grid so one GEMM serves a
         # whole group of similarly-needy functions.
-        sizes = np.append(_geometric_grid(_RANK_GRID_BASE, n), n)
+        sizes = np.append(_geometric_grid(self._tuning.rank_grid_base, n), n)
         bucket = np.searchsorted(sizes, need)
         W32 = W.astype(np.float32)
         hi_t = (best + tol).astype(np.float32)
@@ -1231,7 +1424,7 @@ class ScoreEngine:
             in_prefix = positions[positions < c]
             # Fused count chunks: size the float32 score buffer to sit in
             # cache so the threshold passes run on hot data.
-            cols = max(16, min(1024, _RANK_BUFFER_BYTES // (4 * c)))
+            cols = max(16, min(1024, self._tuning.rank_buffer_bytes // (4 * c)))
             for glo in range(0, group.size, cols):
                 rows = group[glo : glo + cols]
                 S = W32[rows] @ prefix32.T  # (|rows|, c)
@@ -1273,7 +1466,7 @@ class ScoreEngine:
         score), *surely below* (ignored), and an *envelope band* that is
         gathered and re-scored exactly.  Band rows within the ulp band
         of ``best`` drop the whole function to the exact scalar kernel;
-        a band wider than ``_QUANT_RANK_CAP`` promotes the function to
+        a band wider than the profile's ``quant_rank_cap`` promotes the function to
         the float32 banded count instead.  Counts written into ``ranks``
         are bit-identical to the full-scan scalar path.
         """
@@ -1289,10 +1482,10 @@ class ScoreEngine:
         tol = _TIE_BAND_ULPS * eps * self._noise_scale(W)
         thr = best - 4.0 * tol
         self._accumulate_probe_demand(W, thr)
-        needs = self._prefix_needs(W, thr, _RANK_GRID_BASE)
+        needs = self._prefix_needs(W, thr, self._tuning.rank_grid_base)
         best_o = np.argmin(needs, axis=1)
         need = np.clip(needs[np.arange(m), best_o], 1, n)
-        sizes = np.append(_geometric_grid(_RANK_GRID_BASE, n), n)
+        sizes = np.append(_geometric_grid(self._tuning.rank_grid_base, n), n)
         bucket = np.searchsorted(sizes, need)
         is_member = np.zeros(n, dtype=bool)
         is_member[members] = True
@@ -1311,7 +1504,7 @@ class ScoreEngine:
             Qc = store.Q[:c]
             absq = store.absq[:c]
             itemsize = Qc.dtype.itemsize
-            cols = max(16, min(1024, _RANK_BUFFER_BYTES // (itemsize * c)))
+            cols = max(16, min(1024, self._tuning.rank_buffer_bytes // (itemsize * c)))
             for glo in range(0, group.size, cols):
                 rows = group[glo : glo + cols]
                 S = Wq[rows] @ Qc.T  # shifted integer sums, exact in carrier
@@ -1327,7 +1520,7 @@ class ScoreEngine:
                 band = band_mask.sum(axis=1, dtype=np.int64)
                 self.stats["gemm_columns"] += rows.size
                 self.stats["rank_prefix_rows"] += rows.size * c
-                ok = band <= _QUANT_RANK_CAP
+                ok = band <= self._tuning.quant_rank_cap
                 if not ok.all():
                     promoted_parts.append(rows[~ok])
                     rows = rows[ok]
@@ -1379,6 +1572,7 @@ class ScoreEngine:
         kernel).  Summing ``above`` over a partition of the rows equals
         the full-scan count because every uncontested decision is exact.
         """
+        self._sync()
         W = self._check_weights(weight_matrix)
         members = self._check_subset(subset)
         best = (W @ self.values[members].T).max(axis=1)
@@ -1444,6 +1638,7 @@ class ScoreEngine:
         ranks in the top-k of its own slice by exact scores and GEMM
         deviations are far smaller than the band.
         """
+        self._sync()
         W = self._check_weights(weight_matrix)
         k = self._check_k(k)
         height = hi - lo

@@ -59,6 +59,7 @@ def evaluate_representative(
     rng: int | np.random.Generator | None = 0,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
 ) -> RepresentativeReport:
     """Measure a representative set the way the paper's §6 does.
 
@@ -77,7 +78,7 @@ def evaluate_representative(
     use_exact = (matrix.shape[1] == 2) if exact is None else bool(exact)
     # One engine serves both Monte-Carlo estimators, so the pool /
     # shared-memory copy / pruning orderings are paid for once per call.
-    with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend) as engine:
+    with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune) as engine:
         if use_exact:
             if matrix.shape[1] != 2:
                 raise ValidationError("exact rank-regret is only available in 2-D")

@@ -103,6 +103,7 @@ def rank_regret_sampled(
     return_distribution: bool = False,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
     engine: ScoreEngine | None = None,
 ) -> int | np.ndarray:
     """Monte-Carlo estimate of RR_L(X) over uniformly sampled functions.
@@ -134,9 +135,12 @@ def rank_regret_sampled(
     members = _validate_subset(matrix.shape[0], subset)
     weights = sample_functions(matrix.shape[1], num_functions, rng)
     if engine is not None:
+        engine.compact()  # settle journaled row mutations before validating
+        if engine.n != matrix.shape[0]:
+            raise ValidationError("engine was built over a different matrix")
         regrets = engine.rank_of_best_batch(weights, members)
     else:
-        with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend) as own:
+        with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune) as own:
             regrets = own.rank_of_best_batch(weights, members)
     if return_distribution:
         return regrets
@@ -165,6 +169,7 @@ def regret_ratio_sampled(
     rng: int | np.random.Generator | None = None,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
     engine: ScoreEngine | None = None,
 ) -> float:
     """Monte-Carlo maximum regret-ratio of ``subset`` over sampled functions.
@@ -179,9 +184,12 @@ def regret_ratio_sampled(
     members = _validate_subset(matrix.shape[0], subset)
     weights = sample_functions(matrix.shape[1], num_functions, rng)
     if engine is not None:
+        engine.compact()  # settle journaled row mutations before validating
+        if engine.n != matrix.shape[0]:
+            raise ValidationError("engine was built over a different matrix")
         score_matrix = engine.score_batch(weights)
     else:
-        with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend) as own:
+        with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune) as own:
             score_matrix = own.score_batch(weights)
     top = score_matrix.max(axis=0)
     achieved = score_matrix[members].max(axis=0)

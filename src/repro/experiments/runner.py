@@ -81,6 +81,7 @@ def _run_algorithm(
     verify_functions: int = 2000,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
 ) -> tuple[list[int], float]:
     """Run one algorithm, returning (indices, wall seconds)."""
     start = time.perf_counter()
@@ -89,10 +90,10 @@ def _run_algorithm(
     elif name == "mdrrr":
         indices = md_rrr(
             values, k, rng=seed, verify_functions=verify_functions,
-            n_jobs=n_jobs, backend=backend,
+            n_jobs=n_jobs, backend=backend, tune=tune,
         ).indices
     elif name == "mdrc":
-        indices = mdrc(values, k, n_jobs=n_jobs, backend=backend).indices
+        indices = mdrc(values, k, n_jobs=n_jobs, backend=backend, tune=tune).indices
     elif name == "hd_rrms":
         budget = mdrc_size_hint if mdrc_size_hint else max(1, min(20, values.shape[0]))
         indices = list(hd_rrms(values, budget, rng=seed).indices)
@@ -107,6 +108,7 @@ def run_experiment(
     progress: Callable[[str], None] | None = None,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
 ) -> list[ExperimentRow]:
     """Execute a comparison experiment and return its measurement rows.
 
@@ -134,7 +136,7 @@ def run_experiment(
             indices, elapsed = _run_algorithm(
                 algorithm, values, k, config.seed, mdrc_size,
                 verify_functions=config.eval_functions,
-                n_jobs=n_jobs, backend=backend,
+                n_jobs=n_jobs, backend=backend, tune=tune,
             )
             if algorithm == "mdrc":
                 mdrc_size = len(indices)
@@ -146,6 +148,7 @@ def run_experiment(
                 rng=config.seed,
                 n_jobs=n_jobs,
                 backend=backend,
+                tune=tune,
             )
             rows.append(
                 ExperimentRow(
@@ -169,6 +172,7 @@ def run_kset_count(
     progress: Callable[[str], None] | None = None,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
 ) -> list[KSetCountRow]:
     """Execute a k-set count experiment (Figures 13–16)."""
     rows: list[KSetCountRow] = []
@@ -188,7 +192,7 @@ def run_kset_count(
         else:
             outcome = sample_ksets(
                 values, k, patience=config.patience, rng=config.seed,
-                n_jobs=n_jobs, backend=backend,
+                n_jobs=n_jobs, backend=backend, tune=tune,
             )
             ksets = outcome.ksets
             draws = outcome.draws

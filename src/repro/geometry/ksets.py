@@ -107,6 +107,7 @@ def sample_ksets(
     batch_size: int = 1024,
     n_jobs: int | None = None,
     backend: str = "auto",
+    tune=None,
 ) -> KSetSampleResult:
     """K-SETr (Algorithm 4): randomized k-set collection.
 
@@ -143,7 +144,7 @@ def sample_ksets(
     # the float32 noise band) is re-resolved by the engine on the exact
     # float64 scalar path, so results stay identical to float64 scoring
     # while clean draws run at twice the GEMM/selection throughput.
-    engine = ScoreEngine(matrix, float32=True, n_jobs=n_jobs, backend=backend)
+    engine = ScoreEngine(matrix, float32=True, n_jobs=n_jobs, backend=backend, tune=tune)
     try:
         result = KSetSampleResult(ksets=[])
         # Dedup on the sorted top-k index rows: sorting makes the byte

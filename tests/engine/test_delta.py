@@ -1,0 +1,404 @@
+"""Property and unit tests for the incremental row-update layer.
+
+The load-bearing property: after ANY sequence of ``insert_rows`` /
+``delete_rows`` calls (interleaved with queries or not), a long-lived
+engine answers every query **bit-identically** to a fresh engine built
+on the mutated matrix — on clean data, tie-dense data, duplicate rows,
+denormal scales, and inserts that escape the quantized tier's
+per-attribute envelope.  Alongside: unit coverage for the journal
+semantics (current-view delete indices, lazy compaction, id
+assignment), the explicit cache invalidation (memo, grid gathers, noise
+scale, pools), and validation errors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ScoreEngine
+from repro.exceptions import ValidationError
+from repro.ranking import sample_functions
+from repro.ranking.topk import rank_of, top_k
+
+
+def _reference_apply(matrix, ops):
+    """Replay a mutation sequence on a plain matrix."""
+    for kind, payload in ops:
+        if kind == "insert":
+            matrix = np.vstack([matrix, payload])
+        else:
+            matrix = np.delete(matrix, payload, axis=0)
+    return matrix
+
+
+def _assert_engine_matches_fresh(engine, matrix, weights, k, subset, **kwargs):
+    fresh = ScoreEngine(matrix, **kwargs)
+    got = engine.topk_batch(weights, k)
+    want = fresh.topk_batch(weights, k)
+    assert np.array_equal(got.order, want.order), "top-k order diverged after mutation"
+    assert np.array_equal(got.members, want.members), "bitsets diverged after mutation"
+    assert np.array_equal(
+        engine.rank_of_best_batch(weights, subset),
+        fresh.rank_of_best_batch(weights, subset),
+    ), "rank counting diverged after mutation"
+    assert np.array_equal(engine.score_batch(weights), fresh.score_batch(weights))
+    assert np.array_equal(engine.values, matrix)
+    # Against the scalar contract directly, not just the fresh engine.
+    for i, w in enumerate(weights[:4]):
+        assert np.array_equal(got.order[i], top_k(matrix, w, k))
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random mutation sequences stay bit-identical to a rebuild
+@st.composite
+def mutation_case(draw):
+    n0 = draw(st.integers(min_value=4, max_value=28))
+    d = draw(st.integers(min_value=2, max_value=4))
+    scale = draw(st.sampled_from([1.0, 1e-300, 1e150]))
+    # Small integer grids force ties and duplicates through every tier.
+    base = draw(
+        st.lists(
+            st.lists(st.integers(min_value=-3, max_value=3), min_size=d, max_size=d),
+            min_size=n0,
+            max_size=n0,
+        )
+    )
+    matrix = np.asarray(base, dtype=np.float64) * scale
+    n_ops = draw(st.integers(min_value=1, max_value=4))
+    ops = []
+    n = n0
+    for _ in range(n_ops):
+        if n <= 2 or draw(st.booleans()):
+            m = draw(st.integers(min_value=1, max_value=6))
+            rows = draw(
+                st.lists(
+                    st.lists(
+                        st.integers(min_value=-3, max_value=3), min_size=d, max_size=d
+                    ),
+                    min_size=m,
+                    max_size=m,
+                )
+            )
+            ops.append(("insert", np.asarray(rows, dtype=np.float64) * scale))
+            n += m
+        else:
+            count = draw(st.integers(min_value=1, max_value=min(4, n - 2)))
+            idx = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            ops.append(("delete", sorted(idx)))
+            n -= len(idx)
+    query_between = draw(st.booleans())
+    k = draw(st.integers(min_value=1, max_value=3))
+    return matrix, ops, query_between, k
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=mutation_case(), quantize=st.sampled_from([None, "auto", "int8"]))
+def test_mutation_sequence_bit_identical(case, quantize):
+    matrix, ops, query_between, k = case
+    weights = sample_functions(matrix.shape[1], 12, 3)
+    engine = ScoreEngine(matrix, quantize=quantize)
+    reference = matrix
+    for op in ops:
+        kind, payload = op
+        if kind == "insert":
+            engine.insert_rows(payload)
+        else:
+            engine.delete_rows(payload)
+        reference = _reference_apply(reference, [op])
+        if query_between:
+            k_eff = min(k, reference.shape[0])
+            assert np.array_equal(
+                engine.topk_batch(weights, k_eff).order,
+                ScoreEngine(reference, quantize=quantize).topk_batch(weights, k_eff).order,
+            )
+    k_eff = min(k, reference.shape[0])
+    subset = [0, reference.shape[0] - 1]
+    _assert_engine_matches_fresh(
+        engine, reference, weights, k_eff, subset, quantize=quantize
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=mutation_case())
+def test_mutation_sequence_float32_engine(case):
+    matrix, ops, _, k = case
+    weights = sample_functions(matrix.shape[1], 8, 11)
+    engine = ScoreEngine(matrix, float32=True)
+    engine.topk_batch(weights, min(k, matrix.shape[0]))  # build V32 state
+    reference = matrix
+    for op in ops:
+        kind, payload = op
+        if kind == "insert":
+            engine.insert_rows(payload)
+        else:
+            engine.delete_rows(payload)
+        reference = _reference_apply(reference, [op])
+    k_eff = min(k, reference.shape[0])
+    _assert_engine_matches_fresh(
+        engine, reference, weights, k_eff, [0], float32=True
+    )
+
+
+# ----------------------------------------------------------------------
+# targeted equivalence cases
+class TestMutationEquivalence:
+    def test_insert_then_query_matches_rebuild(self, rng):
+        matrix = rng.random((300, 4))
+        weights = sample_functions(4, 50, 0)
+        engine = ScoreEngine(matrix)
+        engine.topk_batch(weights, 9)  # warm orderings + memo
+        extra = rng.random((40, 4))
+        ids = engine.insert_rows(extra)
+        assert np.array_equal(ids, np.arange(300, 340))
+        reference = np.vstack([matrix, extra])
+        _assert_engine_matches_fresh(engine, reference, weights, 9, [1, 5, 333])
+
+    def test_delete_uses_current_view_indices(self, rng):
+        matrix = rng.random((50, 3))
+        engine = ScoreEngine(matrix)
+        engine.delete_rows([0, 1])  # rows 0/1 gone; old row 2 is now row 0
+        engine.delete_rows([0])  # deletes what was originally row 2
+        reference = np.delete(matrix, [0, 1, 2], axis=0)
+        engine.compact()  # .values reflects the journal only once settled
+        assert np.array_equal(engine.values, reference)
+        assert engine.n == 47
+
+    def test_mixed_sequence_with_attribute_orderings(self, rng):
+        matrix = rng.random((200, 3))
+        engine = ScoreEngine(matrix)
+        engine._ensure_orderings()
+        engine._build_attribute_orderings()
+        weights = sample_functions(3, 40, 2)
+        engine.topk_batch(weights, 5)
+        extra = rng.random((25, 3))
+        engine.insert_rows(extra)
+        doomed = rng.choice(225, size=30, replace=False)
+        engine.delete_rows(doomed)
+        reference = np.delete(np.vstack([matrix, extra]), doomed, axis=0)
+        engine.compact()
+        assert np.array_equal(engine.values, reference)
+        fresh = ScoreEngine(reference)
+        fresh._ensure_orderings()
+        fresh._build_attribute_orderings()
+        got = engine.topk_batch(weights, 5)
+        want = fresh.topk_batch(weights, 5)
+        assert np.array_equal(got.order, want.order)
+        # Internal identity too: the stable merge reproduces the stable
+        # argsort bit-for-bit (perm, u and the permuted matrix).
+        for o_got, o_want in zip(engine._orderings, fresh._orderings):
+            assert np.array_equal(o_got.perm, o_want.perm)
+            assert np.array_equal(o_got.u, o_want.u)
+            assert np.array_equal(o_got.V, o_want.V)
+
+    def test_duplicate_and_tie_rows_survive_mutation(self):
+        matrix = np.repeat(np.arange(12, dtype=np.float64).reshape(6, 2), 3, axis=0)
+        weights = sample_functions(2, 20, 5)
+        engine = ScoreEngine(matrix)
+        engine.topk_batch(weights, 4)
+        engine.insert_rows(matrix[:5])  # more duplicates of existing rows
+        engine.delete_rows([0, 7, 17])
+        reference = np.delete(np.vstack([matrix, matrix[:5]]), [0, 7, 17], axis=0)
+        _assert_engine_matches_fresh(engine, reference, weights, 4, [2, 3])
+
+    def test_denormal_scale_mutation(self):
+        matrix = np.array(
+            [[3e-310, 1e-310], [2e-310, 2e-310], [1e-310, 3e-310], [2.5e-310, 0.0]]
+        )
+        weights = sample_functions(2, 16, 7)
+        engine = ScoreEngine(matrix)
+        engine.topk_batch(weights, 2)
+        engine.insert_rows(np.array([[2e-310, 2e-310], [4e-310, 1e-311]]))
+        engine.delete_rows([1])
+        reference = np.delete(
+            np.vstack([matrix, [[2e-310, 2e-310], [4e-310, 1e-311]]]), [1], axis=0
+        )
+        _assert_engine_matches_fresh(engine, reference, weights, 2, [0, 1])
+
+    def test_quantized_envelope_escape_rescales(self, rng):
+        matrix = rng.random((400, 4))
+        weights = sample_functions(4, 64, 0)
+        engine = ScoreEngine(matrix, quantize="int8")
+        engine._rank_float_columns = 10**9  # force the quantized screen on
+        engine._rank_float_fallbacks = 10**9
+        engine.rank_of_best_batch(weights, [3, 7])  # builds int8 stores
+        level_before = engine._quantizer._state
+        big = rng.random((10, 4)) * 100.0  # far outside the [0,1) envelope
+        engine.insert_rows(big)
+        reference = np.vstack([matrix, big])
+        got = engine.rank_of_best_batch(weights, [3, 7])
+        level_after = engine._quantizer._state
+        assert level_after is not None and level_after is not level_before
+        assert np.allclose(
+            level_after.scales * level_after.qmax, np.abs(reference).max(axis=0)
+        )
+        fresh = ScoreEngine(reference, quantize="int8")
+        fresh._rank_float_columns = 10**9
+        fresh._rank_float_fallbacks = 10**9
+        assert np.array_equal(got, fresh.rank_of_best_batch(weights, [3, 7]))
+        for j in range(8):
+            best = (reference[[3, 7]] @ weights[j]).max()
+            assert got[j] == int((reference @ weights[j] > best).sum()) + 1
+
+    def test_in_envelope_insert_keeps_level_and_stores(self, rng):
+        matrix = rng.random((400, 4))
+        weights = sample_functions(4, 64, 0)
+        engine = ScoreEngine(matrix, quantize="int8")
+        engine._rank_float_columns = 10**9
+        engine._rank_float_fallbacks = 10**9
+        engine.rank_of_best_batch(weights, [3, 7])
+        level_before = engine._quantizer._state
+        engine.insert_rows(rng.random((10, 4)) * 0.5)  # safely inside
+        engine.delete_rows([0, 100])
+        engine.compact()
+        assert engine._quantizer._state is level_before, "level needlessly rebuilt"
+        reference = np.delete(np.vstack([matrix, engine.values[-10:]]), [0, 100], axis=0)
+        fresh = ScoreEngine(reference, quantize="int8")
+        fresh._rank_float_columns = 10**9
+        fresh._rank_float_fallbacks = 10**9
+        assert np.array_equal(
+            engine.rank_of_best_batch(weights, [3, 7]),
+            fresh.rank_of_best_batch(weights, [3, 7]),
+        )
+
+
+# ----------------------------------------------------------------------
+# journal mechanics, invalidation and validation
+class TestJournalSemantics:
+    def test_mutations_are_lazy_until_query(self, rng):
+        matrix = rng.random((60, 3))
+        engine = ScoreEngine(matrix)
+        engine.insert_rows(rng.random((5, 3)))
+        engine.delete_rows([2])
+        assert engine._dirty_rows and engine.stats["compactions"] == 0
+        assert engine.n == 64  # logical size updates eagerly
+        engine.top_k(np.ones(3), 3)
+        assert not engine._dirty_rows and engine.stats["compactions"] == 1
+
+    def test_insert_then_delete_of_same_rows_is_noop(self, rng):
+        matrix = rng.random((40, 3))
+        engine = ScoreEngine(matrix)
+        before = engine.values
+        ids = engine.insert_rows(rng.random((4, 3)))
+        engine.delete_rows(ids)
+        engine.compact()
+        assert engine.values is before  # untouched: journal cancelled out
+        assert engine.n == 40
+
+    def test_memo_invalidation_is_explicit(self, rng):
+        matrix = rng.random((80, 3))
+        engine = ScoreEngine(matrix)
+        w = rng.random(3)
+        first = engine.top_k(w, 5).copy()
+        assert engine.stats["memo_misses"] == 1
+        engine.delete_rows([int(first[0])])
+        second = engine.top_k(w, 5)
+        assert engine.stats["memo_misses"] == 2  # stale entry was dropped
+        fresh = ScoreEngine(np.delete(matrix, [int(first[0])], axis=0))
+        assert np.array_equal(second, fresh.top_k(w, 5))
+        assert not np.array_equal(first, second)
+
+    def test_grid_cache_and_noise_scale_invalidated(self, rng):
+        matrix = rng.random((150, 3))
+        engine = ScoreEngine(matrix)
+        engine._ensure_orderings()
+        engine._build_attribute_orderings()
+        weights = sample_functions(3, 32, 1)
+        engine.rank_of_best_batch(weights, [1, 2])
+        assert engine._grid_cache and engine._max_row_norm is not None
+        engine.insert_rows(rng.random((3, 3)) * 10.0)
+        engine.compact()
+        assert not engine._grid_cache and engine._max_row_norm is None
+        reference = engine.values.copy()
+        assert np.array_equal(
+            engine.rank_of_best_batch(weights, [1, 2]),
+            ScoreEngine(reference).rank_of_best_batch(weights, [1, 2]),
+        )
+
+    def test_mutation_closes_worker_pools(self, rng):
+        matrix = rng.random((64, 3))
+        engine = ScoreEngine(matrix, n_jobs=2, parallel_min_work=0, backend="thread")
+        weights = sample_functions(3, 40, 0)
+        engine.topk_batch(weights, 5)
+        assert engine._parallel is not None
+        engine.insert_rows(rng.random((4, 3)))
+        got = engine.topk_batch(weights, 5)  # compacts, rebuilds the pool
+        reference = engine.values.copy()
+        assert np.array_equal(got.order, ScoreEngine(reference).topk_batch(weights, 5).order)
+        engine.close()
+
+    def test_pickle_flushes_journal(self, rng):
+        import pickle
+
+        matrix = rng.random((50, 3))
+        engine = ScoreEngine(matrix)
+        engine.insert_rows(rng.random((5, 3)))
+        clone = pickle.loads(pickle.dumps(engine))
+        assert not clone._dirty_rows
+        assert clone.n == 55 and clone.values.shape == (55, 3)
+
+    def test_rank_of_agrees_with_scalar_after_mutation(self, rng):
+        matrix = rng.random((100, 3))
+        engine = ScoreEngine(matrix)
+        engine.insert_rows(matrix[:7])  # duplicates
+        engine.delete_rows([0, 50])
+        reference = np.delete(np.vstack([matrix, matrix[:7]]), [0, 50], axis=0)
+        weights = sample_functions(3, 16, 9)
+        subset = [2, 30]
+        got = engine.rank_of_best_batch(weights, subset)
+        for j, w in enumerate(weights):
+            best_member = max(subset, key=lambda i: reference[i] @ w)
+            assert got[j] <= rank_of(reference, w, best_member)
+            best = (reference[subset] @ w).max()
+            assert got[j] == int((reference @ w > best).sum()) + 1
+
+    def test_validation_errors(self, rng):
+        engine = ScoreEngine(rng.random((10, 3)))
+        with pytest.raises(ValidationError):
+            engine.insert_rows(rng.random((2, 4)))  # wrong width
+        with pytest.raises(ValidationError):
+            engine.insert_rows(np.array([[np.nan, 0.0, 1.0]]))
+        with pytest.raises(ValidationError):
+            engine.delete_rows([10])
+        with pytest.raises(ValidationError):
+            engine.delete_rows(np.arange(10))  # cannot empty the engine
+        assert engine.insert_rows(np.empty((0, 3))).size == 0
+        assert engine.delete_rows([]) == 0
+        assert not engine._dirty_rows
+
+    def test_delete_accepts_boolean_mask(self, rng):
+        matrix = rng.random((12, 3))
+        engine = ScoreEngine(matrix)
+        mask = np.zeros(12, dtype=bool)
+        mask[[7, 8, 9]] = True
+        assert engine.delete_rows(mask) == 3
+        engine.compact()
+        assert np.array_equal(engine.values, np.delete(matrix, mask, axis=0))
+        with pytest.raises(ValidationError):
+            engine.delete_rows(np.array([True, False]))  # wrong-length mask
+        with pytest.raises(ValidationError):
+            engine.delete_rows(np.array([1.5, 2.0]))  # float indices
+
+    def test_single_row_insert_accepts_1d(self, rng):
+        matrix = rng.random((10, 3))
+        engine = ScoreEngine(matrix)
+        ids = engine.insert_rows(np.array([0.5, 0.25, 0.125]))
+        assert list(ids) == [10]
+        engine.compact()
+        assert engine.values.shape == (11, 3)
+
+    def test_stats_counters(self, rng):
+        engine = ScoreEngine(rng.random((20, 3)))
+        engine.insert_rows(rng.random((4, 3)))
+        engine.delete_rows([1, 2])
+        engine.compact()
+        assert engine.stats["row_inserts"] == 4
+        assert engine.stats["row_deletes"] == 2
+        assert engine.stats["compactions"] == 1

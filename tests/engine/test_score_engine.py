@@ -161,6 +161,26 @@ class TestRankOfBestBatch:
         ranks = ScoreEngine(values).rank_of_best_batch(weights, [0])
         assert int(ranks.max()) == 1
 
+    def test_float32_overflow_magnitudes_stay_exact(self):
+        # Regression: scores beyond the float32 range turned the banded
+        # count's thresholds into inf, and inf > inf is False — rows
+        # strictly above the bound were dropped from both the above and
+        # near counts, so the mismatch fallback never fired and the rank
+        # was silently undercounted.  Such functions must take the exact
+        # float64 kernel instead.
+        values = np.array([[1e150, 0.0], [2e150, 0.0], [0.5e150, 0.1e150]])
+        got = ScoreEngine(values, quantize=None).rank_of_best_batch(
+            np.array([[1.0, 0.0]]), [0]
+        )
+        assert got[0] == 2
+        # Mixed magnitudes: huge rows with tiny weights (finite score
+        # bound, but the float32 copy of the matrix overflows).
+        values = np.array([[1e39, 0.0], [0.5, 0.0], [0.2, 0.3]])
+        got = ScoreEngine(values, quantize=None).rank_of_best_batch(
+            np.array([[1e-40, 1e-40]]), [1]
+        )
+        assert got[0] == 2
+
     def test_validation(self):
         engine = ScoreEngine(np.ones((5, 2)))
         with pytest.raises(ValidationError):

@@ -31,6 +31,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_gate.py [--repeats 5] [--quick]
                                                   [--jobs N] [--smoke]
+                                                  [--faults]
 
 ``--quick`` shrinks the workloads ~4x for a fast smoke run (its numbers are
 NOT meant to be committed).  ``--jobs`` runs the current implementations
@@ -41,6 +42,12 @@ reduced scale, check *exactness* against the references plus
 serial-vs-parallel bit-identity of the fan-out layer, and skip the timing
 gate entirely — noisy shared runners can never flake it.  No JSON is
 written in this mode; the timing gate stays a local/dev concern.
+
+``--faults`` additionally runs the deterministic fault-injection probe
+(:mod:`repro.engine.faults` + :mod:`repro.engine.resilience`): injected
+worker crashes, hangs, corrupted payloads, shm allocation failures and a
+torn tuning profile must all recover without process death, bit-identical
+to the fault-free serial run, leaking no ``/dev/shm`` segment.
 """
 
 from __future__ import annotations
@@ -57,7 +64,7 @@ from pathlib import Path
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_NAME = "BENCH_PR5.json"
+BENCH_NAME = "BENCH_PR6.json"
 REGRESSION_SLACK = 1.20  # fail when median_s exceeds previous by >20%
 
 
@@ -377,6 +384,104 @@ def _smoke_parallel_identity(jobs: int | None) -> None:
         print(f"parallel identity probe [{backend}]: ok")
 
 
+def _shm_segments() -> set[str]:
+    """Current /dev/shm entries (empty off Linux): the leak probe."""
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux dev machines
+        return set()
+    return {entry.name for entry in shm.iterdir()}
+
+
+def _smoke_fault_identity(jobs: int | None) -> None:
+    """Chaos probe: every injected failure mode must recover bit-identically.
+
+    Drives the deterministic fault harness (:mod:`repro.engine.faults`)
+    through the supervision layer (:mod:`repro.engine.resilience`):
+    worker crashes, hangs past the per-unit timeout, corrupted return
+    payloads, shared-memory allocation failures, and a torn tuning
+    profile.  Each scenario must finish without process death, yield
+    results bit-identical to a fault-free serial run, and leave no
+    leaked /dev/shm segment behind.
+    """
+    from repro.engine import FaultInjector, RetryPolicy, ScoreEngine, TuningProfile
+    from repro.engine import faults
+    from repro.exceptions import CorruptStateError
+    from repro.ranking.sampling import sample_functions
+
+    jobs = jobs if jobs and jobs != 1 else 2
+    rng = np.random.default_rng(7)
+    values = rng.random((600, 4))
+    weights = sample_functions(4, 120, 0)
+    subset = [1, 300, 599]
+    serial = ScoreEngine(values, chunk_bytes=1)
+    ref_topk = serial.topk_batch(weights, 9)
+    ref_rank = serial.rank_of_best_batch(weights, subset)
+    policy = RetryPolicy(timeout_s=5.0, max_retries=2, backoff_base_s=0.0)
+    segments_before = _shm_segments()
+
+    for backend in ("thread", "process"):
+        for kind in ("crash", "hang", "corrupt"):
+            injector = FaultInjector(
+                seed=0, **{kind: 0.4}, max_faults=3, hang_s=20.0
+            )
+            with ScoreEngine(
+                values, n_jobs=jobs, parallel_min_work=0, chunk_bytes=1,
+                backend=backend, resilience=policy,
+            ) as fanout:
+                with faults.injected(injector):
+                    got_topk = fanout.topk_batch(weights, 9)
+                    got_rank = fanout.rank_of_best_batch(weights, subset)
+                assert injector.total_injected > 0, (
+                    f"{backend}/{kind}: harness injected nothing"
+                )
+                assert np.array_equal(ref_topk.order, got_topk.order), (
+                    f"{backend}/{kind}: topk diverged after recovery"
+                )
+                assert np.array_equal(ref_rank, got_rank), (
+                    f"{backend}/{kind}: rank counting diverged after recovery"
+                )
+            print(
+                f"fault probe [{backend}/{kind}]: recovered, bit-identical "
+                f"(injected={injector.total_injected})"
+            )
+
+    # Shared-memory allocation failure: the process backend cannot be
+    # built, the engine degrades to threads, results stay identical.
+    with ScoreEngine(
+        values, n_jobs=jobs, parallel_min_work=0, chunk_bytes=1,
+        backend="process", resilience=policy,
+    ) as fanout:
+        with faults.injected(FaultInjector(shm_errors=16)):
+            got = fanout.topk_batch(weights, 9)
+        assert np.array_equal(ref_topk.order, got.order), (
+            "shm-failure degradation diverged"
+        )
+        assert fanout._degraded == "thread", "shm failure did not degrade"
+    print("fault probe [shm-OSError]: degraded process->thread, bit-identical")
+
+    # Torn tuning-profile JSON: load must fail with the typed error (the
+    # CLI recalibrates on it), and the atomic save must round-trip.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = Path(tmpdir) / "profile.json"
+        profile = TuningProfile()
+        profile.save(path)
+        assert TuningProfile.load(path) == profile
+        path.write_text(profile.to_json()[: len(profile.to_json()) // 2])
+        try:
+            TuningProfile.load(path)
+        except CorruptStateError:
+            pass
+        else:
+            raise AssertionError("torn profile JSON loaded without error")
+    print("fault probe [torn-profile]: typed CorruptStateError, save atomic")
+
+    leaked = _shm_segments() - segments_before
+    assert not leaked, f"leaked /dev/shm segments after fault runs: {leaked}"
+    print("fault probe [shm-leak]: no leaked segments")
+
+
 def _discover_benches(skip: Path | None = None) -> list[tuple[int, Path, dict]]:
     """All committed BENCH_PR*.json files, sorted by PR number."""
     benches = []
@@ -448,6 +553,12 @@ def main(argv: list[str] | None = None) -> int:
         "scale, no timing gate, no JSON output",
     )
     parser.add_argument(
+        "--faults", action="store_true",
+        help="with --smoke: also run the deterministic fault-injection "
+        "probe (crash/hang/corrupt/shm + torn profile) and assert every "
+        "recovery path is bit-identical and leak-free",
+    )
+    parser.add_argument(
         "--history", action="store_true",
         help="print a cross-PR speedup table from every committed "
         "BENCH_PR*.json and exit (no benchmarks run)",
@@ -501,8 +612,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.smoke:
         _smoke_parallel_identity(args.jobs)
+        if args.faults:
+            _smoke_fault_identity(args.jobs)
         print("smoke mode: exactness checks passed; timing gate skipped")
         return 0
+    if args.faults:
+        _smoke_fault_identity(args.jobs)
 
     report = {
         "schema": 1,

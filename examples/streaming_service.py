@@ -1,4 +1,4 @@
-"""Streaming service: a long-lived engine absorbing row churn.
+"""Streaming service: a long-lived engine absorbing row churn and faults.
 
 A deployed representative-serving endpoint doesn't get a frozen matrix:
 listings appear, expire and get corrected while queries keep arriving.
@@ -10,15 +10,25 @@ incremental update layer) instead of rebuilding from scratch.  Every
 revision's answers are bit-identical to a fresh engine on the mutated
 matrix — the loop checks one revision against a rebuild to prove it.
 
+Nor does a deployed service get a polite host.  The loop runs with a
+fault injector installed (:mod:`repro.engine.faults`) so worker crashes
+and corrupted payloads keep firing mid-query, a pool worker is
+force-killed between two revisions (the OOM-killer shape), and a SIGINT
+lands mid-loop — the supervision layer (:mod:`repro.engine.resilience`)
+absorbs all of it: failed work units are retried on a rebuilt pool (or a
+degraded backend), the service finishes every revision, and the final
+answers are still bit-identical to a cold rebuild.
+
 Run:  python examples/streaming_service.py
 """
 
+import signal
 import time
 
 import numpy as np
 
 from repro import mdrc, synthetic_dot
-from repro.engine import ScoreEngine
+from repro.engine import FaultInjector, RetryPolicy, ScoreEngine, faults
 from repro.evaluation import rank_regret_sampled
 from repro.ranking import sample_functions
 
@@ -34,7 +44,14 @@ def main() -> None:
     # measures THIS machine's GEMM/dispatch/scalar costs and replaces the
     # hand-tuned defaults; persist the profile and restart with
     # ScoreEngine(values, tune=TuningProfile.load(path)) to skip it.
-    engine = ScoreEngine(data.values)
+    # The RetryPolicy is the service's failure posture: per-work-unit
+    # deadline, two retries per backend, then degrade a rung.
+    engine = ScoreEngine(
+        data.values,
+        n_jobs=2,
+        parallel_min_work=0,
+        resilience=RetryPolicy(timeout_s=30.0, max_retries=2, backoff_base_s=0.01),
+    )
     profile = engine.calibrate()
     print(
         f"calibrated: chunk_bytes={profile.chunk_bytes}, "
@@ -47,6 +64,25 @@ def main() -> None:
     # stores and pools are paid for once across the whole session).
     representative = mdrc(data.values, k, engine=engine).indices
     print(f"initial representative: {len(representative)} tuples\n")
+
+    # Chaos on: every fan-out submission now has a 10% chance of killing
+    # its worker and a 10% chance of garbling its payload, deterministic
+    # under this seed.  A real service doesn't install this — the OS
+    # provides the faults — but recovery below is exactly what it gets.
+    injector = FaultInjector(seed=7, crash=0.10, corrupt=0.10, max_faults=12)
+    faults.install(injector)
+
+    # A SIGINT mid-loop (ctrl-C, orchestrator restart) must not corrupt
+    # the engine: the handler just requests a graceful stop at the next
+    # tick boundary; queries in flight complete normally.
+    stop_requested = False
+
+    def on_sigint(signum, frame):
+        nonlocal stop_requested
+        stop_requested = True
+        print("SIGINT received: finishing the current revision, then stopping")
+
+    previous_handler = signal.signal(signal.SIGINT, on_sigint)
 
     total_updates = 0
     t_start = time.perf_counter()
@@ -62,8 +98,30 @@ def main() -> None:
         # engine query would do the same implicitly.)
         engine.compact()
 
+        if tick == 2:
+            # Between revisions, force-kill a live pool worker — the
+            # OOM-killer shape.  The supervisor's dead-PID probe notices
+            # before the next submit and rebuilds the pool proactively
+            # instead of deadlocking on a half-dead one.
+            executor = engine._executors.get("process")
+            if executor is None:
+                executor = engine._build_executor("process")
+            if not executor._pool._processes:
+                # Pool workers spawn on first submit; poke it once so
+                # there is a live worker to kill.
+                executor._pool.submit(int, 0).result()
+            victim = next(iter(executor._pool._processes.values()))
+            victim.terminate()
+            victim.join()
+            print("tick 2: killed one pool worker (simulated OOM kill)")
+
+        if tick == 3:
+            # Deliver a real SIGINT to ourselves mid-loop.
+            signal.raise_signal(signal.SIGINT)
+
         # Serve from the mutated engine: the orderings/stores were
-        # merge-repaired at compaction, not rebuilt.
+        # merge-repaired at compaction, not rebuilt — and any work unit
+        # lost to an injected fault was silently re-executed.
         representative = mdrc(engine.values, k, engine=engine).indices
         regret = rank_regret_sampled(
             engine.values, representative, num_functions=2_000, rng=0, engine=engine
@@ -73,15 +131,27 @@ def main() -> None:
             f"tuples, sampled rank-regret={regret} "
             f"({'OK' if regret <= k else 'ABOVE k'})"
         )
+        if stop_requested:
+            print(f"tick {tick}: graceful stop honoured after a complete revision")
+            stop_requested = False
     elapsed = time.perf_counter() - t_start
+    signal.signal(signal.SIGINT, previous_handler)
+    faults.uninstall()
+
+    supervisor = engine._supervisor
+    if supervisor is not None:
+        recovered = {key: value for key, value in supervisor.stats.items() if value}
+        print(f"\ninjected faults: {injector.injected}")
+        print(f"recovery ledger: {recovered}")
     print(
-        f"\nabsorbed {total_updates} row updates across 5 revisions in "
-        f"{elapsed:.2f}s while serving queries "
+        f"absorbed {total_updates} row updates across 5 revisions in "
+        f"{elapsed:.2f}s while serving queries under injected faults "
         f"({total_updates / elapsed:,.0f} updates/s)"
     )
 
-    # The exactness contract, demonstrated: a cold engine built on the
-    # final matrix gives bit-identical answers.
+    # The exactness contract, demonstrated: after worker kills, injected
+    # crashes/corruption and a SIGINT, a cold engine built on the final
+    # matrix still gives bit-identical answers.
     cold = ScoreEngine(engine.values.copy())
     probe = sample_functions(data.d, 256, 1)
     assert np.array_equal(
@@ -91,7 +161,7 @@ def main() -> None:
         engine.rank_of_best_batch(probe, representative),
         cold.rank_of_best_batch(probe, representative),
     )
-    print("verified: mutated engine is bit-identical to a cold rebuild")
+    print("verified: post-recovery engine is bit-identical to a cold rebuild")
     engine.close()
     cold.close()
 

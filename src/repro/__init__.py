@@ -69,11 +69,16 @@ from repro.evaluation import (
 )
 from repro.exceptions import (
     ConvergenceError,
+    CorruptStateError,
     DatasetError,
+    ExecutionError,
+    ExecutionTimeoutError,
     GeometryError,
     InfeasibleError,
+    InvalidDataError,
     ReproError,
     ValidationError,
+    WorkerCrashError,
 )
 from repro.geometry import (
     convex_hull,
@@ -142,8 +147,13 @@ __all__ = [
     # errors
     "ReproError",
     "ValidationError",
+    "InvalidDataError",
     "DatasetError",
     "GeometryError",
     "InfeasibleError",
     "ConvergenceError",
+    "ExecutionError",
+    "WorkerCrashError",
+    "ExecutionTimeoutError",
+    "CorruptStateError",
 ]

@@ -30,7 +30,7 @@ from typing import Sequence
 from repro.core.api import rank_regret_representative
 from repro.datasets.io import load_csv
 from repro.evaluation.metrics import evaluate_representative
-from repro.exceptions import ReproError
+from repro.exceptions import CorruptStateError, ReproError
 from repro.experiments.config import BENCH_EXPERIMENTS, PAPER_EXPERIMENTS, KSetCountConfig
 from repro.experiments.report import (
     format_experiment_table,
@@ -69,7 +69,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON engine tuning profile (repro.engine.autotune): loaded "
         "when the file exists, otherwise derived by a one-off calibration "
         "probe on this command's dataset and written there, so services "
-        "skip the probe on restart; results are bit-identical either way",
+        "skip the probe on restart; results are bit-identical either way "
+        "(a torn or checksum-failing file is recalibrated, not fatal)",
+    )
+    common.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-work-unit deadline for parallel execution: a worker "
+        "that exceeds it is reaped and its unit retried, possibly on a "
+        "degraded backend (repro.engine.resilience; default: no deadline)",
+    )
+    common.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="failed attempts per work unit and backend before the engine "
+        "degrades process -> thread -> serial (default: 2); results stay "
+        "bit-identical on every rung",
     )
 
     rep = sub.add_parser(
@@ -144,6 +157,15 @@ def _resolve_tuning(path: str | None, values=None, n_jobs: int | None = None):
     if os.path.exists(path):
         try:
             return TuningProfile.load(path)
+        except CorruptStateError as exc:
+            # Torn write or checksum mismatch: the profile is only a
+            # performance hint, so recalibrate and rewrite it (atomic
+            # save) rather than failing the whole command.
+            print(
+                f"warning: tuning profile {path!r} failed its integrity "
+                f"check ({exc}); recalibrating",
+                file=sys.stderr,
+            )
         except (ValueError, OSError) as exc:
             raise ReproError(f"could not load tuning profile {path!r}: {exc}") from exc
     if values is None:
@@ -229,12 +251,37 @@ def _cmd_ksets(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _apply_resilience_flags(args: argparse.Namespace) -> None:
+    """Install ``--timeout`` / ``--max-retries`` as the default policy.
+
+    The algorithms build engines internally (mdrc corner batches, K-SETr
+    samplers, the Monte-Carlo evaluator), so the knobs go through
+    :func:`repro.engine.resilience.set_default_policy` rather than being
+    threaded through every constructor signature.
+    """
+    timeout = getattr(args, "timeout", None)
+    max_retries = getattr(args, "max_retries", None)
+    if timeout is None and max_retries is None:
+        return
+    from dataclasses import replace
+
+    from repro.engine.resilience import get_default_policy, set_default_policy
+
+    policy = get_default_policy()
+    if timeout is not None:
+        policy = replace(policy, timeout_s=timeout)
+    if max_retries is not None:
+        policy = replace(policy, max_retries=max_retries)
+    set_default_policy(policy)
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        _apply_resilience_flags(args)
         if args.command == "represent":
             return _cmd_represent(args, out)
         if args.command == "experiment":

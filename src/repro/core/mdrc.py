@@ -57,7 +57,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine import ScoreEngine, packed_width
-from repro.exceptions import ValidationError
+from repro.exceptions import InvalidDataError, ValidationError
 from repro.ranking.functions import weights_from_angles_batch
 
 __all__ = ["MDRCResult", "mdrc"]
@@ -177,9 +177,19 @@ def mdrc(
         | a :class:`~repro.engine.TuningProfile`); ignored when
         ``engine`` is passed.  Results are bit-identical either way.
     """
-    matrix = np.asarray(values, dtype=np.float64)
+    try:
+        matrix = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise InvalidDataError(
+            f"values are not numeric (cannot convert to float64): {exc}"
+        ) from None
     if matrix.ndim != 2:
         raise ValidationError("values must be an (n, d) matrix")
+    if not np.all(np.isfinite(matrix)):
+        raise InvalidDataError(
+            "values contain NaN or Inf entries; mdrc's corner probes would "
+            "return garbage ranks — clean or impute the data first"
+        )
     n, d = matrix.shape
     if d < 2:
         raise ValidationError("mdrc needs d >= 2 (one angle dimension or more)")

@@ -13,14 +13,19 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.exceptions import DatasetError, ValidationError
+from repro.exceptions import DatasetError, InvalidDataError, ValidationError
 
 __all__ = ["Dataset"]
 
 
 def _as_matrix(values: object) -> np.ndarray:
     """Coerce ``values`` to a 2-D float64 matrix, validating shape."""
-    matrix = np.asarray(values, dtype=np.float64)
+    try:
+        matrix = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise InvalidDataError(
+            f"dataset values are not numeric (cannot convert to float64): {exc}"
+        ) from None
     if matrix.ndim == 1:
         matrix = matrix.reshape(-1, 1)
     if matrix.ndim != 2:
@@ -30,7 +35,10 @@ def _as_matrix(values: object) -> np.ndarray:
     if matrix.shape[0] == 0 or matrix.shape[1] == 0:
         raise ValidationError("dataset must contain at least one tuple and one attribute")
     if not np.all(np.isfinite(matrix)):
-        raise ValidationError("dataset values must be finite (no NaN/inf)")
+        raise InvalidDataError(
+            "dataset values contain NaN or Inf entries; drop or impute "
+            "those tuples before loading (NaN scores rank as garbage)"
+        )
     return matrix
 
 

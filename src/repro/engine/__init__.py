@@ -43,12 +43,22 @@ journaled mutations compact lazily by merge-repairing the orderings and
 quantized stores instead of rebuilding them, bit-identical to a fresh
 engine on the mutated matrix.
 
+:mod:`repro.engine.resilience` is the supervision layer around the
+fan-out: dead workers are detected and their work units re-executed
+under bounded retry with backoff, hung units are reaped on a per-unit
+timeout, corrupted payloads are rejected structurally, and a backend
+that keeps failing degrades process → thread → serial (sticky) — always
+bit-identical, because merges key on unit index, not completion.
+:mod:`repro.engine.faults` is the matching deterministic fault-injection
+harness the chaos tests and ``perf_gate.py --faults`` drive.
+
 :mod:`repro.engine.reference` keeps the frozen pre-engine
 implementations that the equivalence tests and the perf-regression gate
 (``benchmarks/perf_gate.py``) compare against.
 """
 
 from repro.engine.autotune import TuningProfile, calibrate_engine
+from repro.engine.faults import FaultInjector
 from repro.engine.bitset import (
     BitsetTable,
     intersect_all,
@@ -67,6 +77,12 @@ from repro.engine.parallel import (
     resolve_n_jobs,
 )
 from repro.engine.quantize import Quantizer
+from repro.engine.resilience import (
+    RetryPolicy,
+    Supervisor,
+    get_default_policy,
+    set_default_policy,
+)
 from repro.engine.score_engine import ScoreEngine, TopKBatch
 
 __all__ = [
@@ -74,6 +90,11 @@ __all__ = [
     "TopKBatch",
     "TuningProfile",
     "calibrate_engine",
+    "RetryPolicy",
+    "Supervisor",
+    "get_default_policy",
+    "set_default_policy",
+    "FaultInjector",
     "BACKENDS",
     "ParallelExecutor",
     "SharedMatrix",

@@ -40,15 +40,30 @@ with ``--tuning-profile profile.json`` instead of re-probing.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import platform
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
 from repro.engine.parallel import DEFAULT_MIN_PARALLEL_WORK
+from repro.exceptions import CorruptStateError
+
+
+def _payload_checksum(payload: dict) -> str:
+    """sha256 over the canonical (sorted, JSON-native) profile payload.
+
+    The payload is round-tripped through JSON before hashing so the
+    write-time hash (computed on Python objects) and the load-time hash
+    (computed on reparsed JSON values) see byte-identical input.
+    """
+    canonical = json.loads(json.dumps(payload, default=str))
+    body = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 __all__ = ["TuningProfile", "calibrate_engine"]
 
@@ -179,11 +194,27 @@ class TuningProfile:
     # JSON persistence
     def to_json(self) -> str:
         payload = {"schema": 1, **asdict(self)}
+        payload["checksum"] = _payload_checksum(payload)
         return json.dumps(payload, indent=2, default=str) + "\n"
 
     @classmethod
     def from_json(cls, text: str) -> "TuningProfile":
-        payload = json.loads(text)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CorruptStateError(
+                f"tuning profile is not valid JSON (torn write?): {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise CorruptStateError(
+                f"tuning profile must be a JSON object, got {type(payload).__name__}"
+            )
+        stored = payload.pop("checksum", None)
+        if stored is not None and stored != _payload_checksum(payload):
+            raise CorruptStateError(
+                "tuning profile failed its checksum (corrupted or hand-edited); "
+                "delete the file or recalibrate to regenerate it"
+            )
         payload.pop("schema", None)
         known = {f for f in cls.__dataclass_fields__}
         unknown = set(payload) - known
@@ -192,8 +223,28 @@ class TuningProfile:
         return cls(**payload)
 
     def save(self, path) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_json())
+        """Atomically persist the profile (temp file + ``os.replace``).
+
+        A crash mid-write can therefore never leave a torn file behind:
+        readers see either the previous profile or the complete new one.
+        """
+        path = os.fspath(path)
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".tuning-", suffix=".json.tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(self.to_json())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - already replaced/removed
+                pass
+            raise
 
     @classmethod
     def load(cls, path) -> "TuningProfile":

@@ -60,7 +60,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import CorruptStateError, InvalidDataError, ValidationError
 
 __all__ = ["MergePlan", "delete_rows", "flush_mutations", "insert_rows"]
 
@@ -125,7 +125,10 @@ def insert_rows(engine, rows: np.ndarray) -> np.ndarray:
             f"inserted rows must be (m, {engine.d}), got shape {rows.shape}"
         )
     if not np.all(np.isfinite(rows)):
-        raise ValidationError("inserted rows must be finite")
+        raise InvalidDataError(
+            "inserted rows contain NaN or Inf entries; clean the rows "
+            "before inserting (NaN comparisons would corrupt every rank)"
+        )
     m = rows.shape[0]
     if m == 0:
         return np.empty(0, dtype=np.int64)
@@ -192,6 +195,7 @@ def flush_mutations(engine) -> None:
         if engine._pending_rows
         else np.empty((0, engine.d))
     )
+    _check_journal(engine, live, cn, pending.shape[0])
     split = int(np.searchsorted(live, cn))
     committed_live = live[:split]
     new_rows = np.ascontiguousarray(pending[live[split:] - cn])
@@ -252,6 +256,36 @@ def flush_mutations(engine) -> None:
         engine._excess_work = 0
     engine.stats["compactions"] += 1
     _reset_journal(engine, new_n)
+
+
+def _check_journal(engine, live: np.ndarray, cn: int, pending_total: int) -> None:
+    """Journal invariants, checked before any compaction touches state.
+
+    The live-slot array must be a strictly increasing subset of the
+    ``cn + pending_total`` journal slots and agree with the engine's
+    logical size.  A violation means engine internals were corrupted
+    (external mutation of ``_live``/``_pending_rows``, a partial failure
+    mid-mutation) — compacting would silently build a wrong matrix, so
+    fail with a typed error instead.
+    """
+    total = cn + pending_total
+    ok = live.size == engine.n and (
+        live.size == 0
+        or (
+            int(live[0]) >= 0
+            and int(live[-1]) < total
+            and bool(np.all(np.diff(live) > 0))
+        )
+    )
+    if not ok:
+        raise CorruptStateError(
+            "row-mutation journal failed its invariants (live-slot array "
+            f"size {live.size} vs logical n {engine.n}, slot range "
+            f"[{int(live[0]) if live.size else 0}, "
+            f"{int(live[-1]) if live.size else 0}] vs {total} journal "
+            "slots); the engine's internal state was corrupted — rebuild "
+            "it from the source matrix"
+        )
 
 
 def _reset_journal(engine, committed_n: int) -> None:

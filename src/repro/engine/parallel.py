@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import get_context, shared_memory
@@ -179,6 +180,9 @@ class SharedMatrix:
 
     @classmethod
     def create(cls, matrix: np.ndarray) -> "SharedMatrix":
+        from repro.engine import faults
+
+        faults.check("shm")  # injection point: segment allocation OSError
         shm = shared_memory.SharedMemory(create=True, size=matrix.nbytes)
         array = np.ndarray(matrix.shape, dtype=np.float64, buffer=shm.buf)
         array[:] = matrix
@@ -203,7 +207,7 @@ class SharedMatrix:
             self._shm.close()
             if self._owner:
                 self._shm.unlink()
-        except (FileNotFoundError, OSError):  # pragma: no cover - double close
+        except OSError:  # pragma: no cover - double close/unlink
             pass
 
 
@@ -243,8 +247,41 @@ def _dispatch(engine, kind: str, *args):
     raise ValueError(f"unknown work-unit kind {kind!r}")  # pragma: no cover
 
 
-def _run_task(kind: str, *args):
-    return _dispatch(_WORKER["engine"], kind, *args)
+def _garble(result):
+    """Deterministically corrupt one work-unit payload (fault injection).
+
+    Mimics what a torn pickle / partial read actually produces: a payload
+    of the right general type but impossible shape, which the supervisor's
+    structural validation must catch and retry rather than merge.
+    """
+    if isinstance(result, np.ndarray):
+        return result[:-1] if result.shape[0] > 0 else result.astype(np.float16)
+    if isinstance(result, tuple):
+        return result[:-1]
+    if isinstance(result, list):
+        return result[:-1]
+    return None  # pragma: no cover - no other payload kinds exist
+
+
+def _apply_fault_pre(fault) -> None:
+    """Honour a crash/hang token before running the work unit."""
+    if fault is None:
+        return
+    if fault == "crash":
+        # The injected analogue of an OOM kill / segfault inside BLAS:
+        # the worker dies without unwinding, so the parent sees a broken
+        # pool, never an exception from user code.
+        os._exit(11)
+    if isinstance(fault, tuple) and fault[0] == "hang":
+        time.sleep(float(fault[1]))
+
+
+def _run_task(kind: str, *args, _fault=None):
+    _apply_fault_pre(_fault)
+    result = _dispatch(_WORKER["engine"], kind, *args)
+    if _fault == "corrupt":
+        return _garble(result)
+    return result
 
 
 def _cleanup(pool: ProcessPoolExecutor, shared: SharedMatrix) -> None:
@@ -318,8 +355,37 @@ class ParallelExecutor(_ChunkDispatch):
         self._finalizer = weakref.finalize(self, _cleanup, self._pool, self._shared)
 
     # ------------------------------------------------------------------
-    def _submit(self, kind: str, *args):
-        return self._pool.submit(_run_task, kind, *args)
+    def _submit(self, kind: str, *args, fault=None):
+        return self._pool.submit(_run_task, kind, *args, _fault=fault)
+
+    def workers_alive(self) -> bool:
+        """Dead-PID probe: False when any spawned worker process died.
+
+        A worker can die *between* calls (an OOM kill while idle) without
+        the pool noticing until the next submit deadlocks or breaks; the
+        supervision layer probes this before reusing a persistent pool
+        and rebuilds proactively instead.
+        """
+        procs = getattr(self._pool, "_processes", None)
+        if not procs:
+            return True  # pool not started yet: nothing can be dead
+        return all(proc.is_alive() for proc in list(procs.values()))
+
+    def terminate(self) -> None:
+        """Reap the pool: force-kill workers, then unlink the segment.
+
+        The recovery path for hung or crashed pools — ``shutdown`` alone
+        would block behind (or leak) a worker stuck in a syscall.  Safe
+        on healthy and broken pools alike, and idempotent with
+        :meth:`close` (the finalizer runs once).
+        """
+        procs = getattr(self._pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except (OSError, ValueError):  # pragma: no cover - already dead
+                pass
+        self._finalizer()
 
     def close(self) -> None:
         """Shut the pool down and release the shared segment."""
@@ -372,7 +438,17 @@ class ThreadExecutor(_ChunkDispatch):
         )
         self.tasks_dispatched = 0
 
-    def _run(self, kind: str, *args):
+    def _run(self, kind: str, *args, _fault=None):
+        if _fault is not None:
+            # Thread workers cannot be killed, so the crash token raises
+            # the typed error the supervisor maps a dead worker to; hang
+            # and corrupt behave exactly like the process shim.
+            if _fault == "crash":
+                from repro.exceptions import WorkerCrashError
+
+                raise WorkerCrashError("injected worker crash (thread backend)")
+            if isinstance(_fault, tuple) and _fault[0] == "hang":
+                time.sleep(float(_fault[1]))
         clone = getattr(self._local, "engine", None)
         if clone is None:
             clone = self._engine._thread_clone()
@@ -381,7 +457,8 @@ class ThreadExecutor(_ChunkDispatch):
         rank_columns = clone._rank_float_columns
         rank_fallbacks = clone._rank_float_fallbacks
         try:
-            return _dispatch(clone, kind, *args)
+            result = _dispatch(clone, kind, *args)
+            return _garble(result) if _fault == "corrupt" else result
         finally:
             # Fold the work-unit's counter deltas back into the parent so
             # measured-work policies — the auto thread→process escalation
@@ -394,8 +471,8 @@ class ThreadExecutor(_ChunkDispatch):
                 parent._rank_float_columns += clone._rank_float_columns - rank_columns
                 parent._rank_float_fallbacks += clone._rank_float_fallbacks - rank_fallbacks
 
-    def _submit(self, kind: str, *args):
-        return self._pool.submit(self._run, kind, *args)
+    def _submit(self, kind: str, *args, fault=None):
+        return self._pool.submit(self._run, kind, *args, _fault=fault)
 
     def close(self) -> None:
         """Shut the thread pool down (clones die with their threads)."""

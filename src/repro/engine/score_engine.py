@@ -67,7 +67,7 @@ from repro.engine.autotune import TuningProfile
 from repro.engine.bitset import pack_membership, packed_width
 from repro.engine.parallel import resolve_backend, resolve_n_jobs
 from repro.engine.quantize import Quantizer
-from repro.exceptions import ValidationError
+from repro.exceptions import InvalidDataError, ValidationError
 
 __all__ = ["ScoreEngine", "TopKBatch"]
 
@@ -198,6 +198,14 @@ class ScoreEngine:
         the calibration probe lazily before the first bulk call —
         explicit :meth:`calibrate` does the same eagerly.  Any profile
         yields bit-identical results; only the speed changes.
+    resilience:
+        Failure handling for the fan-out layer
+        (:mod:`repro.engine.resilience`): a :class:`RetryPolicy` sets
+        the per-work-unit timeout, the retry budget and the backoff
+        shape; ``None`` (default) snapshots the process-wide default
+        policy (see :func:`repro.engine.resilience.set_default_policy`).
+        Supervision never changes results — failed units re-execute
+        bit-identically, possibly on a degraded backend.
     """
 
     def __init__(
@@ -213,12 +221,22 @@ class ScoreEngine:
         mp_context: str | None = None,
         parallel_min_work: int | None = None,
         tune: TuningProfile | str | None = None,
+        resilience: "RetryPolicy | None" = None,
     ) -> None:
-        matrix = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+        try:
+            matrix = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+        except (TypeError, ValueError) as exc:
+            raise InvalidDataError(
+                f"values are not numeric (cannot convert to float64): {exc}"
+            ) from None
         if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
             raise ValidationError("values must be a non-empty (n, d) matrix")
         if not np.all(np.isfinite(matrix)):
-            raise ValidationError("values must be finite")
+            raise InvalidDataError(
+                "values contain NaN or Inf entries; comparisons against NaN "
+                "are silently False and would produce garbage ranks — clean "
+                "or impute the data before building a ScoreEngine"
+            )
         self.values = matrix
         self.n, self.d = matrix.shape
         self.float32 = bool(float32)
@@ -278,6 +296,21 @@ class ScoreEngine:
         # Lazy executors, keyed "thread"/"process" (see repro.engine.parallel).
         self._executors: dict = {}
         self._backend_escalated = False
+        # Supervision (see repro.engine.resilience): the retry/timeout/
+        # degradation policy, the lazy Supervisor facade, and the sticky
+        # degradation rung (None | "thread" | "serial") — the reverse of
+        # the auto escalation above.
+        from repro.engine.resilience import RetryPolicy, get_default_policy
+
+        if resilience is None:
+            resilience = get_default_policy()
+        elif not isinstance(resilience, RetryPolicy):
+            raise ValidationError(
+                f"resilience must be a RetryPolicy or None, got {resilience!r}"
+            )
+        self._resilience_policy = resilience
+        self._supervisor = None
+        self._degraded: str | None = None
         # Adaptive rank-tier policy inputs (see _rank_functions).
         self._rank_float_columns = 0
         self._rank_float_fallbacks = 0
@@ -458,6 +491,11 @@ class ScoreEngine:
         row chunks cover the few-functions-huge-matrix shape."""
         if self.n_jobs <= 1 or self.backend == "serial":
             return None
+        if self._degraded == "serial":
+            # Every pool backend kept failing for this engine; the
+            # supervisor pinned it serial (sticky for the engine's
+            # lifetime — a host that killed two backends stays suspect).
+            return None
         if m * self.n < self._parallel_min_work:
             return None
         if m >= 2 * self.n_jobs:
@@ -499,29 +537,39 @@ class ScoreEngine:
                     stale.close()
         return "process" if self._backend_escalated else self._tuning.initial_backend
 
-    def _executor(self):
-        kind = self._select_backend()
-        executor = self._executors.get(kind)
-        if executor is None:
-            if kind == "process":
-                from repro.engine.parallel import ParallelExecutor
+    def _build_executor(self, kind: str):
+        """Construct (and cache) the raw pool executor for ``kind``."""
+        if kind == "process":
+            from repro.engine.parallel import ParallelExecutor
 
-                executor = ParallelExecutor(
-                    self.values,
-                    self._worker_config(),
-                    self.n_jobs,
-                    self._mp_context,
-                    units_per_worker=self._tuning.units_per_worker,
-                )
-            else:
-                from repro.engine.parallel import ThreadExecutor
+            executor = ParallelExecutor(
+                self.values,
+                self._worker_config(),
+                self.n_jobs,
+                self._mp_context,
+                units_per_worker=self._tuning.units_per_worker,
+            )
+        else:
+            from repro.engine.parallel import ThreadExecutor
 
-                executor = ThreadExecutor(
-                    self, self.n_jobs, units_per_worker=self._tuning.units_per_worker
-                )
-            self._executors[kind] = executor
-        self.stats["parallel_calls"] += 1
+            executor = ThreadExecutor(
+                self, self.n_jobs, units_per_worker=self._tuning.units_per_worker
+            )
+        self._executors[kind] = executor
         return executor
+
+    def _supervised(self):
+        """The supervision facade every fan-out call site goes through.
+
+        Same ``run_function_chunks`` / ``run_row_chunks`` API as the raw
+        executors, plus crash recovery, timeouts, payload validation and
+        the degradation ladder (see :mod:`repro.engine.resilience`).
+        """
+        if self._supervisor is None:
+            from repro.engine.resilience import Supervisor
+
+            self._supervisor = Supervisor(self, self._resilience_policy)
+        return self._supervisor
 
     @property
     def _parallel(self):
@@ -529,10 +577,17 @@ class ScoreEngine:
         return self._executors.get("process") or self._executors.get("thread")
 
     def close(self) -> None:
-        """Shut down the worker pools and shared segment, if any."""
+        """Shut down the worker pools and shared segment, if any.
+
+        Degradation state (``_degraded``) survives close(): pools are
+        rebuilt routinely (tuning changes, row mutations), but a host
+        that killed two backends stays suspect for this engine's life.
+        """
         executors, self._executors = self._executors, {}
         for executor in executors.values():
             executor.close()
+        if self._supervisor is not None:
+            self._supervisor.reset()
 
     def __enter__(self) -> "ScoreEngine":
         return self
@@ -552,6 +607,7 @@ class ScoreEngine:
         self.compact()
         state = self.__dict__.copy()
         state["_executors"] = {}
+        state["_supervisor"] = None
         return state
 
     def _ensure_orderings(self) -> list["_Ordering"]:
@@ -575,6 +631,7 @@ class ScoreEngine:
         clone.n_jobs = 1
         clone.backend = "serial"
         clone._executors = {}
+        clone._supervisor = None
         clone._memo = OrderedDict()
         clone._grid_cache = {}
         clone._excess_work = 0
@@ -610,7 +667,7 @@ class ScoreEngine:
         # ulp-close).  Row-chunked GEMMs would not, so "rows" plans fall
         # through to the serial loop.
         if self._parallel_plan(m) == "functions" and m > self._chunk_cols:
-            parts = self._executor().run_function_chunks(
+            parts = self._supervised().run_function_chunks(
                 "score", W, align=self._chunk_cols
             )
             return np.concatenate(parts, axis=1)
@@ -649,10 +706,10 @@ class ScoreEngine:
         m = W.shape[0]
         plan = self._parallel_plan(m)
         if plan == "functions":
-            parts = self._executor().run_function_chunks("topk", W, args=(k,))
+            parts = self._supervised().run_function_chunks("topk", W, args=(k,))
             return np.concatenate(parts, axis=0)
         if plan == "rows":
-            parts = self._executor().run_row_chunks("topk_rows", W, self.n, args=(k,))
+            parts = self._supervised().run_row_chunks("topk_rows", W, self.n, args=(k,))
             return self._topk_merge_candidates(W, k, parts)
         return self.topk_order_batch(W, k)
 
@@ -1305,7 +1362,7 @@ class ScoreEngine:
         m = W.shape[0]
         plan = self._parallel_plan(m)
         if plan == "functions":
-            parts = self._executor().run_function_chunks("rank", W, args=(members,))
+            parts = self._supervised().run_function_chunks("rank", W, args=(members,))
             return np.concatenate(parts)
         if plan == "rows":
             return self._rank_row_merge(W, members)
@@ -1611,7 +1668,7 @@ class ScoreEngine:
         )
         if int(need.max(initial=0)) < self.n // 2:
             return self._rank_functions(W, members)
-        parts = self._executor().run_row_chunks(
+        parts = self._supervised().run_row_chunks(
             "rank_rows", W, self.n, args=(members,)
         )
         above = np.zeros(W.shape[0], dtype=np.int64)

@@ -15,8 +15,46 @@ class ValidationError(ReproError, ValueError):
     """An argument failed validation (bad shape, range, or type)."""
 
 
+class InvalidDataError(ValidationError):
+    """Input *data* is unusable: NaN/Inf entries, or a non-numeric dtype.
+
+    Raised at the public API boundary (``ScoreEngine``, ``mdrc``,
+    ``sample_ksets``, dataset loading) instead of letting NaN propagate
+    into the scoring kernels, where comparisons against NaN are silently
+    False and would produce garbage ranks with no error at all.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset could not be constructed, loaded, or normalized."""
+
+
+class ExecutionError(ReproError):
+    """Base class for failures of the parallel execution layer.
+
+    Subclasses cover the failure modes a long-lived service actually
+    sees — dead workers, hung workers, garbled result payloads.  The
+    supervision layer (:mod:`repro.engine.resilience`) catches these
+    internally and recovers (retry, pool rebuild, backend degradation);
+    callers only see one when every recovery path is exhausted.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A pool worker died mid-task (OOM kill, segfault, ``os._exit``)."""
+
+
+class ExecutionTimeoutError(ExecutionError, TimeoutError):
+    """A work unit exceeded its per-unit timeout (hung worker)."""
+
+
+class CorruptStateError(ReproError):
+    """Persisted or transported state failed an integrity check.
+
+    Covers a torn/garbled tuning-profile JSON, a checksum mismatch, a
+    mutation journal violating its invariants, and a worker result
+    payload whose shape/dtype cannot be the work unit's true output.
+    """
 
 
 class GeometryError(ReproError):

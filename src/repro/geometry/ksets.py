@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine import ScoreEngine
-from repro.exceptions import ValidationError
+from repro.exceptions import InvalidDataError, ValidationError
 from repro.geometry.halfspace import is_separable
 from repro.geometry.sweep import AngularSweep
 from repro.ranking.sampling import sample_functions
@@ -40,9 +40,19 @@ __all__ = [
 
 
 def _validate(values: np.ndarray, k: int, d: int | None = None) -> tuple[np.ndarray, int]:
-    matrix = np.asarray(values, dtype=np.float64)
+    try:
+        matrix = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise InvalidDataError(
+            f"values are not numeric (cannot convert to float64): {exc}"
+        ) from None
     if matrix.ndim != 2:
         raise ValidationError("values must be an (n, d) matrix")
+    if not np.all(np.isfinite(matrix)):
+        raise InvalidDataError(
+            "values contain NaN or Inf entries; k-set boundaries against "
+            "NaN scores are meaningless — clean or impute the data first"
+        )
     if d is not None and matrix.shape[1] != d:
         raise ValidationError(f"expected d={d}, got {matrix.shape[1]}")
     k = int(k)

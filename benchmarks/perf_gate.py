@@ -7,7 +7,10 @@ Four bench-scale workloads (the ops the ``repro.engine`` refactor targets):
 * ``ksetr``               — K-SETr sampling (quantized screening, byte dedup);
 * ``rank_regret_sampled`` — the Monte-Carlo estimator (pruned rank counting);
 * ``update_throughput``   — incremental row churn on a long-lived engine
-  (insert/delete + query) vs delete-rebuild-requery from scratch.
+  (insert/delete + query) vs delete-rebuild-requery from scratch;
+* ``view_maintenance``    — materialized representative views under churn
+  (corner-memo repair + regret patching) vs recompute-per-revision,
+  bit-identity asserted at every revision.
 
 ``--history`` prints a cross-PR table of every op's median/speedup from
 all committed ``BENCH_PR*.json`` files instead of running anything.
@@ -64,7 +67,7 @@ from pathlib import Path
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_NAME = "BENCH_PR6.json"
+BENCH_NAME = "BENCH_PR7.json"
 REGRESSION_SLACK = 1.20  # fail when median_s exceeds previous by >20%
 
 
@@ -308,6 +311,98 @@ def _bench_update_throughput(repeats: int, quick: bool) -> dict:
     }
 
 
+def _bench_view_maintenance(repeats: int, quick: bool) -> dict:
+    """Maintained representatives vs recompute-per-revision.
+
+    The materialized-view layer (:mod:`repro.engine.views`) keeps the
+    MDRC decision tree and the Monte-Carlo regret panel alive across row
+    churn: per revision 1% of the rows are deleted, 1% inserted, and the
+    representative plus its sampled rank-regret are served again.  The
+    *maintained* path repairs the corner memo in place (reserve-buffer
+    compaction for deletes, banded placement for inserts), re-decides
+    only cells whose corner top-k actually changed, and patches the
+    regret estimate by exact ±counting; the *recompute* baseline does
+    what a system without the view layer must — build a fresh engine
+    over the mutated matrix and run ``mdrc`` + ``rank_regret_sampled``
+    from scratch every revision.  Both answers are asserted bit-identical
+    at every revision.
+    """
+    from repro.core import mdrc
+    from repro.engine import MDRCView, RankRegretView, ScoreEngine
+    from repro.evaluation import rank_regret_sampled
+
+    n, d = (20_000, 4) if quick else (100_000, 4)
+    churn = max(1, n // 100)
+    revisions = 3 if quick else 5
+    k = 25
+    functions = 1024 if quick else 4096
+
+    rng = np.random.default_rng(1)
+    base = rng.random((n, d))
+    deads = [rng.choice(n, size=churn, replace=False) for _ in range(revisions)]
+    news = [rng.random((churn, d)) for _ in range(revisions)]
+
+    maint_times, rec_times = [], []
+    maintained = recomputed = None
+    for _ in range(max(1, repeats)):
+        # The long-lived service: engine + views built once, untimed.
+        engine = ScoreEngine(base)
+        view = MDRCView(engine, k)
+        rview = RankRegretView(
+            engine, view.refresh().indices, num_functions=functions, rng=0
+        )
+        rview.refresh()
+        maintained = []
+        t0 = time.perf_counter()
+        for dead, new in zip(deads, news):
+            engine.delete_rows(dead)
+            engine.insert_rows(new)
+            rep = view.refresh().indices
+            rview.set_subset(rep)
+            maintained.append((rep, rview.refresh()))
+        maint_times.append(time.perf_counter() - t0)
+        stats = dict(view.stats)
+        view.close()
+        rview.close()
+        engine.close()
+
+        # Recompute-per-revision: no views, no incremental engine — a
+        # fresh build over the mutated matrix each time.
+        matrix = base
+        recomputed = []
+        t0 = time.perf_counter()
+        for dead, new in zip(deads, news):
+            matrix = np.vstack([np.delete(matrix, dead, axis=0), new])
+            with ScoreEngine(matrix) as cold:
+                rep = mdrc(matrix, k, engine=cold).indices
+                regret = rank_regret_sampled(
+                    matrix, rep, num_functions=functions, rng=0, engine=cold
+                )
+            recomputed.append((rep, regret))
+        rec_times.append(time.perf_counter() - t0)
+    for r, ((m_rep, m_reg), (c_rep, c_reg)) in enumerate(
+        zip(maintained, recomputed)
+    ):
+        assert m_rep == c_rep, f"maintained representative diverged (rev {r})"
+        assert m_reg == c_reg, f"maintained regret estimate diverged (rev {r})"
+    maint_s = statistics.median(maint_times)
+    rec_s = statistics.median(rec_times)
+    return {
+        "op": "view_maintenance",
+        "dataset": "uniform",
+        "n": n,
+        "d": d,
+        "k": k,
+        "churn": churn,
+        "revisions": revisions,
+        "functions": functions,
+        "median_s": maint_s,
+        "baseline_median_s": rec_s,
+        "speedup": rec_s / maint_s,
+        "view_stats": {key: int(value) for key, value in stats.items()},
+    }
+
+
 def _quant_hit_rates(quick: bool) -> dict:
     """Quantized-tier hit rate: resolved / screened columns per workload."""
     from repro.datasets import independent, synthetic_dot
@@ -477,6 +572,54 @@ def _smoke_fault_identity(jobs: int | None) -> None:
             raise AssertionError("torn profile JSON loaded without error")
     print("fault probe [torn-profile]: typed CorruptStateError, save atomic")
 
+    # Maintained views under chaos: the view repair path fans work
+    # through the same supervised executors, so injected crashes and
+    # corrupted payloads must leave the maintained representative (and
+    # its patched regret estimate) bit-identical to a from-scratch
+    # recompute at every revision.
+    from repro.core import mdrc
+    from repro.engine import MDRCView, RankRegretView
+    from repro.evaluation import rank_regret_sampled
+
+    view_rng = np.random.default_rng(3)
+    view_engine = ScoreEngine(
+        view_rng.random((1_500, 4)), n_jobs=jobs, parallel_min_work=0,
+        chunk_bytes=1, resilience=policy,
+    )
+    view = MDRCView(view_engine, 8)
+    rview = RankRegretView(
+        view_engine, view.refresh().indices, num_functions=96, rng=0
+    )
+    rview.refresh()
+    injector = FaultInjector(seed=1, crash=0.2, corrupt=0.2, max_faults=8)
+    with faults.injected(injector):
+        for revision in range(3):
+            view_engine.delete_rows(
+                view_rng.choice(view_engine.n, 15, replace=False)
+            )
+            view_engine.insert_rows(view_rng.random((15, 4)))
+            rep = view.refresh().indices
+            rview.set_subset(rep)
+            regret = rview.refresh()
+            fresh_rep = mdrc(view_engine.values, 8, engine=view_engine).indices
+            fresh_regret = rank_regret_sampled(
+                view_engine.values, fresh_rep, num_functions=96, rng=0,
+                engine=view_engine,
+            )
+            assert rep == fresh_rep, (
+                f"maintained view diverged under faults (rev {revision})"
+            )
+            assert regret == fresh_regret, (
+                f"maintained regret diverged under faults (rev {revision})"
+            )
+    view.close()
+    rview.close()
+    view_engine.close()
+    print(
+        "fault probe [maintained-views]: 3 revisions under chaos, "
+        f"bit-identical (injected={injector.total_injected})"
+    )
+
     leaked = _shm_segments() - segments_before
     assert not leaked, f"leaked /dev/shm segments after fault runs: {leaked}"
     print("fault probe [shm-leak]: no leaked segments")
@@ -522,14 +665,19 @@ def _print_history() -> int:
         cells = []
         for _, _, payload in benches:
             row = next((r for r in payload.get("ops", []) if r["op"] == op), None)
-            if row is None:
-                cells.append(f"{'-':>16}")
+            median = row.get("median_s") if row else None
+            speedup = row.get("speedup") if row else None
+            if median is None or speedup is None:
+                # Older BENCH files predate this op (or carry a partial
+                # row from an interrupted run) — render an em-dash cell
+                # instead of KeyError-ing the whole table.
+                cells.append(f"{'—':>16}")
             else:
-                cells.append(f"{row['median_s']:>8.3f}s{row['speedup']:>6.1f}x")
+                cells.append(f"{median:>8.3f}s{speedup:>6.1f}x")
         print(f"{op:<22}" + "".join(cells))
     print(
         "\n(each cell: median_s of the then-current implementation and its "
-        "speedup over that PR's frozen baseline; '-' = op not benched yet)"
+        "speedup over that PR's frozen baseline; '—' = op not benched yet)"
     )
     return 0
 
@@ -576,6 +724,7 @@ def main(argv: list[str] | None = None) -> int:
         _bench_ksetr(repeats, quick, args.jobs, args.backend_jobs),
         _bench_rank_regret_sampled(repeats, quick, args.jobs, args.backend_jobs),
         _bench_update_throughput(repeats, quick),
+        _bench_view_maintenance(repeats, quick),
     ]
     quant = _quant_hit_rates(quick)
 
@@ -602,6 +751,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{update['churn']} +/- rows each]: incremental {update['median_s']:.3f}s "
         f"vs rebuild {update['baseline_median_s']:.3f}s "
         f"({update['speedup']:.1f}x, {update['updates_per_s']:,.0f} updates/s)"
+    )
+    views = next(row for row in ops if row["op"] == "view_maintenance")
+    print(
+        f"views[{views['n']}x{views['d']}, k={views['k']}, "
+        f"{views['revisions']} revisions, {views['churn']} +/- rows each]: "
+        f"maintained {views['median_s']:.3f}s vs recompute "
+        f"{views['baseline_median_s']:.3f}s ({views['speedup']:.1f}x, "
+        f"bit-identical every revision)"
     )
     for name, stats in quant.items():
         rate = stats["resolved"] / max(1, stats["screened"])

@@ -1,43 +1,65 @@
-"""Streaming service: a long-lived engine absorbing row churn and faults.
+"""Streaming service: maintained representatives under churn and faults.
 
 A deployed representative-serving endpoint doesn't get a frozen matrix:
 listings appear, expire and get corrected while queries keep arriving.
 This example runs that loop — one persistent :class:`ScoreEngine` is
-calibrated once for this machine (PR 5's autotuner), then serves
-``rank_regret_representative``-style revisions while 1% of its rows
-churn every tick, using ``insert_rows`` / ``delete_rows`` (PR 5's
-incremental update layer) instead of rebuilding from scratch.  Every
-revision's answers are bit-identical to a fresh engine on the mutated
-matrix — the loop checks one revision against a rebuild to prove it.
+calibrated once for this machine (PR 5's autotuner) and absorbs 1% row
+churn per tick through ``insert_rows`` / ``delete_rows`` (PR 5's
+incremental update layer).  The representative itself is served from the
+materialized-view layer (PR 7, :mod:`repro.engine.views`): an
+:class:`MDRCView` keeps the MDRC corner memo alive across revisions and
+repairs only the cells the churn touched, and a :class:`RankRegretView`
+patches the Monte-Carlo regret estimate by exact ±counting of the
+mutated rows.  Every tick the maintained answers are checked
+bit-identical against a from-scratch recompute — the view contract —
+and the loop reports the measured maintain-vs-recompute speedup.
 
 Nor does a deployed service get a polite host.  The loop runs with a
 fault injector installed (:mod:`repro.engine.faults`) so worker crashes
 and corrupted payloads keep firing mid-query, a pool worker is
 force-killed between two revisions (the OOM-killer shape), and a SIGINT
 lands mid-loop — the supervision layer (:mod:`repro.engine.resilience`)
-absorbs all of it: failed work units are retried on a rebuilt pool (or a
-degraded backend), the service finishes every revision, and the final
-answers are still bit-identical to a cold rebuild.
+absorbs all of it while the views stay bit-identical.
 
 Run:  python examples/streaming_service.py
+      python examples/streaming_service.py --smoke   # bounded CI run
 """
 
+import argparse
 import signal
 import time
 
 import numpy as np
 
 from repro import mdrc, synthetic_dot
-from repro.engine import FaultInjector, RetryPolicy, ScoreEngine, faults
+from repro.engine import (
+    FaultInjector,
+    MDRCView,
+    RankRegretView,
+    RetryPolicy,
+    ScoreEngine,
+    faults,
+)
 from repro.evaluation import rank_regret_sampled
 from repro.ranking import sample_functions
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded CI run: small matrix, 3 ticks, fewer eval functions",
+    )
+    args = parser.parse_args(argv)
+    n = 4_000 if args.smoke else 20_000
+    ticks = 3 if args.smoke else 5
+    eval_functions = 500 if args.smoke else 2_000
+
     rng = np.random.default_rng(7)
-    data = synthetic_dot(n=20_000, d=4, seed=7)
-    k = data.n // 100
-    churn = data.n // 100
+    data = synthetic_dot(n=n, d=4, seed=7)
+    k = max(1, data.n // 100)
+    churn = max(1, data.n // 100)
     print(f"dataset: {data.name}, n={data.n}, d={data.d}, k={k}, churn={churn}/tick")
 
     # One engine for the service's lifetime.  Calibrate once: the probe
@@ -59,10 +81,15 @@ def main() -> None:
         f"escalate_ratio={profile.backend_escalate_ratio:.3f}"
     )
 
-    # The representative is computed against the engine's matrix; the
-    # Monte-Carlo check reuses the same engine (orderings, quantized
-    # stores and pools are paid for once across the whole session).
-    representative = mdrc(data.values, k, engine=engine).indices
+    # The maintained views: the MDRC corner memo and the rank-regret
+    # panel live across revisions; churn invalidates only what its score
+    # bounds can touch, the rest is served verbatim.
+    view = MDRCView(engine, k)
+    representative = view.refresh().indices
+    regret_view = RankRegretView(
+        engine, representative, num_functions=eval_functions, rng=0
+    )
+    regret_view.refresh()
     print(f"initial representative: {len(representative)} tuples\n")
 
     # Chaos on: every fan-out submission now has a 10% chance of killing
@@ -85,18 +112,16 @@ def main() -> None:
     previous_handler = signal.signal(signal.SIGINT, on_sigint)
 
     total_updates = 0
+    maintained_s = 0.0
+    recompute_s = 0.0
     t_start = time.perf_counter()
-    for tick in range(1, 6):
+    for tick in range(1, ticks + 1):
         # Row churn: expire 1% of the catalogue, ingest 1% fresh rows.
         doomed = rng.choice(engine.n, size=churn, replace=False)
         engine.delete_rows(doomed)
         fresh = rng.random((churn, data.d))
         engine.insert_rows(fresh)
         total_updates += 2 * churn
-        # Mutations journal lazily; compact() settles them now so
-        # engine.values below reflects this tick's churn.  (Any direct
-        # engine query would do the same implicitly.)
-        engine.compact()
 
         if tick == 2:
             # Between revisions, force-kill a live pool worker — the
@@ -113,23 +138,38 @@ def main() -> None:
             victim = next(iter(executor._pool._processes.values()))
             victim.terminate()
             victim.join()
-            print("tick 2: killed one pool worker (simulated OOM kill)")
+            print(f"tick {tick}: killed one pool worker (simulated OOM kill)")
 
         if tick == 3:
             # Deliver a real SIGINT to ourselves mid-loop.
             signal.raise_signal(signal.SIGINT)
 
-        # Serve from the mutated engine: the orderings/stores were
-        # merge-repaired at compaction, not rebuilt — and any work unit
-        # lost to an injected fault was silently re-executed.
-        representative = mdrc(engine.values, k, engine=engine).indices
-        regret = rank_regret_sampled(
-            engine.values, representative, num_functions=2_000, rng=0, engine=engine
+        # Serve from the maintained views: refresh() settles this tick's
+        # journal (firing the views' repair hooks) and replays only the
+        # invalidated corners / stale functions — any work unit lost to
+        # an injected fault is silently re-executed underneath.
+        start = time.perf_counter()
+        representative = view.refresh().indices
+        regret_view.set_subset(representative)
+        regret = regret_view.refresh()
+        maintained_s += time.perf_counter() - start
+
+        # The view contract, enforced live: a from-scratch recompute on
+        # the same engine must agree bit-for-bit, every revision.
+        start = time.perf_counter()
+        fresh_rep = mdrc(engine.values, k, engine=engine).indices
+        fresh_regret = rank_regret_sampled(
+            engine.values, fresh_rep, num_functions=eval_functions, rng=0,
+            engine=engine,
         )
+        recompute_s += time.perf_counter() - start
+        assert representative == fresh_rep, f"tick {tick}: representative diverged"
+        assert regret == fresh_regret, f"tick {tick}: regret estimate diverged"
+
         print(
             f"tick {tick}: n={engine.n}, representative={len(representative)} "
             f"tuples, sampled rank-regret={regret} "
-            f"({'OK' if regret <= k else 'ABOVE k'})"
+            f"({'OK' if regret <= k else 'ABOVE k'}), verified identical"
         )
         if stop_requested:
             print(f"tick {tick}: graceful stop honoured after a complete revision")
@@ -144,10 +184,17 @@ def main() -> None:
         print(f"\ninjected faults: {injector.injected}")
         print(f"recovery ledger: {recovered}")
     print(
-        f"absorbed {total_updates} row updates across 5 revisions in "
+        f"absorbed {total_updates} row updates across {ticks} revisions in "
         f"{elapsed:.2f}s while serving queries under injected faults "
         f"({total_updates / elapsed:,.0f} updates/s)"
     )
+    if maintained_s > 0:
+        print(
+            f"view maintenance: {maintained_s:.3f}s maintained vs "
+            f"{recompute_s:.3f}s recompute "
+            f"({recompute_s / maintained_s:.1f}x, bit-identical every revision; "
+            f"stats: {view.stats})"
+        )
 
     # The exactness contract, demonstrated: after worker kills, injected
     # crashes/corruption and a SIGINT, a cold engine built on the final
@@ -162,6 +209,8 @@ def main() -> None:
         cold.rank_of_best_batch(probe, representative),
     )
     print("verified: post-recovery engine is bit-identical to a cold rebuild")
+    view.close()
+    regret_view.close()
     engine.close()
     cold.close()
 

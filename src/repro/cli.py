@@ -17,8 +17,15 @@ Examples
 
     python -m repro represent --dataset dot --n 2000 --d 3 --k 0.01
     python -m repro represent --csv flights.csv --k 25 --method mdrrr
+    python -m repro represent --dataset dot --n 20000 --k 10 --maintain 5
     python -m repro experiment fig17_18 --scale bench
     python -m repro ksets --dataset bn --n 500 --d 3 --k 0.05
+    python -m repro ksets --dataset dot --n 5000 --k 10 --maintain 3
+
+``--maintain TICKS`` (on ``represent`` and ``ksets``) serves the result
+through the materialized-view layer (:mod:`repro.engine.views`) under
+``--churn`` row turnover per tick, verifying every revision bit-identical
+to a from-scratch recompute and reporting the measured speedup.
 """
 
 from __future__ import annotations
@@ -108,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--eval-functions", type=int, default=10_000,
         help="Monte-Carlo functions for quality measurement",
     )
+    rep.add_argument(
+        "--maintain", type=int, default=0, metavar="TICKS",
+        help="serve the representative under churn for TICKS revisions "
+        "via the materialized-view layer (repro.engine.views), verifying "
+        "each revision bit-identical to a from-scratch recompute and "
+        "reporting the maintain-vs-recompute speedup",
+    )
+    rep.add_argument(
+        "--churn", type=float, default=0.01, metavar="FRAC",
+        help="fraction of rows deleted + inserted per --maintain tick "
+        "(default: 0.01)",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment", parents=[common])
     exp.add_argument("figure", choices=sorted(PAPER_EXPERIMENTS))
@@ -129,6 +148,17 @@ def build_parser() -> argparse.ArgumentParser:
     ks.add_argument("--k", type=float, default=0.01)
     ks.add_argument("--patience", type=int, default=100)
     ks.add_argument("--seed", type=int, default=0)
+    ks.add_argument(
+        "--maintain", type=int, default=0, metavar="TICKS",
+        help="maintain the k-set collection under churn for TICKS "
+        "revisions via KSetView, verifying each revision against a "
+        "fresh K-SETr run",
+    )
+    ks.add_argument(
+        "--churn", type=float, default=0.01, metavar="FRAC",
+        help="fraction of rows deleted + inserted per --maintain tick "
+        "(default: 0.01)",
+    )
     return parser
 
 
@@ -185,6 +215,8 @@ def _cmd_represent(args: argparse.Namespace, out) -> int:
     else:
         data = make_dataset(args.dataset, args.n, args.d, seed=args.seed)
     tune = _resolve_tuning(args.tuning_profile, data.values, n_jobs=args.jobs)
+    if args.maintain > 0:
+        return _maintain_represent(args, data, tune, out)
     result = rank_regret_representative(
         data, _resolve_level(args.k, data.n), method=args.method, rng=args.seed,
         n_jobs=args.jobs, backend=args.backend, tune=tune,
@@ -230,9 +262,59 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _maintain_represent(args: argparse.Namespace, data, tune, out) -> int:
+    """``represent --maintain``: serve maintained representatives per tick."""
+    from repro.core.api import resolve_k
+    from repro.experiments.runner import run_maintenance
+
+    method = args.method
+    if method == "auto":
+        method = "mdrc"
+    if method not in ("mdrc", "mdrrr"):
+        raise ReproError(
+            f"--maintain supports methods mdrc/mdrrr, not {method!r} "
+            "(2drrr has no maintained view)"
+        )
+    k = resolve_k(_resolve_level(args.k, data.n), data.n)
+    rows = run_maintenance(
+        data.values, k, ticks=args.maintain, churn=args.churn, seed=args.seed,
+        algorithm=method, num_functions=args.eval_functions,
+        n_jobs=args.jobs, backend=args.backend, tune=tune,
+        progress=lambda m: print(m, file=sys.stderr),
+    )
+    print(
+        f"maintained {method} over {data.name} (n={data.n}, d={data.d}, "
+        f"k={k}, churn={args.churn:.2%}/tick)", file=out,
+    )
+    print(
+        f"{'tick':>4} {'n':>8} {'±rows':>6} {'maintained':>11} "
+        f"{'recompute':>10} {'size':>5} {'regret':>6} {'identical':>9}",
+        file=out,
+    )
+    for row in rows:
+        print(
+            f"{row.tick:>4} {row.n:>8} {row.deletes:>6} "
+            f"{row.maintained_sec:>10.3f}s {row.recompute_sec:>9.3f}s "
+            f"{row.output_size:>5} {row.rank_regret:>6} "
+            f"{'yes' if row.identical else 'NO':>9}",
+            file=out,
+        )
+    maintained = sum(row.maintained_sec for row in rows)
+    recompute = sum(row.recompute_sec for row in rows)
+    if maintained > 0:
+        print(
+            f"speedup      : {recompute / maintained:.1f}x "
+            f"({recompute:.3f}s recompute vs {maintained:.3f}s maintained)",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_ksets(args: argparse.Namespace, out) -> int:
     data = make_dataset(args.dataset, args.n, args.d, seed=args.seed)
     k = max(1, round(args.k * data.n)) if 0 < args.k < 1 else int(args.k)
+    if args.maintain > 0:
+        return _maintain_ksets(args, data, k, out)
     if data.d == 2:
         ksets = enumerate_ksets_2d(data.values, k)
         print(f"exact 2-D enumeration: {len(ksets)} k-sets (k={k})", file=out)
@@ -248,6 +330,58 @@ def _cmd_ksets(args: argparse.Namespace, out) -> int:
             f"{' [exhausted]' if outcome.exhausted else ''}",
             file=out,
         )
+    return 0
+
+
+def _maintain_ksets(args: argparse.Namespace, data, k: int, out) -> int:
+    """``ksets --maintain``: keep the k-set collection live under churn."""
+    import time
+
+    import numpy as np
+
+    from repro.engine import KSetView, ScoreEngine
+
+    if data.d == 2:
+        raise ReproError("--maintain uses K-SETr; 2-D exact enumeration has no view")
+    tune = _resolve_tuning(args.tuning_profile, data.values, n_jobs=args.jobs)
+    rng = np.random.default_rng(args.seed)
+    with ScoreEngine(
+        data.values, n_jobs=args.jobs, backend=args.backend, tune=tune
+    ) as engine:
+        with KSetView(engine, k, patience=args.patience, rng=args.seed) as view:
+            base = view.refresh()
+            print(
+                f"K-SETr: {len(base.ksets)} k-sets (k={k}) in {base.draws} draws",
+                file=out,
+            )
+            maintained = recomputed = 0.0
+            for tick in range(args.maintain):
+                m = max(1, int(round(engine.n * args.churn)))
+                engine.delete_rows(rng.choice(engine.n, size=m, replace=False))
+                engine.insert_rows(rng.random((m, engine.d)))
+                start = time.perf_counter()
+                outcome = view.refresh()
+                maintained += time.perf_counter() - start
+                start = time.perf_counter()
+                fresh = sample_ksets(
+                    engine.values, k, patience=args.patience, rng=args.seed
+                )
+                recomputed += time.perf_counter() - start
+                if outcome.ksets != fresh.ksets or outcome.draws != fresh.draws:
+                    raise ReproError(
+                        f"maintained k-sets diverged from recompute at tick {tick}"
+                    )
+                print(
+                    f"tick {tick}: ±{m} rows, {len(outcome.ksets)} k-sets in "
+                    f"{outcome.draws} draws (verified identical)",
+                    file=out,
+                )
+            if maintained > 0:
+                print(
+                    f"speedup: {recomputed / maintained:.1f}x "
+                    f"({recomputed:.3f}s recompute vs {maintained:.3f}s maintained)",
+                    file=out,
+                )
     return 0
 
 

@@ -4,7 +4,7 @@ from repro.core.api import RRRResult, rank_regret_representative, resolve_k
 from repro.core.dual_problem import SizeBudgetResult, min_rank_regret_of_size
 from repro.core.exact import exact_rrr_2d, exact_rrr_via_ksets
 from repro.core.generic import WorkloadRRRResult, workload_rrr
-from repro.core.mdrc import MDRCResult, mdrc
+from repro.core.mdrc import CornerCache, MDRCResult, mdrc
 from repro.core.mdrrr import MDRRRResult, collect_ksets, md_rrr
 from repro.core.rrr2d import TopKRanges, find_ranges, two_d_rrr
 
@@ -22,6 +22,7 @@ __all__ = [
     "collect_ksets",
     "mdrc",
     "MDRCResult",
+    "CornerCache",
     "exact_rrr_2d",
     "exact_rrr_via_ksets",
     "workload_rrr",

@@ -56,13 +56,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine import ScoreEngine, packed_width
+from repro.engine import ScoreEngine, pack_membership, packed_width
 from repro.exceptions import InvalidDataError, ValidationError
 from repro.ranking.functions import weights_from_angles_batch
 
-__all__ = ["MDRCResult", "mdrc"]
+__all__ = ["CELL_FALLBACK", "CELL_RESOLVED", "CELL_SPLIT", "CornerCache", "MDRCResult", "mdrc"]
 
 _HALF_PI = float(np.pi / 2)
+
+# Cell states in a recorded decision tree (:class:`CornerCache.levels`).
+CELL_RESOLVED = 0  # corner top-k sets share an item; leaf
+CELL_SPLIT = 1  # no common item; two children at the next level
+CELL_FALLBACK = 2  # no common item at the depth cap; center-top-1 leaf
 
 
 @dataclass
@@ -127,6 +132,200 @@ class _CornerStore:
         return self._orders[: self.count]
 
 
+class CellLevel:
+    """One recorded frontier level of the MDRC recursion.
+
+    ``children`` carries explicit links: a ``CELL_SPLIT`` cell's two
+    children (left before right) sit at positions ``children[c]`` and
+    ``children[c] + 1`` of the next level.  Decisions are order-
+    independent on the vectorized path, so cell order within a level is
+    arbitrary — maintenance is free to compact and append as long as the
+    links stay consistent.
+    """
+
+    __slots__ = ("los", "his", "corners", "state", "item", "center_item", "children")
+
+    def __init__(
+        self,
+        los: np.ndarray,
+        his: np.ndarray,
+        corners: np.ndarray,
+        state: np.ndarray,
+        item: np.ndarray,
+        center_item: np.ndarray,
+        children: np.ndarray,
+    ) -> None:
+        self.los = los  # (C, d-1) cell lower angle bounds
+        self.his = his  # (C, d-1) cell upper angle bounds
+        self.corners = corners  # (C, 2^(d-1)) dense corner ids
+        self.state = state  # (C,) CELL_RESOLVED / CELL_SPLIT / CELL_FALLBACK
+        self.item = item  # (C,) resolved cell's representative, else -1
+        self.center_item = center_item  # (C,) fallback cell's center top-1, else -1
+        self.children = children  # (C,) first-child position at next level, else -1
+
+
+class CornerCache:
+    """Cross-call MDRC memo + decision tree: the repairable state.
+
+    Within one :func:`mdrc` call the byte-keyed registry already memoizes
+    corner top-k evaluations.  A ``CornerCache`` makes that memo — and
+    the full per-level decision tree of the recursion — outlive the call,
+    so a maintained view (:mod:`repro.engine.views`) can repair it after
+    a data mutation: re-evaluate only the corners the mutation's score
+    bounds can touch, re-decide only the cells referencing a corner whose
+    top-k actually changed, and keep every untouched cell verbatim.
+
+    Attributes
+    ----------
+    registry:
+        Angle-row bytes → dense corner id (the same keying as the
+        per-call memo; angle floats are exact box midpoints, so byte
+        equality is exact corner equality).
+    orders / angles / lengths:
+        Per-corner top-``k_eval`` index rows ``(count, k_eval)``, angle
+        rows ``(count, d-1)``, and per-corner valid prefix lengths,
+        addressed by dense id.  ``k_eval = k + reserve``: the extra
+        tail is a repair buffer — a maintained view absorbs deletions by
+        compacting the row and insertions by banded placement, touching
+        the full matrix only when a buffer runs below ``k`` members.
+        The recursion itself reads only the first ``k`` columns (always
+        valid), so the reserve never changes an mdrc result.  Packed
+        bitsets are *not* persisted — they are tied to the row count and
+        cheap to rebuild for the corners a computation intersects.
+    n, k, params:
+        The (row count, k) the cached orders were evaluated against and
+        the ``(max_depth, max_cells, choice)`` the tree was built under;
+        any mismatch on the next :func:`mdrc` call resets the cache.
+    levels:
+        The recorded decision tree (list of :class:`CellLevel`), or
+        ``None`` when no tree is available — never recorded, invalidated
+        by a maintenance bail-out, or the run engaged the global
+        ``max_cells`` budget path (whose sequential decisions are order-
+        dependent and therefore not locally repairable).
+    """
+
+    RESERVE = 16  # repair-buffer columns beyond k
+
+    __slots__ = (
+        "registry",
+        "n",
+        "k",
+        "k_eval",
+        "d",
+        "params",
+        "levels",
+        "count",
+        "_orders",
+        "_angles",
+        "_lengths",
+    )
+
+    def __init__(self) -> None:
+        self.registry: dict[bytes, int] = {}
+        self.n: int | None = None
+        self.k: int | None = None
+        self.k_eval: int | None = None
+        self.d: int | None = None
+        self.params: tuple | None = None
+        self.levels: list[CellLevel] | None = None
+        self.count = 0
+        self._orders: np.ndarray | None = None
+        self._angles: np.ndarray | None = None
+        self._lengths: np.ndarray | None = None
+
+    @property
+    def orders(self) -> np.ndarray:
+        """The cached corners' top-``k_eval`` index rows ``(count, k_eval)``."""
+        if self._orders is None:
+            return np.empty((0, 0), dtype=np.int64)
+        return self._orders[: self.count]
+
+    @property
+    def angles(self) -> np.ndarray:
+        """The cached corners' angle rows ``(count, d-1)``."""
+        if self._angles is None:
+            return np.empty((0, 0), dtype=np.float64)
+        return self._angles[: self.count]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Valid prefix length of each cached order row (always ≥ k)."""
+        if self._lengths is None:
+            return np.empty(0, dtype=np.int64)
+        return self._lengths[: self.count]
+
+    def ensure(self, n: int, k: int, d: int, params: tuple) -> None:
+        """Reset unless the cache matches this (shape, k, parameters)."""
+        if (
+            self._orders is None
+            or self.n != int(n)
+            or self.k != int(k)
+            or self.d != int(d)
+            or self.params != params
+        ):
+            self.reset(n, k, d, params)
+
+    def reset(self, n: int, k: int, d: int, params: tuple) -> None:
+        self.registry = {}
+        self.n = int(n)
+        self.k = int(k)
+        self.k_eval = min(int(n), int(k) + self.RESERVE)
+        self.d = int(d)
+        self.params = params
+        self.levels = None
+        self.count = 0
+        self._orders = np.empty((64, self.k_eval), dtype=np.int64)
+        self._angles = np.empty((64, int(d) - 1), dtype=np.float64)
+        self._lengths = np.empty(64, dtype=np.int64)
+
+    def append(self, order_rows: np.ndarray, angle_rows: np.ndarray) -> None:
+        """Append freshly evaluated corners (full-width rows, dense ids)."""
+        need = self.count + order_rows.shape[0]
+        if need > self._orders.shape[0]:
+            capacity = self._orders.shape[0]
+            while capacity < need:
+                capacity *= 2
+            self._orders = np.resize(self._orders, (capacity, self._orders.shape[1]))
+            self._angles = np.resize(self._angles, (capacity, self._angles.shape[1]))
+            self._lengths = np.resize(self._lengths, capacity)
+        self._orders[self.count : need] = order_rows
+        self._angles[self.count : need] = angle_rows
+        self._lengths[self.count : need] = order_rows.shape[1]
+        self.count = need
+
+    def corner_keys(self) -> list[bytes]:
+        """Registry keys indexed by dense corner id."""
+        keys: list[bytes] = [b""] * len(self.registry)
+        for key, gid in self.registry.items():
+            keys[gid] = key
+        return keys
+
+    def prune(self) -> None:
+        """Compact to the corners the recorded tree references.
+
+        Keeps the cache tracking the live recursion tree instead of
+        growing monotonically with churn; a no-op when no tree is
+        recorded (nothing says which corners are live).
+        """
+        if self.levels is None or self.count == 0:
+            return
+        live = np.zeros(self.count, dtype=bool)
+        for level in self.levels:
+            live[level.corners.ravel()] = True
+        if live.all():
+            return
+        remap = np.cumsum(live) - 1
+        keys = self.corner_keys()
+        survivors = np.flatnonzero(live)
+        self.registry = {keys[int(gid)]: new for new, gid in enumerate(survivors)}
+        self._orders = np.ascontiguousarray(self._orders[survivors])
+        self._angles = np.ascontiguousarray(self._angles[survivors])
+        self._lengths = np.ascontiguousarray(self._lengths[survivors])
+        self.count = int(survivors.size)
+        for level in self.levels:
+            level.corners = remap[level.corners]
+
+
 def mdrc(
     values: np.ndarray,
     k: int,
@@ -138,6 +337,7 @@ def mdrc(
     n_jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    corner_cache: CornerCache | None = None,
 ) -> MDRCResult:
     """MDRC (Algorithm 5): frontier-batched function-space partitioning.
 
@@ -176,6 +376,13 @@ def mdrc(
         Runtime tuning for the engine built here (``None`` | ``"auto"``
         | a :class:`~repro.engine.TuningProfile`); ignored when
         ``engine`` is passed.  Results are bit-identical either way.
+    corner_cache:
+        Optional :class:`CornerCache` carrying corner evaluations across
+        calls (the maintained-view replay path).  Requires ``use_cache``;
+        reset automatically when its ``(n, k)`` no longer match.  The
+        caller is responsible for the cached orders being valid for the
+        *current* ``values`` — :mod:`repro.engine.views` repairs the
+        cache after each mutation before replaying.
     """
     try:
         matrix = np.asarray(values, dtype=np.float64)
@@ -215,11 +422,29 @@ def mdrc(
         ):
             raise ValidationError("engine was built over a different matrix")
 
+    if corner_cache is not None and not use_cache:
+        raise ValidationError("corner_cache requires use_cache=True")
+
     result = MDRCResult(indices=[])
     selected: set[int] = set()
     corners_per_cell = 1 << (d - 1)
-    registry: dict[bytes, int] = {}
     store = _CornerStore(packed_width(n), k)
+    tree_valid = corner_cache is not None
+    recorded: list[CellLevel] = []
+    if corner_cache is not None:
+        corner_cache.ensure(n, k, d, (max_depth, max_cells, choice))
+        registry = corner_cache.registry
+        if corner_cache.count:
+            # Seed the working store from the memo: packed bitsets are
+            # rebuilt at this matrix's width, orders are served verbatim.
+            # Only the always-valid first k columns matter here — the
+            # reserve tail is view-repair state.
+            cached_orders = np.ascontiguousarray(
+                corner_cache.orders[:, :k], dtype=np.int64
+            )
+            store.append(pack_membership(cached_orders, n), cached_orders)
+    else:
+        registry = {}
     # Corner patterns in itertools.product(*cell) order: axis 0 is the
     # most significant bit, low endpoint first.
     patterns = np.array(
@@ -279,8 +504,18 @@ def mdrc(
                 ids = store.count + pending_rows
             if pending_rows.size:
                 weights = weights_from_angles_batch(corner_rows[pending_rows])
-                batch = engine.topk_batch(weights, k)
-                store.append(batch.members, batch.order)
+                if corner_cache is not None:
+                    # Evaluate the wider repair buffer in the same pass;
+                    # the recursion reads only the first k columns (the
+                    # engine's exact total order makes any top-k a prefix
+                    # of any longer top-k', so the result is unchanged).
+                    full = engine.topk_orders(weights, corner_cache.k_eval)
+                    top = np.ascontiguousarray(full[:, :k])
+                    store.append(pack_membership(top, n), top)
+                    corner_cache.append(full, corner_rows[pending_rows])
+                else:
+                    batch = engine.topk_batch(weights, k)
+                    store.append(batch.members, batch.order)
                 result.corner_evaluations += len(pending_rows)
 
             # ---- Phase B: intersect every cell's corner sets in one gather
@@ -294,21 +529,26 @@ def mdrc(
             fallback_mask = np.zeros(num_cells, dtype=bool)
             split_mask = np.zeros(num_cells, dtype=bool)
             # Worst-case leaves if every non-resolving cell splits: current
-            # leaves + this level's resolutions + a deliberately conservative
-            # 3 per non-resolving cell (two children plus one slot of margin;
-            # 2 would suffice, the overestimate only routes borderline levels
-            # to the sequential path below).  Under the budget, the
-            # sequential pass would allow every one of those splits too, so
-            # the vectorized fast path is exactly equivalent.
+            # leaves + this level's resolutions + 2 children per
+            # non-resolving cell.  This dominates the sequential pass's
+            # projection at every position — there, the last non-resolved
+            # cell sees at most ``cells + resolved + 2·(splits−1) + 2``
+            # — so under this bound the sequential pass would allow every
+            # one of those splits too and the vectorized fast path is
+            # exactly equivalent.
             projected_worst = (
-                result.cells + resolved_count + 3 * (num_cells - resolved_count)
+                result.cells + resolved_count + 2 * (num_cells - resolved_count)
             )
+            level_item = np.full(num_cells, -1, dtype=np.int64)
+            level_center = np.full(num_cells, -1, dtype=np.int64)
             if projected_worst <= max_cells:
                 resolved = np.flatnonzero(has_common)
                 if resolved.size:
-                    _pick_batch(
-                        common[resolved], id_matrix[resolved], store, choice, selected
+                    items = _pick_batch(
+                        common[resolved], id_matrix[resolved], store, choice
                     )
+                    selected.update(int(i) for i in items)
+                    level_item[resolved] = items
                     result.cells += resolved.size
                 if level < max_depth:
                     split_mask = ~has_common
@@ -319,17 +559,22 @@ def mdrc(
                     result.capped_cells += count
             else:
                 # Budget-risk path: sequential, with the projected leaf count
-                # capped at max_cells so total work stays bounded.
+                # capped at max_cells so total work stays bounded.  Its
+                # decisions depend on the traversal order, so no locally
+                # repairable tree can be recorded from here on.
+                tree_valid = False
                 queued_children = 0
                 for position in range(num_cells):
                     if result.cells < max_cells:
                         if has_common[position]:
-                            _pick_batch(
-                                common[position : position + 1],
-                                id_matrix[position : position + 1],
-                                store,
-                                choice,
-                                selected,
+                            selected.update(
+                                int(i)
+                                for i in _pick_batch(
+                                    common[position : position + 1],
+                                    id_matrix[position : position + 1],
+                                    store,
+                                    choice,
+                                )
                             )
                             result.cells += 1
                             continue
@@ -363,6 +608,26 @@ def mdrc(
                 selected.update(
                     int(i) for i in store.orders[id_matrix[fallback_mask], 0].ravel()
                 )
+                level_center[fallback_mask] = top1[:, 0]
+
+            if tree_valid:
+                level_state = np.full(num_cells, CELL_SPLIT, dtype=np.int8)
+                level_state[has_common] = CELL_RESOLVED
+                level_state[fallback_mask] = CELL_FALLBACK
+                children = np.full(num_cells, -1, dtype=np.int64)
+                split_positions = np.flatnonzero(split_mask)
+                children[split_positions] = 2 * np.arange(split_positions.size)
+                recorded.append(
+                    CellLevel(
+                        los=los,
+                        his=his,
+                        corners=np.ascontiguousarray(id_matrix, dtype=np.intp),
+                        state=level_state,
+                        item=level_item,
+                        center_item=level_center,
+                        children=children,
+                    )
+                )
 
             # ---- Split the surviving cells along this level's axis, left
             # child before right child (matching the sequential order).
@@ -386,6 +651,8 @@ def mdrc(
     finally:
         if own_engine:
             engine.close()  # release the fan-out pool, if one was spun up
+    if corner_cache is not None:
+        corner_cache.levels = recorded if tree_valid else None
     result.indices = sorted(selected)
     return result
 
@@ -395,9 +662,8 @@ def _pick_batch(
     id_matrix: np.ndarray,
     store: _CornerStore,
     choice: str,
-    selected: set[int],
-) -> None:
-    """Add each resolved cell's representative to ``selected``.
+) -> np.ndarray:
+    """Each resolved cell's representative item, as an int64 array.
 
     ``common`` holds one packed intersection bitmap per resolved cell.
     The ``"first"`` policy (the default and the paper's ``I[1]``) is one
@@ -406,8 +672,8 @@ def _pick_batch(
     """
     if choice == "first":
         bits = np.unpackbits(common, axis=1)
-        selected.update(int(i) for i in np.argmax(bits, axis=1))
-        return
+        return np.argmax(bits, axis=1).astype(np.int64)
+    items = np.empty(common.shape[0], dtype=np.int64)
     n_bits = common.shape[1] * 8
     for row in range(common.shape[0]):
         members = np.flatnonzero(np.unpackbits(common[row], count=n_bits))
@@ -422,4 +688,5 @@ def _pick_batch(
             if best_worst is None or worst < best_worst:
                 best_worst = worst
                 best_item = int(item)
-        selected.add(best_item)
+        items[row] = best_item
+    return items

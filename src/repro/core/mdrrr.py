@@ -61,6 +61,8 @@ def collect_ksets(
     n_jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    engine=None,
+    kset_state=None,
 ) -> tuple[list[frozenset[int]], str, int]:
     """Collect the k-sets of ``values`` with the requested strategy.
 
@@ -69,6 +71,10 @@ def collect_ksets(
     instead, we apply the randomized algorithm K-SETr").  ``"exact"``
     forces exact enumeration (sweep in 2-D, LP-validated BFS otherwise);
     ``"sample"`` forces K-SETr.
+
+    ``engine``/``kset_state`` pass straight through to
+    :func:`~repro.geometry.ksets.sample_ksets` (the maintained-view
+    replay path; only meaningful for the sampled enumerator).
 
     Returns (ksets, enumerator-used, random-draws).
     """
@@ -85,7 +91,7 @@ def collect_ksets(
     if enumerator == "sample":
         outcome = sample_ksets(
             matrix, k, patience=patience, rng=rng, n_jobs=n_jobs, backend=backend,
-            tune=tune,
+            tune=tune, engine=engine, state=kset_state,
         )
         return outcome.ksets, "sample", outcome.draws
     raise ValidationError(f"unknown enumerator {enumerator!r}")
@@ -104,6 +110,8 @@ def md_rrr(
     n_jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    engine=None,
+    kset_state=None,
 ) -> MDRRRResult:
     """MDRRR (Algorithm 3): hitting set over the k-set collection.
 
@@ -143,6 +151,11 @@ def md_rrr(
         Execution backend for that scoring (``"auto"`` | ``"serial"`` |
         ``"thread"`` | ``"process"``), as in
         :class:`~repro.engine.ScoreEngine`.
+    engine / kset_state:
+        Passed through to :func:`~repro.geometry.ksets.sample_ksets`
+        when the sampled enumerator runs — the maintained-view replay
+        path (:class:`repro.engine.views.MDRRRView`); bit-identical to a
+        fresh run by the draw-state replay contract.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -155,6 +168,7 @@ def md_rrr(
         collection, used, draws = collect_ksets(
             matrix, k, enumerator=enumerator, patience=patience, rng=rng,
             n_jobs=n_jobs, backend=backend, tune=tune,
+            engine=engine, kset_state=kset_state,
         )
     else:
         collection, used = list(ksets), "provided"

@@ -52,6 +52,14 @@ bit-identical, because merges key on unit index, not completion.
 :mod:`repro.engine.faults` is the matching deterministic fault-injection
 harness the chaos tests and ``perf_gate.py --faults`` drive.
 
+:mod:`repro.engine.views` is the materialized-view layer on top of the
+delta journal: :class:`MDRCView` / :class:`KSetView` / :class:`MDRRRView`
+/ :class:`RankRegretView` cache a consumer's intermediate state
+(corner memo, draw state, rank counts), subscribe to the engine's
+delta events, invalidate only what a mutation's score bounds can touch,
+and replay the real algorithm over the surviving cache — maintained
+results bit-identical to a from-scratch recompute.
+
 :mod:`repro.engine.reference` keeps the frozen pre-engine
 implementations that the equivalence tests and the perf-regression gate
 (``benchmarks/perf_gate.py``) compare against.
@@ -84,10 +92,22 @@ from repro.engine.resilience import (
     set_default_policy,
 )
 from repro.engine.score_engine import ScoreEngine, TopKBatch
+from repro.engine.views import (
+    KSetView,
+    MaterializedView,
+    MDRCView,
+    MDRRRView,
+    RankRegretView,
+)
 
 __all__ = [
     "ScoreEngine",
     "TopKBatch",
+    "MaterializedView",
+    "MDRCView",
+    "KSetView",
+    "MDRRRView",
+    "RankRegretView",
     "TuningProfile",
     "calibrate_engine",
     "RetryPolicy",

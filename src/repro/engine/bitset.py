@@ -50,13 +50,32 @@ def pack_indices(indices: np.ndarray, n: int) -> np.ndarray:
     return np.packbits(mask)
 
 
+# Above this dense-mask byte count, pack_membership switches to direct
+# bit scatter: the dense path materializes an (m, n) mask, which at
+# bench scale (thousands of k-element subsets over 10^5 rows) means
+# gigabytes of zeroing + packbits traffic for a few set bits per row.
+_DENSE_PACK_LIMIT = 1 << 22
+
+
 def pack_membership(index_matrix: np.ndarray, n: int) -> np.ndarray:
     """Pack many subsets at once: ``(m, k)`` index rows → ``(m, w)`` bitmaps."""
     index_matrix = np.asarray(index_matrix)
     m = index_matrix.shape[0]
-    mask = np.zeros((m, n), dtype=np.uint8)
-    mask[np.arange(m)[:, None], index_matrix] = 1
-    return np.packbits(mask, axis=1)
+    if m * n <= _DENSE_PACK_LIMIT:
+        mask = np.zeros((m, n), dtype=np.uint8)
+        mask[np.arange(m)[:, None], index_matrix] = 1
+        return np.packbits(mask, axis=1)
+    # Sparse path: scatter-OR each index's bit straight into the packed
+    # layout.  np.packbits is big-endian within a byte, so index ``i``
+    # maps to byte ``i >> 3``, bit value ``128 >> (i & 7)`` — the output
+    # is byte-identical to the dense path.
+    width = packed_width(n)
+    out = np.zeros((m, width), dtype=np.uint8)
+    flat = index_matrix.astype(np.int64, copy=False)
+    positions = np.arange(m, dtype=np.int64)[:, None] * width + (flat >> 3)
+    bits = (np.uint8(128) >> (flat & 7).astype(np.uint8)).astype(np.uint8)
+    np.bitwise_or.at(out.reshape(-1), positions.ravel(), bits.ravel())
+    return out
 
 
 def unpack_indices(packed: np.ndarray, n: int) -> np.ndarray:

@@ -22,7 +22,13 @@ write and the compaction that settles it:
   bookkeeping only, never the orderings/stores/matrix.
   ``engine.n`` always reflects the logical size, and delete indices are
   interpreted against the *current* view, exactly like a chain of
-  ``np.delete`` / ``vstack`` calls on a plain matrix.
+  ``np.delete`` / ``vstack`` calls on a plain matrix.  A delete that
+  targets a row still sitting in the pending-insert buffer *cancels*
+  the insert outright — the row data is dropped and the surviving
+  pending slots renumbered — rather than tombstoning a slot that never
+  materialized: the dead row would otherwise be carried through every
+  journal pass, counted by the eager-flush trigger, and surface to
+  delta subscribers as a spurious delete + insert pair.
 * **Compaction.**  The first query after a mutation (or an explicit
   :meth:`ScoreEngine.compact`) settles the whole journal in one linear
   pass: the committed matrix is filtered and the surviving pending rows
@@ -51,6 +57,16 @@ order and keep indices below every inserted row, and ``searchsorted``
 with ``side="right"`` lands equal-valued new rows after their old peers
 — exactly where the stable sort would put them.
 
+**Epoch API.**  Every *effective* compaction (one that changed the
+matrix) bumps ``engine.revision`` and notifies the subscribers
+registered through :meth:`ScoreEngine.subscribe_delta` with one
+:class:`DeltaEvent` describing the committed-state transition: which
+old rows died (ids and data), how the survivors were renumbered
+(``idmap``), and which rows were appended.  Inserted-then-deleted rows
+never appear in any event — the journal cancelled them.  This is what
+the materialized-view layer (:mod:`repro.engine.views`) subscribes to;
+a journal that cancels out entirely emits nothing.
+
 Mutations follow the engine's general threading rule: calls on one
 engine are not synchronized against each other; a service mutating
 while serving must serialize externally.
@@ -58,15 +74,57 @@ while serving must serialize externally.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.exceptions import CorruptStateError, InvalidDataError, ValidationError
 
-__all__ = ["MergePlan", "delete_rows", "flush_mutations", "insert_rows"]
+__all__ = ["DeltaEvent", "MergePlan", "delete_rows", "flush_mutations", "insert_rows"]
 
 # Compact eagerly once this many rows are queued in the journal: bounds
 # journal memory and keeps the eventual compaction pass from ballooning.
 _MAX_PENDING_ROWS = 65536
+
+
+@dataclass(frozen=True)
+class DeltaEvent:
+    """One effective compaction, as seen by a delta subscriber.
+
+    Describes the committed-state transition ``old matrix (old_n rows)
+    -> new matrix (new_n rows)``: the journal's net effect, with any
+    inserted-then-deleted rows already cancelled out.  Surviving rows
+    keep their data bit-for-bit and are renumbered monotonically, so a
+    subscriber can remap cached row ids with one ``idmap`` gather.
+
+    Attributes
+    ----------
+    revision:
+        The engine's revision counter *after* this compaction.
+    old_n / new_n:
+        Committed matrix sizes before and after.
+    deleted_ids:
+        Sorted old-id positions of the rows that were removed.
+    deleted_rows:
+        The removed rows' float64 data, aligned with ``deleted_ids``
+        (captured before the matrix was rewritten — a subscriber that
+        screens deletions against cached score bounds needs the data of
+        rows that no longer exist anywhere else).
+    idmap:
+        ``(old_n,)`` int64 old-id -> new-id map; meaningful only at
+        surviving (non-deleted) positions.
+    inserted_rows:
+        The appended rows, occupying new ids ``[new_n - m, new_n)`` in
+        insertion order.
+    """
+
+    revision: int
+    old_n: int
+    new_n: int
+    deleted_ids: np.ndarray
+    deleted_rows: np.ndarray
+    idmap: np.ndarray
+    inserted_rows: np.ndarray
 
 
 class MergePlan:
@@ -177,10 +235,50 @@ def delete_rows(engine, indices) -> int:
         )
     if idx.size >= engine.n:
         raise ValidationError("cannot delete every row (engine must stay non-empty)")
-    engine._live = np.delete(_live_view(engine), idx)
+    live = _live_view(engine)
+    cn = engine._committed_n
+    doomed = live[idx]
+    survivors = np.delete(live, idx)
+    cancelled = doomed[doomed >= cn] - cn
+    if cancelled.size:
+        # The deletion hit rows still sitting in the pending-insert
+        # buffer: cancel those inserts outright instead of tombstoning
+        # slots that never materialized.  The row data is dropped from
+        # the buffers and the surviving pending slots renumbered down,
+        # so cancelled rows are never copied through compaction, never
+        # counted by the eager-flush trigger, and never surface to
+        # delta subscribers as a delete + insert pair.
+        total = sum(len(block) for block in engine._pending_rows)
+        keep_pending = np.ones(total, dtype=bool)
+        keep_pending[cancelled] = False
+        buffers: list[np.ndarray] = []
+        base = 0
+        for block in engine._pending_rows:
+            mask = keep_pending[base : base + len(block)]
+            base += len(block)
+            if mask.all():
+                buffers.append(block)
+            elif mask.any():
+                buffers.append(block[mask])
+        engine._pending_rows = buffers
+        pending_mask = survivors >= cn
+        if pending_mask.any():
+            # Each surviving pending slot shifts down by the number of
+            # cancelled slots below it (cancelled is sorted: it came
+            # from a slice of the sorted live array).
+            shift = np.searchsorted(cancelled, survivors[pending_mask] - cn)
+            survivors[pending_mask] -= shift
+        engine.stats["cancelled_inserts"] += int(cancelled.size)
+    engine._live = survivors
     engine.n -= idx.size
     engine._dirty_rows = True
     engine.stats["row_deletes"] += idx.size
+    if not engine._pending_rows and survivors.size == cn:
+        # The journal cancelled out entirely (every mutation since the
+        # last compaction was an insert later deleted): the committed
+        # state is untouched, so forget the journal instead of paying a
+        # no-op compaction at the next query.
+        _reset_journal(engine, cn)
     return int(idx.size)
 
 
@@ -214,6 +312,21 @@ def flush_mutations(engine) -> None:
     new_n = kept + m
     new_ids = kept + np.arange(m, dtype=np.int64)
 
+    event = None
+    if engine._delta_subscribers:
+        # Capture the doomed rows' data before the matrix is rewritten:
+        # subscribers screening deletions against cached score bounds
+        # need values that are about to exist nowhere else.
+        event = DeltaEvent(
+            revision=engine.revision + 1,
+            old_n=cn,
+            new_n=new_n,
+            deleted_ids=np.flatnonzero(~keep),
+            deleted_rows=np.ascontiguousarray(engine.values[~keep]),
+            idmap=idmap,
+            inserted_rows=new_rows,
+        )
+
     values = np.empty((new_n, engine.d), dtype=np.float64)
     values[:kept] = engine.values[keep]
     values[kept:] = new_rows
@@ -226,7 +339,9 @@ def flush_mutations(engine) -> None:
 
     store_edits: list[tuple[int, MergePlan]] = []
     if engine._orderings is not None:
-        new_norms = np.linalg.norm(new_rows, axis=1)
+        from repro.engine.score_engine import robust_row_norms
+
+        new_norms = robust_row_norms(new_rows)
         for o, ordering in enumerate(engine._orderings):
             plan = _merge_ordering(
                 ordering, keep, idmap, new_rows, new_norms, new_ids, new_n
@@ -256,6 +371,12 @@ def flush_mutations(engine) -> None:
         engine._excess_work = 0
     engine.stats["compactions"] += 1
     _reset_journal(engine, new_n)
+    # Bump the epoch and notify only after the engine is fully settled:
+    # a subscriber's repair may read engine.values (and even issue
+    # queries — the journal is clean, so no re-entrant compaction).
+    engine.revision += 1
+    for callback in list(engine._delta_subscribers):
+        callback(event)
 
 
 def _check_journal(engine, live: np.ndarray, cn: int, pending_total: int) -> None:
@@ -330,13 +451,12 @@ def _merge_ordering(
     else:
         # Surviving rows keep their residual norms bit-for-bit; only the
         # inserted rows' residuals are computed, and ``v`` is one cummax.
+        from repro.engine.score_engine import robust_rest_norms
+
         if ordering.rest is None:
-            norms = np.linalg.norm(ordering.V, axis=1)
-            ordering.rest = np.sqrt(np.maximum(norms**2 - ordering.u**2, 0.0))
+            ordering.rest = robust_rest_norms(ordering.V, ordering.attribute)
         else:
-            rest_new = np.sqrt(
-                np.maximum(new_norms[order_new] ** 2 - u_new[order_new] ** 2, 0.0)
-            )
+            rest_new = robust_rest_norms(rows_sorted, ordering.attribute)
             ordering.rest = plan.apply(ordering.rest, rest_new)
         ordering.v = np.maximum.accumulate(ordering.rest[::-1])[::-1]
     ordering.inv = None

@@ -84,6 +84,45 @@ _TIE_BAND_ULPS = 64.0
 # the legacy values) and is read per-engine via ``self._tuning``.
 
 
+def robust_row_norms(matrix: np.ndarray) -> np.ndarray:
+    """Row 2-norms immune to under/overflow of the naive squared sum.
+
+    ``sqrt(sum(x**2))`` silently returns 0 for rows whose squared entries
+    are subnormal (all |x| below ~1e-154) and inf past ~1e154.  Every
+    pruning bound built on an underflowed norm claims the row scores at
+    most 0, so the prefix tiers prune rows that actually belong in the
+    top-k and the engine diverges from the scalar kernel it is pinned
+    to.  Rows whose naive squared sum is a normal float keep the naive
+    (bitwise-unchanged) value; only at-risk rows pay the rescale pass.
+    """
+    with np.errstate(over="ignore", under="ignore"):
+        sq = (matrix * matrix).sum(axis=1)
+    norms = np.sqrt(sq)
+    risky = np.flatnonzero(
+        (sq < np.finfo(np.float64).tiny) | ~np.isfinite(sq)
+    )
+    if risky.size:
+        rows = matrix[risky]
+        scale = np.abs(rows).max(axis=1)
+        safe = np.where(scale > 0.0, scale, 1.0)
+        scaled = rows / safe[:, None]
+        norms[risky] = scale * np.sqrt((scaled * scaled).sum(axis=1))
+    return norms
+
+
+def robust_rest_norms(matrix: np.ndarray, attribute: int) -> np.ndarray:
+    """Residual row norms with attribute ``attribute`` zeroed out.
+
+    The attribute orderings bound a score by ``w_j·x_j + ‖w_{−j}‖·rest``;
+    deriving ``rest`` as ``sqrt(norm² − x_j²)`` squares the norm and
+    underflows for tiny rows exactly like the naive norm does, so the
+    residual is normed directly from a column-masked copy instead.
+    """
+    masked = matrix.copy()
+    masked[:, attribute] = 0.0
+    return robust_row_norms(masked)
+
+
 class _Ordering:
     """One pruning order over the data rows (see _build_orderings).
 
@@ -326,6 +365,12 @@ class ScoreEngine:
         self._live: np.ndarray | None = None
         self._committed_n = self.n
         self._dirty_rows = False
+        # Delta epoch API (see repro.engine.delta / repro.engine.views):
+        # ``revision`` counts effective compactions (monotone, starts at
+        # 0 for the construction matrix); subscribers are notified with
+        # one DeltaEvent per bump.  Materialized views register here.
+        self.revision = 0
+        self._delta_subscribers: list = []
         # Introspection counters (read by tests and the perf gate).
         self.stats = {
             "gemm_columns": 0,
@@ -338,6 +383,7 @@ class ScoreEngine:
             "quant_resolved": 0,
             "row_inserts": 0,
             "row_deletes": 0,
+            "cancelled_inserts": 0,
             "compactions": 0,
         }
 
@@ -455,6 +501,28 @@ class ScoreEngine:
             from repro.engine.delta import flush_mutations
 
             flush_mutations(self)
+
+    def subscribe_delta(self, callback):
+        """Register ``callback(event)`` for every effective compaction.
+
+        The callback receives one :class:`repro.engine.delta.DeltaEvent`
+        per :attr:`revision` bump, invoked after the engine has fully
+        settled the journal (so it may read ``engine.values`` and even
+        issue queries).  Materialized views
+        (:mod:`repro.engine.views`) register their repair hooks here.
+        Returns ``callback`` so it can be kept for
+        :meth:`unsubscribe_delta`.  Subscribers are engine-local state:
+        they do not travel through pickling or into worker clones.
+        """
+        self._delta_subscribers.append(callback)
+        return callback
+
+    def unsubscribe_delta(self, callback) -> None:
+        """Remove a subscriber registered by :meth:`subscribe_delta`."""
+        try:
+            self._delta_subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def _invalidate_derived(self) -> None:
         """Drop every cache whose contents depend on the data matrix.
@@ -608,6 +676,10 @@ class ScoreEngine:
         state = self.__dict__.copy()
         state["_executors"] = {}
         state["_supervisor"] = None
+        # Subscribers are repair hooks of views living in THIS process;
+        # a pickled copy must not invoke them (and they may be
+        # unpicklable bound methods holding whole view states).
+        state["_delta_subscribers"] = []
         return state
 
     def _ensure_orderings(self) -> list["_Ordering"]:
@@ -641,6 +713,7 @@ class ScoreEngine:
         clone._pending_rows = []
         clone._live = None
         clone._dirty_rows = False
+        clone._delta_subscribers = []
         clone._tune_pending = False
         clone.stats = dict.fromkeys(self.stats, 0)
         # The adaptive rank-quant counters are inherited as-is: the clone
@@ -978,7 +1051,7 @@ class ScoreEngine:
         norm bound is loose.  Per-attribute orders are skipped when the
         extra copies would be large relative to the matrix itself.
         """
-        row_norms = np.linalg.norm(self.values, axis=1)
+        row_norms = robust_row_norms(self.values)
         perm = np.argsort(-row_norms, kind="stable")
         norm_ordering = _Ordering(
             perm=perm,
@@ -997,12 +1070,9 @@ class ScoreEngine:
         self._attr_orderings_built = True
         if self.n * self.d * (self.d + 1) * 8 > (1 << 29):
             return  # the extra copies would dwarf the matrix; skip
-        row_norms = np.linalg.norm(self.values, axis=1)
         for j in range(self.d):
             perm = np.argsort(-self.values[:, j], kind="stable")
-            rest = np.sqrt(
-                np.maximum(row_norms[perm] ** 2 - self.values[perm, j] ** 2, 0.0)
-            )
+            rest = robust_rest_norms(self.values, j)[perm]
             ordering = _Ordering(
                 perm=perm,
                 V=np.ascontiguousarray(self.values[perm]),
@@ -1122,9 +1192,7 @@ class ScoreEngine:
         miscounted without ever triggering the exact fallback.
         """
         if self._max_row_norm is None:
-            self._max_row_norm = float(
-                np.sqrt((self.values * self.values).sum(axis=1).max())
-            )
+            self._max_row_norm = float(robust_row_norms(self.values).max())
         return np.linalg.norm(W, axis=1) * self._max_row_norm
 
     def _topk_tier(

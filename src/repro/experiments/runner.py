@@ -29,7 +29,15 @@ from repro.experiments.config import ExperimentConfig, KSetCountConfig
 from repro.geometry.ksets import enumerate_ksets_2d, sample_ksets
 from repro.evaluation.bounds import kset_upper_bound
 
-__all__ = ["ExperimentRow", "KSetCountRow", "make_dataset", "run_experiment", "run_kset_count"]
+__all__ = [
+    "ExperimentRow",
+    "KSetCountRow",
+    "MaintenanceRow",
+    "make_dataset",
+    "run_experiment",
+    "run_kset_count",
+    "run_maintenance",
+]
 
 
 @dataclass(frozen=True)
@@ -164,6 +172,121 @@ def run_experiment(
                     meets_k=report.meets_k,
                 )
             )
+    return rows
+
+
+@dataclass(frozen=True)
+class MaintenanceRow:
+    """One churn tick of a maintained-representative run."""
+
+    tick: int
+    n: int
+    deletes: int
+    inserts: int
+    maintained_sec: float
+    recompute_sec: float
+    output_size: int
+    rank_regret: int
+    identical: bool
+
+
+def run_maintenance(
+    values: np.ndarray,
+    k: int,
+    ticks: int = 5,
+    churn: float = 0.01,
+    seed: int = 0,
+    algorithm: str = "mdrc",
+    num_functions: int = 2000,
+    verify: bool = True,
+    n_jobs: int | None = None,
+    backend: str = "auto",
+    tune=None,
+    progress: Callable[[str], None] | None = None,
+) -> list[MaintenanceRow]:
+    """Serve a maintained representative under churn, one row per tick.
+
+    Builds one long-lived engine over ``values``, attaches the
+    materialized views (:mod:`repro.engine.views`) for the requested
+    ``algorithm`` (``"mdrc"`` or ``"mdrrr"``) plus a maintained
+    rank-regret estimator, then per tick deletes/inserts ``churn · n``
+    rows and refreshes the views.  With ``verify`` each tick also runs
+    the from-scratch recompute and asserts the maintained result is
+    bit-identical — the contract the views guarantee — while timing
+    both sides, so the returned rows double as a maintenance-vs-
+    recompute measurement.
+    """
+    from repro.engine import MDRCView, MDRRRView, RankRegretView, ScoreEngine
+    from repro.evaluation.regret import rank_regret_sampled
+
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("values must be an (n, d) matrix")
+    if ticks < 1:
+        raise ValidationError("ticks must be >= 1")
+    if not 0.0 < churn < 1.0:
+        raise ValidationError("churn must be in (0, 1)")
+    if algorithm not in ("mdrc", "mdrrr"):
+        raise ValidationError(f"unknown maintained algorithm {algorithm!r}")
+    rng = np.random.default_rng(seed)
+    rows: list[MaintenanceRow] = []
+    with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune) as engine:
+        if algorithm == "mdrc":
+            view = MDRCView(engine, k)
+        else:
+            view = MDRRRView(engine, k, rng=seed)
+        initial = view.refresh()
+        regret_view = RankRegretView(
+            engine, initial.indices, num_functions=num_functions, rng=seed
+        )
+        regret_view.refresh()
+        for tick in range(ticks):
+            m = max(1, int(round(engine.n * churn)))
+            dead = rng.choice(engine.n, size=m, replace=False)
+            fresh_rows = rng.random((m, engine.d))
+            engine.delete_rows(dead)
+            engine.insert_rows(fresh_rows)
+            if progress:
+                progress(f"maintain tick {tick + 1}/{ticks}: ±{m} rows")
+            start = time.perf_counter()
+            result = view.refresh()
+            regret_view.set_subset(result.indices)
+            regret = regret_view.refresh()
+            maintained_sec = time.perf_counter() - start
+            recompute_sec = 0.0
+            identical = True
+            if verify:
+                start = time.perf_counter()
+                if algorithm == "mdrc":
+                    fresh = mdrc(engine.values, k).indices
+                else:
+                    fresh = md_rrr(
+                        engine.values, k, enumerator="sample", rng=seed
+                    ).indices
+                fresh_regret = rank_regret_sampled(
+                    engine.values, fresh, num_functions, rng=seed, engine=engine
+                )
+                recompute_sec = time.perf_counter() - start
+                identical = list(result.indices) == list(fresh) and regret == fresh_regret
+                if not identical:
+                    raise ValidationError(
+                        f"maintained result diverged from recompute at tick {tick}"
+                    )
+            rows.append(
+                MaintenanceRow(
+                    tick=tick,
+                    n=engine.n,
+                    deletes=m,
+                    inserts=m,
+                    maintained_sec=maintained_sec,
+                    recompute_sec=recompute_sec,
+                    output_size=len(result.indices),
+                    rank_regret=regret,
+                    identical=identical,
+                )
+            )
+        view.close()
+        regret_view.close()
     return rows
 
 

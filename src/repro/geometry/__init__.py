@@ -21,6 +21,7 @@ from repro.geometry.halfspace import (
 )
 from repro.geometry.hull import convex_hull, convex_hull_2d, maxima_representation
 from repro.geometry.ksets import (
+    KSetDrawState,
     KSetSampleResult,
     enumerate_ksets_2d,
     enumerate_ksets_bfs,
@@ -63,6 +64,7 @@ __all__ = [
     "dominance_count",
     "enumerate_ksets_2d",
     "sample_ksets",
+    "KSetDrawState",
     "KSetSampleResult",
     "enumerate_ksets_bfs",
     "kset_graph_edges",

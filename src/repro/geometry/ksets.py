@@ -27,12 +27,13 @@ from repro.engine import ScoreEngine
 from repro.exceptions import InvalidDataError, ValidationError
 from repro.geometry.halfspace import is_separable
 from repro.geometry.sweep import AngularSweep
-from repro.ranking.sampling import sample_functions
+from repro.ranking.sampling import FunctionStream
 from repro.ranking.topk import top_k_set
 
 __all__ = [
     "enumerate_ksets_2d",
     "sample_ksets",
+    "KSetDrawState",
     "KSetSampleResult",
     "enumerate_ksets_bfs",
     "kset_graph_edges",
@@ -108,6 +109,86 @@ class KSetSampleResult:
     exhausted: bool = False
 
 
+class KSetDrawState:
+    """The repairable intermediate state of a K-SETr run.
+
+    K-SETr's expensive work is per-batch: draw ``batch_size`` functions,
+    resolve their top-k orders with one engine call.  This class caches
+    exactly that — the ``(weights, orders)`` pair of every batch drawn so
+    far plus the :class:`~repro.ranking.sampling.FunctionStream` position —
+    so a maintained view can *replay* the sampler after a data mutation
+    instead of redrawing.
+
+    The contract that makes replay bit-identical to a fresh run:
+
+    * weights are a pure function of ``(d, seed, draw index)`` — data
+      mutations never consume or skip RNG draws, so cached weights are
+      verbatim what a fresh run would draw;
+    * after a mutation, the view marks the draws whose cached top-k may
+      have changed (``mark_stale``); :meth:`resolve` lazily re-evaluates
+      only those rows via :meth:`~repro.engine.ScoreEngine.topk_orders`,
+      which is per-column independent, so repaired rows equal what a
+      fresh batch evaluation would produce for the same weights;
+    * when replay runs past the cache, fresh draws extend the stream from
+      the saved generator position with the same batch-size sequence a
+      fresh run would use (``min(batch_size, max_draws - draws)``).
+    """
+
+    __slots__ = ("k", "max_draws", "batch_size", "stream", "weights", "orders", "stale", "repaired")
+
+    def __init__(
+        self,
+        d: int,
+        k: int,
+        max_draws: int = 1_000_000,
+        batch_size: int = 1024,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if max_draws < 1:
+            raise ValidationError("max_draws must be >= 1")
+        if batch_size < 1:
+            raise ValidationError("batch_size must be >= 1")
+        self.k = int(k)
+        self.max_draws = int(max_draws)
+        self.batch_size = int(batch_size)
+        self.stream = FunctionStream(d, rng)
+        self.weights: list[np.ndarray] = []
+        self.orders: list[np.ndarray] = []
+        self.stale: list[np.ndarray] = []
+        self.repaired = 0
+
+    def resolve(self, index: int, size: int, engine: ScoreEngine) -> tuple[np.ndarray, np.ndarray]:
+        """Batch ``index`` of the stream: cached (repairing stale rows) or fresh."""
+        if index < len(self.weights):
+            weights = self.weights[index]
+            if len(weights) != size:  # pragma: no cover - guarded by state reuse contract
+                raise ValidationError(
+                    f"replay batch {index} has {len(weights)} draws, expected {size}; "
+                    "the state was built with different max_draws/batch_size"
+                )
+            stale = self.stale[index]
+            if stale.any():
+                rows = np.flatnonzero(stale)
+                self.orders[index][rows] = engine.topk_orders(weights[rows], self.k)
+                self.repaired += int(rows.size)
+                stale[:] = False
+            return weights, self.orders[index]
+        weights = self.stream.draw(size)
+        orders = engine.topk_orders(weights, self.k)
+        self.weights.append(weights)
+        self.orders.append(orders)
+        self.stale.append(np.zeros(size, dtype=bool))
+        return weights, orders
+
+    def mark_stale(self, index: int, rows: np.ndarray) -> None:
+        """Flag cached draws whose top-k must be re-resolved before reuse."""
+        self.stale[index][rows] = True
+
+    @property
+    def cached_draws(self) -> int:
+        return sum(len(weights) for weights in self.weights)
+
+
 def sample_ksets(
     values: np.ndarray,
     k: int,
@@ -118,6 +199,8 @@ def sample_ksets(
     n_jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    engine: ScoreEngine | None = None,
+    state: KSetDrawState | None = None,
 ) -> KSetSampleResult:
     """K-SETr (Algorithm 4): randomized k-set collection.
 
@@ -143,18 +226,36 @@ def sample_ksets(
     each batch's top-k out over the engine's worker pool (``None``/``1``
     = serial; see :mod:`repro.engine.parallel`) — bit-identical draws
     either way.
+
+    ``engine``/``state`` expose the repairable intermediate state for
+    maintained views (:mod:`repro.engine.views`): pass an existing
+    :class:`~repro.engine.ScoreEngine` built over ``values`` to reuse its
+    tiers and worker pool, and a :class:`KSetDrawState` to replay/extend a
+    previous run's draws instead of redrawing — the patience walk below
+    is the same either way, so a replayed run is bit-identical to a
+    fresh run over the same data.
     """
     matrix, k = _validate(values, k)
     if patience < 1:
         raise ValidationError("patience must be >= 1")
-    if max_draws < 1:
-        raise ValidationError("max_draws must be >= 1")
-    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if state is None:
+        state = KSetDrawState(matrix.shape[1], k, max_draws=max_draws, batch_size=batch_size, rng=rng)
+    elif state.k != k or state.stream.d != matrix.shape[1]:
+        raise ValidationError(
+            f"state was built for (d={state.stream.d}, k={state.k}), "
+            f"got (d={matrix.shape[1]}, k={k})"
+        )
     # float32 scoring: every contested draw (any tie or near-tie within
     # the float32 noise band) is re-resolved by the engine on the exact
     # float64 scalar path, so results stay identical to float64 scoring
     # while clean draws run at twice the GEMM/selection throughput.
-    engine = ScoreEngine(matrix, float32=True, n_jobs=n_jobs, backend=backend, tune=tune)
+    own_engine = engine is None
+    if engine is None:
+        engine = ScoreEngine(matrix, float32=True, n_jobs=n_jobs, backend=backend, tune=tune)
+    else:
+        engine.compact()
+        if engine.values.shape != matrix.shape or not np.array_equal(engine.values, matrix):
+            raise ValidationError("engine was built over a different matrix than `values`")
     try:
         result = KSetSampleResult(ksets=[])
         # Dedup on the sorted top-k index rows: sorting makes the byte
@@ -164,10 +265,11 @@ def sample_ksets(
         # bitset packing entirely.
         seen: set[bytes] = set()
         misses = 0
-        while result.draws < max_draws:
-            batch = min(batch_size, max_draws - result.draws)
-            weights = sample_functions(matrix.shape[1], batch, generator)
-            order = engine.topk_orders(weights, k)
+        index = 0
+        while result.draws < state.max_draws:
+            batch = min(state.batch_size, state.max_draws - result.draws)
+            weights, order = state.resolve(index, batch, engine)
+            index += 1
             canonical = np.sort(order, axis=1)
             width = canonical.shape[1] * canonical.itemsize
             blob = canonical.tobytes()
@@ -189,7 +291,8 @@ def sample_ksets(
         result.exhausted = True
         return result
     finally:
-        engine.close()
+        if own_engine:
+            engine.close()
 
 
 def enumerate_ksets_bfs(values: np.ndarray, k: int) -> list[frozenset[int]]:

@@ -6,7 +6,7 @@ from repro.ranking.functions import (
     weights_from_angles,
 )
 from repro.ranking.onion import OnionIndex
-from repro.ranking.sampling import grid_functions, sample_functions
+from repro.ranking.sampling import FunctionStream, grid_functions, sample_functions
 from repro.ranking.topk import (
     batch_top_k_sets,
     rank_of,
@@ -22,6 +22,7 @@ __all__ = [
     "weights_from_angles",
     "angles_from_weights",
     "sample_functions",
+    "FunctionStream",
     "grid_functions",
     "scores",
     "ranking",

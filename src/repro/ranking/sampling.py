@@ -20,7 +20,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.ranking.functions import weights_from_angles
 
-__all__ = ["sample_functions", "grid_functions"]
+__all__ = ["FunctionStream", "sample_functions", "grid_functions"]
 
 
 def sample_functions(
@@ -47,6 +47,40 @@ def sample_functions(
         raw[degenerate] = 1.0
         norms[degenerate] = np.sqrt(d)
     return raw / norms
+
+
+class FunctionStream:
+    """A replayable Marsaglia draw stream with explicit position.
+
+    Wraps the generator behind :func:`sample_functions` and counts the
+    draws consumed, so a long-lived consumer can *extend* the stream
+    later exactly where a from-scratch run with the same seed would —
+    the RNG stream discipline the maintained K-SETr draw state
+    (:class:`repro.geometry.ksets.KSetDrawState`) relies on: weights
+    are a pure function of ``(d, seed, draw index)``, independent of
+    the data, so repairs re-evaluate cached draws instead of redrawing
+    them, and only genuinely new draws advance the stream.
+
+    The generator state depends only on the sequence of block sizes
+    requested; identical block sequences yield bit-identical weights.
+    """
+
+    __slots__ = ("d", "drawn", "_generator")
+
+    def __init__(self, d: int, rng: int | np.random.Generator | None = None) -> None:
+        if d < 1:
+            raise ValidationError(f"need d >= 1, got {d}")
+        self.d = int(d)
+        self.drawn = 0
+        self._generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+
+    def draw(self, count: int) -> np.ndarray:
+        """The next ``count`` functions of the stream, ``(count, d)``."""
+        weights = sample_functions(self.d, count, self._generator)
+        self.drawn += count
+        return weights
 
 
 def grid_functions(d: int, per_axis: int) -> np.ndarray:

@@ -292,6 +292,68 @@ class TestJournalSemantics:
         assert engine.values is before  # untouched: journal cancelled out
         assert engine.n == 40
 
+    def test_cancelled_journal_emits_no_delta_event(self, rng):
+        # A journal that cancels out entirely must be invisible to delta
+        # subscribers — no spurious delete + insert pair, no revision bump.
+        matrix = rng.random((40, 3))
+        engine = ScoreEngine(matrix)
+        events = []
+        engine.subscribe_delta(events.append)
+        revision = engine.revision
+        ids = engine.insert_rows(rng.random((3, 3)))
+        engine.delete_rows(ids)
+        engine.compact()
+        assert events == []
+        assert engine.revision == revision
+        assert engine.stats["cancelled_inserts"] == 3
+
+    def test_partial_cancellation_renumbers_surviving_pending(self, rng):
+        # Deleting SOME pending inserts cancels exactly those; survivors
+        # keep their data and land contiguously at the tail, and the
+        # event shows only the net effect.
+        matrix = rng.random((30, 3))
+        engine = ScoreEngine(matrix)
+        events = []
+        engine.subscribe_delta(events.append)
+        new = rng.random((5, 3))
+        ids = engine.insert_rows(new)
+        engine.delete_rows([ids[1], ids[3]])
+        engine.compact()
+        assert len(events) == 1
+        event = events[0]
+        assert event.deleted_ids.size == 0  # no committed row was touched
+        assert np.array_equal(event.inserted_rows, new[[0, 2, 4]])
+        assert event.old_n == 30 and event.new_n == 33
+        assert np.array_equal(engine.values[30:], new[[0, 2, 4]])
+        assert engine.stats["cancelled_inserts"] == 2
+        fresh = ScoreEngine(np.vstack([matrix, new[[0, 2, 4]]]))
+        w = rng.random(3)
+        assert np.array_equal(engine.top_k(w, 6), fresh.top_k(w, 6))
+
+    def test_cancellation_mixed_with_committed_delete(self, rng):
+        # One journal holding a committed delete AND a pending-insert
+        # cancellation: the event carries only the committed delete and
+        # the surviving insert, with a consistent idmap.
+        matrix = rng.random((25, 3))
+        engine = ScoreEngine(matrix)
+        events = []
+        engine.subscribe_delta(events.append)
+        new = rng.random((2, 3))
+        ids = engine.insert_rows(new)
+        engine.delete_rows([4, ids[0]])
+        engine.compact()
+        assert len(events) == 1
+        event = events[0]
+        assert np.array_equal(event.deleted_ids, [4])
+        assert np.array_equal(event.deleted_rows, matrix[[4]])
+        assert np.array_equal(event.inserted_rows, new[[1]])
+        assert event.old_n == 25 and event.new_n == 25
+        survivors = np.setdiff1d(np.arange(25), [4])
+        assert np.array_equal(event.idmap[survivors], np.arange(24))
+        assert np.array_equal(
+            engine.values, np.vstack([np.delete(matrix, [4], axis=0), new[[1]]])
+        )
+
     def test_memo_invalidation_is_explicit(self, rng):
         matrix = rng.random((80, 3))
         engine = ScoreEngine(matrix)

@@ -10,7 +10,11 @@ Four bench-scale workloads (the ops the ``repro.engine`` refactor targets):
   (insert/delete + query) vs delete-rebuild-requery from scratch;
 * ``view_maintenance``    — materialized representative views under churn
   (corner-memo repair + regret patching) vs recompute-per-revision,
-  bit-identity asserted at every revision.
+  bit-identity asserted at every revision;
+* ``serving_load``        — the async HTTP front-end (:mod:`repro.serve`)
+  under concurrent clients: request coalescing vs sequential keep-alive
+  requests, sustained QPS + p50/p99 latency, every response asserted
+  bit-identical to a direct engine call.
 
 ``--history`` prints a cross-PR table of every op's median/speedup from
 all committed ``BENCH_PR*.json`` files instead of running anything.
@@ -67,7 +71,7 @@ from pathlib import Path
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_NAME = "BENCH_PR7.json"
+BENCH_NAME = "BENCH_PR8.json"
 REGRESSION_SLACK = 1.20  # fail when median_s exceeds previous by >20%
 
 
@@ -112,12 +116,12 @@ def _bench_mdrc(repeats: int, quick: bool, jobs: int | None, backend_jobs: int) 
 
     n, d, k = (1000, 4, 8) if quick else (2000, 4, 5)
     values = independent(n, d, seed=0).values
-    mdrc(values, k, n_jobs=jobs)  # warm caches / BLAS / pool
+    mdrc(values, k, jobs=jobs)  # warm caches / BLAS / pool
     base_s, base = _median_time(lambda: reference_mdrc(values, k), repeats)
-    new_s, new = _median_time(lambda: mdrc(values, k, n_jobs=jobs), repeats)
+    new_s, new = _median_time(lambda: mdrc(values, k, jobs=jobs), repeats)
     assert new.indices == base.indices, "mdrc output diverged from reference"
     backends = _backend_column(
-        lambda backend, bj: mdrc(values, k, n_jobs=bj, backend=backend),
+        lambda backend, bj: mdrc(values, k, jobs=bj, backend=backend),
         repeats,
         backend_jobs,
     )
@@ -141,19 +145,19 @@ def _bench_ksetr(repeats: int, quick: bool, jobs: int | None, backend_jobs: int)
 
     n, d, k = (2000, 4, 10) if quick else (5000, 4, 25)
     values = independent(n, d, seed=0).values
-    sample_ksets(values, k, patience=50, rng=1, n_jobs=jobs)  # warm
+    sample_ksets(values, k, patience=50, rng=1, jobs=jobs)  # warm
     base_s, base = _median_time(
         lambda: reference_sample_ksets(values, k, patience=100, rng=0), repeats
     )
     new_s, new = _median_time(
-        lambda: sample_ksets(values, k, patience=100, rng=0, n_jobs=jobs), repeats
+        lambda: sample_ksets(values, k, patience=100, rng=0, jobs=jobs), repeats
     )
     assert new.ksets == base.ksets and new.draws == base.draws, (
         "sample_ksets output diverged from reference"
     )
     backends = _backend_column(
         lambda backend, bj: sample_ksets(
-            values, k, patience=100, rng=0, n_jobs=bj, backend=backend
+            values, k, patience=100, rng=0, jobs=bj, backend=backend
         ),
         repeats,
         backend_jobs,
@@ -183,17 +187,17 @@ def _bench_rank_regret_sampled(
     n, d, m = (5000, 4, 2000) if quick else (20000, 4, 10000)
     values = synthetic_dot(n=n, d=d, seed=0).values
     subset = mdrc(values, max(1, n // 100)).indices
-    rank_regret_sampled(values, subset, 100, rng=0, n_jobs=jobs)  # warm
+    rank_regret_sampled(values, subset, 100, rng=0, jobs=jobs)  # warm
     base_s, base = _median_time(
         lambda: reference_rank_regret_sampled(values, subset, m, rng=0), repeats
     )
     new_s, new = _median_time(
-        lambda: rank_regret_sampled(values, subset, m, rng=0, n_jobs=jobs), repeats
+        lambda: rank_regret_sampled(values, subset, m, rng=0, jobs=jobs), repeats
     )
     assert new == base, "rank_regret_sampled estimate diverged from reference"
     backends = _backend_column(
         lambda backend, bj: rank_regret_sampled(
-            values, subset, m, rng=0, n_jobs=bj, backend=backend
+            values, subset, m, rng=0, jobs=bj, backend=backend
         ),
         repeats,
         backend_jobs,
@@ -400,6 +404,109 @@ def _bench_view_maintenance(repeats: int, quick: bool) -> dict:
         "baseline_median_s": rec_s,
         "speedup": rec_s / maint_s,
         "view_stats": {key: int(value) for key, value in stats.items()},
+    }
+
+
+def _bench_serving_load(repeats: int, quick: bool) -> dict:
+    """Sustained serving throughput: concurrent clients vs sequential HTTP.
+
+    Boots the asyncio front-end (:mod:`repro.serve`) on a bench-scale
+    matrix and fires a fixed request count from concurrent client
+    threads; the coalescer stacks whatever accumulates in its queue into
+    shared ``topk_batch`` engine calls and de-interleaves the result
+    rows.  Every response is asserted bit-identical to a direct
+    :class:`ScoreEngine` call over the same matrix — the exactness
+    contract, measured under load.  The baseline issues the same
+    requests sequentially over one keep-alive connection (nothing
+    concurrent, nothing to coalesce) — what a client pays without the
+    coalescing front-end.  Reports sustained QPS and p50/p99 latency;
+    the gate reads the concurrent storm's ``median_s``.
+    """
+    import threading
+
+    from repro.engine import ScoreEngine
+    from repro.serve import ServerConfig, ServerThread, ServiceClient
+
+    n, d, k, m = (5_000, 4, 10, 4) if quick else (20_000, 4, 10, 4)
+    clients = 4 if quick else 8
+    per_client = 8 if quick else 12
+    total = clients * per_client
+    rng = np.random.default_rng(0)
+    values = rng.random((n, d))
+    requests = [
+        [rng.random((m, d)) for _ in range(per_client)] for _ in range(clients)
+    ]
+
+    with ScoreEngine(values, float32=True) as direct:
+        references = [
+            [direct.topk_batch(weights, k) for weights in chunk]
+            for chunk in requests
+        ]
+
+    storm_times, seq_times = [], []
+    latencies: list[float] = []
+    config = ServerConfig(port=0, max_pending=max(64, 2 * total))
+    with ServerThread(values, config) as url:
+        with ServiceClient(url, timeout=300) as warm:
+            warm.topk(requests[0][0], k)  # one-time engine warm-up, untimed
+        for _ in range(max(1, repeats)):
+            lat: list[list[float]] = [[] for _ in range(clients)]
+            outputs = [[None] * per_client for _ in range(clients)]
+
+            def worker(i):
+                with ServiceClient(url, timeout=300) as client:
+                    for j, weights in enumerate(requests[i]):
+                        t0 = time.perf_counter()
+                        outputs[i][j] = client.topk(weights, k)
+                        lat[i].append(time.perf_counter() - t0)
+
+            pool = [
+                threading.Thread(target=worker, args=(i,)) for i in range(clients)
+            ]
+            t0 = time.perf_counter()
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+            storm_times.append(time.perf_counter() - t0)
+            latencies.extend(x for chunk in lat for x in chunk)
+            for i in range(clients):
+                for j in range(per_client):
+                    ref = references[i][j]
+                    assert np.array_equal(
+                        outputs[i][j]["members"], ref.members
+                    ), "served top-k members diverged from direct engine call"
+                    assert np.array_equal(outputs[i][j]["order"], ref.order), (
+                        "served top-k order diverged from direct engine call"
+                    )
+            with ServiceClient(url, timeout=300) as client:
+                t0 = time.perf_counter()
+                for chunk in requests:
+                    for weights in chunk:
+                        client.topk(weights, k)
+                seq_times.append(time.perf_counter() - t0)
+        with ServiceClient(url, timeout=300) as client:
+            coalescing = client.stats()["coalescing"]
+    storm_s = statistics.median(storm_times)
+    seq_s = statistics.median(seq_times)
+    ordered = sorted(latencies)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    return {
+        "op": "serving_load",
+        "dataset": "uniform",
+        "n": n,
+        "d": d,
+        "k": k,
+        "clients": clients,
+        "requests": total,
+        "median_s": storm_s,
+        "baseline_median_s": seq_s,
+        "speedup": seq_s / storm_s,
+        "qps": total / storm_s,
+        "p50_ms": p50 * 1000,
+        "p99_ms": p99 * 1000,
+        "coalescing": coalescing,
     }
 
 
@@ -725,6 +832,7 @@ def main(argv: list[str] | None = None) -> int:
         _bench_rank_regret_sampled(repeats, quick, args.jobs, args.backend_jobs),
         _bench_update_throughput(repeats, quick),
         _bench_view_maintenance(repeats, quick),
+        _bench_serving_load(repeats, quick),
     ]
     quant = _quant_hit_rates(quick)
 
@@ -759,6 +867,14 @@ def main(argv: list[str] | None = None) -> int:
         f"maintained {views['median_s']:.3f}s vs recompute "
         f"{views['baseline_median_s']:.3f}s ({views['speedup']:.1f}x, "
         f"bit-identical every revision)"
+    )
+    serving = next(row for row in ops if row["op"] == "serving_load")
+    print(
+        f"serving[{serving['n']}x{serving['d']}, {serving['clients']} clients, "
+        f"{serving['requests']} requests]: {serving['qps']:,.0f} qps, "
+        f"p50 {serving['p50_ms']:.1f}ms, p99 {serving['p99_ms']:.1f}ms "
+        f"({serving['speedup']:.1f}x vs sequential HTTP, every response "
+        f"bit-identical)"
     )
     for name, stats in quant.items():
         rate = stats["resolved"] / max(1, stats["screened"])

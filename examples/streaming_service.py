@@ -1,218 +1,219 @@
-"""Streaming service: maintained representatives under churn and faults.
+"""Streaming service demo: a thin client of the real ``repro.serve``.
 
-A deployed representative-serving endpoint doesn't get a frozen matrix:
-listings appear, expire and get corrected while queries keep arriving.
-This example runs that loop — one persistent :class:`ScoreEngine` is
-calibrated once for this machine (PR 5's autotuner) and absorbs 1% row
-churn per tick through ``insert_rows`` / ``delete_rows`` (PR 5's
-incremental update layer).  The representative itself is served from the
-materialized-view layer (PR 7, :mod:`repro.engine.views`): an
-:class:`MDRCView` keeps the MDRC corner memo alive across revisions and
-repairs only the cells the churn touched, and a :class:`RankRegretView`
-patches the Monte-Carlo regret estimate by exact ±counting of the
-mutated rows.  Every tick the maintained answers are checked
-bit-identical against a from-scratch recompute — the view contract —
-and the loop reports the measured maintain-vs-recompute speedup.
+Earlier revisions of this example hand-rolled the serving loop — engine
+lifecycle, churn absorption, view refreshes, fault drills — in ~200
+lines of bespoke plumbing.  All of that now lives in the service itself
+(:mod:`repro.serve`, ``repro serve`` on the command line): one
+long-lived calibrated engine, request coalescing, journaled mutations
+feeding the maintained views, admission control and the resilience
+ladder.  What remains here is what a *user* of that service writes: an
+HTTP client.
 
-Nor does a deployed service get a polite host.  The loop runs with a
-fault injector installed (:mod:`repro.engine.faults`) so worker crashes
-and corrupted payloads keep firing mid-query, a pool worker is
-force-killed between two revisions (the OOM-killer shape), and a SIGINT
-lands mid-loop — the supervision layer (:mod:`repro.engine.resilience`)
-absorbs all of it while the views stay bit-identical.
+The demo spins up a local server in-process (or targets ``--url``),
+then exercises the full serving surface:
+
+1. **Coalesced queries.**  Concurrent top-k requests from client
+   threads land in one ``topk_batch`` engine call; every response is
+   checked bit-identical to a direct :class:`ScoreEngine` call over the
+   same matrix — the exactness contract, extended over HTTP.
+2. **Churn.**  Each tick inserts and deletes ~1% of rows through the
+   mutation endpoints (the delta journal), then re-queries and fetches
+   the maintained representative — the view repairs incrementally
+   server-side.
+3. **Overload.**  A request burst against a paused dispatcher shows
+   typed 429 admission control.
+4. **Faults.**  With ``--faults`` a deterministic injector
+   (:mod:`repro.engine.faults`) fires worker crashes inside the serving
+   engine while queries keep answering bit-identically.
 
 Run:  python examples/streaming_service.py
       python examples/streaming_service.py --smoke   # bounded CI run
+      python examples/streaming_service.py --url http://127.0.0.1:8472
 """
 
 import argparse
-import signal
+import threading
 import time
 
 import numpy as np
 
-from repro import mdrc, synthetic_dot
-from repro.engine import (
-    FaultInjector,
-    MDRCView,
-    RankRegretView,
-    RetryPolicy,
-    ScoreEngine,
-    faults,
+from repro import synthetic_dot
+from repro.engine import FaultInjector, ScoreEngine, faults
+from repro.serve import (
+    ServerConfig,
+    ServerThread,
+    ServiceClient,
+    ServiceOverloadedError,
 )
-from repro.evaluation import rank_regret_sampled
-from repro.ranking import sample_functions
+
+
+def check_bit_identity(client, reference: ScoreEngine, weights, k: int) -> None:
+    """One served response must equal a direct engine call exactly."""
+    served = client.topk(weights, k)
+    direct = reference.topk_batch(weights, k)
+    assert np.array_equal(served["members"], direct.members), "members diverged"
+    assert np.array_equal(served["order"], direct.order), "order diverged"
+
+
+def query_storm(url: str, k: int, d: int, threads: int, seed: int):
+    """Concurrent clients; returns [(weights, response), ...]."""
+    results = [None] * threads
+
+    def worker(i):
+        with ServiceClient(url, timeout=60) as client:
+            weights = np.random.default_rng(seed + i).random((4, d))
+            results[i] = (weights, client.topk(weights, k))
+
+    pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    return results
 
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="bounded CI run: small matrix, 3 ticks, fewer eval functions",
+        "--smoke", action="store_true",
+        help="bounded CI run: small matrix, 2 ticks, smaller storm",
+    )
+    parser.add_argument(
+        "--url", default=None,
+        help="target an already-running repro serve (default: start one "
+        "in-process)",
+    )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="install a deterministic fault injector in the local server",
     )
     args = parser.parse_args(argv)
     n = 4_000 if args.smoke else 20_000
-    ticks = 3 if args.smoke else 5
-    eval_functions = 500 if args.smoke else 2_000
+    ticks = 2 if args.smoke else 5
+    storm = 6 if args.smoke else 16
+    d, k, seed = 4, 10, 7
 
-    rng = np.random.default_rng(7)
-    data = synthetic_dot(n=n, d=4, seed=7)
-    k = max(1, data.n // 100)
-    churn = max(1, data.n // 100)
-    print(f"dataset: {data.name}, n={data.n}, d={data.d}, k={k}, churn={churn}/tick")
+    data = synthetic_dot(n=n, d=d, seed=seed)
+    rng = np.random.default_rng(seed)
 
-    # One engine for the service's lifetime.  Calibrate once: the probe
-    # measures THIS machine's GEMM/dispatch/scalar costs and replaces the
-    # hand-tuned defaults; persist the profile and restart with
-    # ScoreEngine(values, tune=TuningProfile.load(path)) to skip it.
-    # The RetryPolicy is the service's failure posture: per-work-unit
-    # deadline, two retries per backend, then degrade a rung.
-    engine = ScoreEngine(
-        data.values,
-        n_jobs=2,
-        parallel_min_work=0,
-        resilience=RetryPolicy(timeout_s=30.0, max_retries=2, backoff_base_s=0.01),
-    )
-    profile = engine.calibrate()
-    print(
-        f"calibrated: chunk_bytes={profile.chunk_bytes}, "
-        f"parallel_min_work={profile.parallel_min_work}, "
-        f"escalate_ratio={profile.backend_escalate_ratio:.3f}"
-    )
+    injector = None
+    if args.faults:
+        if args.url is not None:
+            raise SystemExit("--faults needs the in-process server (no --url)")
+        # Installed before the server boots so the serving engine's
+        # fan-out draws from the injected schedule; the resilience
+        # ladder absorbs every crash without a wrong answer.
+        injector = FaultInjector(seed=seed, crash=0.05, max_faults=10)
+        faults.install(injector)
+        print("fault injector installed (crash=5%, bounded)")
 
-    # The maintained views: the MDRC corner memo and the rank-regret
-    # panel live across revisions; churn invalidates only what its score
-    # bounds can touch, the rest is served verbatim.
-    view = MDRCView(engine, k)
-    representative = view.refresh().indices
-    regret_view = RankRegretView(
-        engine, representative, num_functions=eval_functions, rng=0
-    )
-    regret_view.refresh()
-    print(f"initial representative: {len(representative)} tuples\n")
-
-    # Chaos on: every fan-out submission now has a 10% chance of killing
-    # its worker and a 10% chance of garbling its payload, deterministic
-    # under this seed.  A real service doesn't install this — the OS
-    # provides the faults — but recovery below is exactly what it gets.
-    injector = FaultInjector(seed=7, crash=0.10, corrupt=0.10, max_faults=12)
-    faults.install(injector)
-
-    # A SIGINT mid-loop (ctrl-C, orchestrator restart) must not corrupt
-    # the engine: the handler just requests a graceful stop at the next
-    # tick boundary; queries in flight complete normally.
-    stop_requested = False
-
-    def on_sigint(signum, frame):
-        nonlocal stop_requested
-        stop_requested = True
-        print("SIGINT received: finishing the current revision, then stopping")
-
-    previous_handler = signal.signal(signal.SIGINT, on_sigint)
-
-    total_updates = 0
-    maintained_s = 0.0
-    recompute_s = 0.0
-    t_start = time.perf_counter()
-    for tick in range(1, ticks + 1):
-        # Row churn: expire 1% of the catalogue, ingest 1% fresh rows.
-        doomed = rng.choice(engine.n, size=churn, replace=False)
-        engine.delete_rows(doomed)
-        fresh = rng.random((churn, data.d))
-        engine.insert_rows(fresh)
-        total_updates += 2 * churn
-
-        if tick == 2:
-            # Between revisions, force-kill a live pool worker — the
-            # OOM-killer shape.  The supervisor's dead-PID probe notices
-            # before the next submit and rebuilds the pool proactively
-            # instead of deadlocking on a half-dead one.
-            executor = engine._executors.get("process")
-            if executor is None:
-                executor = engine._build_executor("process")
-            if not executor._pool._processes:
-                # Pool workers spawn on first submit; poke it once so
-                # there is a live worker to kill.
-                executor._pool.submit(int, 0).result()
-            victim = next(iter(executor._pool._processes.values()))
-            victim.terminate()
-            victim.join()
-            print(f"tick {tick}: killed one pool worker (simulated OOM kill)")
-
-        if tick == 3:
-            # Deliver a real SIGINT to ourselves mid-loop.
-            signal.raise_signal(signal.SIGINT)
-
-        # Serve from the maintained views: refresh() settles this tick's
-        # journal (firing the views' repair hooks) and replays only the
-        # invalidated corners / stale functions — any work unit lost to
-        # an injected fault is silently re-executed underneath.
-        start = time.perf_counter()
-        representative = view.refresh().indices
-        regret_view.set_subset(representative)
-        regret = regret_view.refresh()
-        maintained_s += time.perf_counter() - start
-
-        # The view contract, enforced live: a from-scratch recompute on
-        # the same engine must agree bit-for-bit, every revision.
-        start = time.perf_counter()
-        fresh_rep = mdrc(engine.values, k, engine=engine).indices
-        fresh_regret = rank_regret_sampled(
-            engine.values, fresh_rep, num_functions=eval_functions, rng=0,
-            engine=engine,
+    local = None
+    if args.url is None:
+        config = ServerConfig(
+            port=0, jobs=2, backend="thread",
+            max_pending=8 if args.smoke else 32,
         )
-        recompute_s += time.perf_counter() - start
-        assert representative == fresh_rep, f"tick {tick}: representative diverged"
-        assert regret == fresh_regret, f"tick {tick}: regret estimate diverged"
+        local = ServerThread(data.values, config).start()
+        url = local.url
+        print(f"started local server at {url}")
+    else:
+        url = args.url
+        print(f"targeting external server at {url}")
 
+    client = ServiceClient(url, timeout=120)
+    try:
+        health = client.health()
+        print(f"health: n={health['n']} d={health['d']} rev={health['revision']}")
+
+        # The client-side oracle mirrors the server's matrix so every
+        # response can be checked bit-identical to a direct engine call.
+        reference = ScoreEngine(data.values, float32=True)
+
+        print(f"\n[1] coalescing: {storm} concurrent top-{k} clients")
+        stormed = query_storm(url, k, d, threads=storm, seed=100)
+        for weights, response in stormed:
+            direct = reference.topk_batch(weights, k)
+            assert np.array_equal(response["members"], direct.members)
+            assert np.array_equal(response["order"], direct.order)
+        stats = client.stats()["coalescing"]
         print(
-            f"tick {tick}: n={engine.n}, representative={len(representative)} "
-            f"tuples, sampled rank-regret={regret} "
-            f"({'OK' if regret <= k else 'ABOVE k'}), verified identical"
+            f"    {stats['requests']} requests -> {stats['batches']} engine "
+            f"batches ({stats['coalesced']} coalesced); all bit-identical"
         )
-        if stop_requested:
-            print(f"tick {tick}: graceful stop honoured after a complete revision")
-            stop_requested = False
-    elapsed = time.perf_counter() - t_start
-    signal.signal(signal.SIGINT, previous_handler)
-    faults.uninstall()
 
-    supervisor = engine._supervisor
-    if supervisor is not None:
-        recovered = {key: value for key, value in supervisor.stats.items() if value}
-        print(f"\ninjected faults: {injector.injected}")
-        print(f"recovery ledger: {recovered}")
-    print(
-        f"absorbed {total_updates} row updates across {ticks} revisions in "
-        f"{elapsed:.2f}s while serving queries under injected faults "
-        f"({total_updates / elapsed:,.0f} updates/s)"
-    )
-    if maintained_s > 0:
+        print(f"\n[2] churn: {ticks} ticks of ~1% insert+delete")
+        matrix = data.values.copy()
+        for tick in range(ticks):
+            m = max(1, matrix.shape[0] // 100)
+            fresh = rng.random((m, d))
+            inserted = client.insert(fresh)
+            doomed = rng.choice(matrix.shape[0], size=m, replace=False)
+            client.delete(doomed.tolist())
+            # Mirror the mutations into the client-side oracle.  The
+            # engine compacts deletes against the *post-insert* matrix.
+            matrix = np.vstack([matrix, fresh])
+            keep = np.ones(matrix.shape[0], dtype=bool)
+            keep[doomed] = False
+            matrix = matrix[keep]
+            reference.close()
+            reference = ScoreEngine(matrix, float32=True)
+            check_bit_identity(client, reference, rng.random((3, d)), k)
+            rep = client.representative(k)
+            print(
+                f"    tick {tick}: +{m}/-{m} rows -> rev {rep['revision']}, "
+                f"|representative| = {len(rep['indices'])} "
+                f"(inserted at {inserted['indices'][0]}..)"
+            )
+
+        if local is not None:
+            print("\n[3] overload: burst against a paused dispatcher")
+            local.call(local.server.pause)
+            time.sleep(0.2)
+            total = local.server.config.max_pending + 8
+            outcomes: list[str] = []
+            burst_weights = [rng.random((1, d)) for _ in range(total)]
+
+            def burst_worker(i):
+                try:
+                    with ServiceClient(url, timeout=60) as one:
+                        one.topk(burst_weights[i], k)
+                    outcomes.append("ok")
+                except ServiceOverloadedError as exc:
+                    assert exc.status == 429
+                    outcomes.append("429")
+
+            pool = [
+                threading.Thread(target=burst_worker, args=(i,)) for i in range(total)
+            ]
+            for t in pool:
+                t.start()
+            deadline = time.time() + 30
+            while time.time() < deadline and "429" not in outcomes:
+                time.sleep(0.05)
+            local.call(local.server.resume)
+            for t in pool:
+                t.join()
+            rejected = outcomes.count("429")
+            assert rejected > 0, "burst never hit admission control"
+            print(
+                f"    {total} bursted: {outcomes.count('ok')} served after "
+                f"resume, {rejected} answered 429 (typed, with retry hint)"
+            )
+
+        check_bit_identity(client, reference, rng.random((5, d)), k)
+        final = client.health()
         print(
-            f"view maintenance: {maintained_s:.3f}s maintained vs "
-            f"{recompute_s:.3f}s recompute "
-            f"({recompute_s / maintained_s:.1f}x, bit-identical every revision; "
-            f"stats: {view.stats})"
+            f"\nfinal: n={final['n']} rev={final['revision']} — every served "
+            f"response bit-identical to a direct engine call"
         )
-
-    # The exactness contract, demonstrated: after worker kills, injected
-    # crashes/corruption and a SIGINT, a cold engine built on the final
-    # matrix still gives bit-identical answers.
-    cold = ScoreEngine(engine.values.copy())
-    probe = sample_functions(data.d, 256, 1)
-    assert np.array_equal(
-        engine.topk_batch(probe, k).order, cold.topk_batch(probe, k).order
-    )
-    assert np.array_equal(
-        engine.rank_of_best_batch(probe, representative),
-        cold.rank_of_best_batch(probe, representative),
-    )
-    print("verified: post-recovery engine is bit-identical to a cold rebuild")
-    view.close()
-    regret_view.close()
-    engine.close()
-    cold.close()
+        reference.close()
+    finally:
+        client.close()
+        if local is not None:
+            local.stop()
+        if injector is not None:
+            faults.uninstall()
+    print("OK")
 
 
 if __name__ == "__main__":

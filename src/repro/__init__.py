@@ -23,6 +23,24 @@ Quickstart::
     data = synthetic_dot(n=2000, d=3, seed=7)
     result = rank_regret_representative(data, k=0.01)   # top-1%
     print(result.indices, result.guarantee)
+
+For long-lived use (many calls over one dataset, mutations, serving),
+:class:`repro.Session` owns a single calibrated engine behind the same
+algorithms::
+
+    with repro.Session(data.values, jobs=-1, tune="auto") as session:
+        result = session.mdrc(k=0.01)
+        report = session.evaluate(result.indices, k=0.01)
+
+and ``repro.serve`` (``repro serve`` on the command line) exposes a
+Session over asyncio HTTP with request coalescing.
+
+Every public free function shares one keyword vocabulary: ``jobs``
+(worker count), ``backend`` (``auto``/``serial``/``thread``/
+``process``), ``tune`` (a :class:`~repro.engine.TuningProfile` or
+``"auto"``) and ``policy`` (a :class:`~repro.engine.RetryPolicy`).
+Deprecated spellings (``n_jobs``) keep working with a
+:class:`DeprecationWarning`.
 """
 
 from repro.baselines import (
@@ -46,7 +64,7 @@ from repro.core import (
     resolve_k,
     two_d_rrr,
 )
-from repro.engine import BitsetTable, ScoreEngine, TuningProfile
+from repro.engine import BitsetTable, RetryPolicy, ScoreEngine, TuningProfile
 from repro.datasets import (
     Dataset,
     anticorrelated,
@@ -88,11 +106,14 @@ from repro.geometry import (
     skyline,
 )
 from repro.ranking import LinearFunction, sample_functions, top_k, top_k_set
+from repro.session import Session
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # session facade
+    "Session",
     # core
     "rank_regret_representative",
     "RRRResult",
@@ -121,6 +142,7 @@ __all__ = [
     # engine
     "ScoreEngine",
     "TuningProfile",
+    "RetryPolicy",
     "BitsetTable",
     # ranking / geometry
     "LinearFunction",

@@ -1,0 +1,52 @@
+"""Deprecation shims for renamed public keyword arguments.
+
+PR 8 unified the keyword vocabulary of every public free function on
+four canonical names — ``jobs`` (worker count), ``backend`` (execution
+backend), ``tune`` (a :class:`~repro.engine.TuningProfile` or
+``"auto"``) and ``policy`` (a :class:`~repro.engine.RetryPolicy`) — the
+same names :class:`repro.Session` exposes.  The old spellings
+(``n_jobs``, and ``resilience`` where a function grew the policy knob
+under that name) keep working through :func:`renamed_kwargs`, which
+rewrites them to the canonical name and emits a
+:class:`DeprecationWarning` pointing at the replacement.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+__all__ = ["renamed_kwargs"]
+
+
+def renamed_kwargs(**renames: str):
+    """Decorator: accept deprecated keyword spellings for a transition.
+
+    ``renamed_kwargs(n_jobs="jobs")`` makes the wrapped function accept
+    ``n_jobs=`` as a deprecated alias of its real ``jobs=`` parameter.
+    Passing both spellings at once is a :class:`TypeError` (the call is
+    ambiguous); passing the old one alone warns and forwards.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for old, new in renames.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got both {old!r} and its "
+                            f"replacement {new!r}; pass only {new!r}"
+                        )
+                    warnings.warn(
+                        f"{fn.__name__}({old}=...) is deprecated; "
+                        f"use {new}=... instead",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -10,6 +10,10 @@ Commands
     paper scale and print the reproduction table.
 ``ksets``
     Count the k-sets of a dataset with K-SETr (or exactly in 2-D).
+``serve``
+    Host a dataset behind the asyncio serving front-end
+    (:mod:`repro.serve`): coalesced top-k/rank/representative queries,
+    journaled mutations, typed overload responses.
 
 Examples
 --------
@@ -21,6 +25,7 @@ Examples
     python -m repro experiment fig17_18 --scale bench
     python -m repro ksets --dataset bn --n 500 --d 3 --k 0.05
     python -m repro ksets --dataset dot --n 5000 --k 10 --maintain 3
+    python -m repro serve --dataset dot --n 20000 --d 4 --port 8472 --jobs -1
 
 ``--maintain TICKS`` (on ``represent`` and ``ksets``) serves the result
 through the materialized-view layer (:mod:`repro.engine.views`) under
@@ -159,6 +164,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of rows deleted + inserted per --maintain tick "
         "(default: 0.01)",
     )
+
+    srv = sub.add_parser(
+        "serve", help="host a dataset over asyncio HTTP (repro.serve)",
+        parents=[common],
+    )
+    srv_source = srv.add_mutually_exclusive_group()
+    srv_source.add_argument("--csv", help="path to a CSV dataset (see datasets.io)")
+    srv_source.add_argument(
+        "--dataset", choices=("dot", "bn"), default="dot",
+        help="built-in synthetic dataset (default: dot)",
+    )
+    srv.add_argument("--n", type=int, default=20_000, help="synthetic rows")
+    srv.add_argument("--d", type=int, default=4, help="synthetic attributes")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8472, help="0 = ephemeral")
+    srv.add_argument(
+        "--max-pending", type=int, default=256, metavar="N",
+        help="admission bound: queued requests before the server answers "
+        "429 (default: 256)",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=1024, metavar="N",
+        help="coalescing cap: queries stacked into one engine call "
+        "(default: 1024)",
+    )
     return parser
 
 
@@ -219,11 +250,11 @@ def _cmd_represent(args: argparse.Namespace, out) -> int:
         return _maintain_represent(args, data, tune, out)
     result = rank_regret_representative(
         data, _resolve_level(args.k, data.n), method=args.method, rng=args.seed,
-        n_jobs=args.jobs, backend=args.backend, tune=tune,
+        jobs=args.jobs, backend=args.backend, tune=tune,
     )
     report = evaluate_representative(
         data.values, result.indices, result.k,
-        num_functions=args.eval_functions, rng=args.seed, n_jobs=args.jobs,
+        num_functions=args.eval_functions, rng=args.seed, jobs=args.jobs,
         backend=args.backend, tune=tune,
     )
     print(f"dataset      : {data.name} (n={data.n}, d={data.d})", file=out)
@@ -246,13 +277,13 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
     if isinstance(config, KSetCountConfig):
         rows = run_kset_count(
             config, progress=lambda m: print(m, file=sys.stderr),
-            n_jobs=args.jobs, backend=args.backend, tune=tune,
+            jobs=args.jobs, backend=args.backend, tune=tune,
         )
         print(format_kset_table(rows), file=out)
     else:
         rows = run_experiment(
             config, progress=lambda m: print(m, file=sys.stderr),
-            n_jobs=args.jobs, backend=args.backend, tune=tune,
+            jobs=args.jobs, backend=args.backend, tune=tune,
         )
         print(format_experiment_table(rows), file=out)
         shapes = summarize_shapes(rows)
@@ -279,7 +310,7 @@ def _maintain_represent(args: argparse.Namespace, data, tune, out) -> int:
     rows = run_maintenance(
         data.values, k, ticks=args.maintain, churn=args.churn, seed=args.seed,
         algorithm=method, num_functions=args.eval_functions,
-        n_jobs=args.jobs, backend=args.backend, tune=tune,
+        jobs=args.jobs, backend=args.backend, tune=tune,
         progress=lambda m: print(m, file=sys.stderr),
     )
     print(
@@ -321,7 +352,7 @@ def _cmd_ksets(args: argparse.Namespace, out) -> int:
     else:
         outcome = sample_ksets(
             data.values, k, patience=args.patience, rng=args.seed,
-            n_jobs=args.jobs, backend=args.backend,
+            jobs=args.jobs, backend=args.backend,
             tune=_resolve_tuning(args.tuning_profile, data.values, n_jobs=args.jobs),
         )
         print(
@@ -409,6 +440,26 @@ def _apply_resilience_flags(args: argparse.Namespace) -> None:
     set_default_policy(policy)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServerConfig, serve
+
+    if args.csv:
+        data = load_csv(args.csv).normalized()
+    else:
+        data = make_dataset(args.dataset, args.n, args.d, seed=args.seed)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        backend=args.backend,
+        tuning_profile=args.tuning_profile,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+    )
+    serve(data.values, config)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -422,13 +473,15 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_experiment(args, out)
         if args.command == "ksets":
             return _cmd_ksets(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "reproduce":
             from repro.experiments.reproduce import reproduce_all
 
             report = reproduce_all(
                 scale=args.scale,
                 progress=lambda m: print(m, file=sys.stderr),
-                n_jobs=args.jobs,
+                jobs=args.jobs,
                 backend=args.backend,
                 tune=_resolve_tuning(args.tuning_profile, n_jobs=args.jobs),
             )

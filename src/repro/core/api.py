@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._compat import renamed_kwargs
 from repro.core.mdrc import mdrc
 from repro.core.mdrrr import md_rrr
 from repro.core.rrr2d import two_d_rrr
@@ -79,14 +80,16 @@ def _extract(data: Dataset | np.ndarray) -> np.ndarray:
     return matrix
 
 
+@renamed_kwargs(n_jobs="jobs")
 def rank_regret_representative(
     data: Dataset | np.ndarray,
     k: int | float,
     method: str = "auto",
     rng: int | np.random.Generator | None = None,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    policy=None,
     **options: object,
 ) -> RRRResult:
     """Compute a k-RRR of ``data`` (the paper's headline operation).
@@ -105,11 +108,12 @@ def rank_regret_representative(
         ``"mdrc"``.
     rng:
         Seed/generator for the randomized pieces (MDRRR's K-SETr).
-    n_jobs:
+    jobs:
         Workers for the engine-backed scoring inside MDRC and MDRRR
         (``None``/``1`` = serial, ``-1`` = all cores).  Results are
         bit-identical to the serial path; 2DRRR's sweep is inherently
-        sequential and ignores it.
+        sequential and ignores it.  (``n_jobs`` is the deprecated
+        spelling.)
     backend:
         Execution backend for that scoring (``"auto"`` | ``"serial"`` |
         ``"thread"`` | ``"process"``), as in
@@ -118,6 +122,10 @@ def rank_regret_representative(
         Engine runtime tuning (``None`` | ``"auto"`` | a
         :class:`~repro.engine.TuningProfile`, e.g. loaded from the CLI's
         ``--tuning-profile`` JSON).  Bit-identical results either way.
+    policy:
+        Failure handling for the engine-backed scoring (a
+        :class:`~repro.engine.RetryPolicy`, or ``None`` for the
+        process-wide default policy).
     options:
         Forwarded to the chosen algorithm (e.g. ``enumerator=`` and
         ``hitting=`` for MDRRR, ``max_depth=`` / ``choice=`` for MDRC,
@@ -135,13 +143,16 @@ def rank_regret_representative(
         return RRRResult(tuple(indices), "2drrr", level, guarantee=2 * level)
     if method == "mdrrr":
         outcome = md_rrr(
-            matrix, level, rng=rng, n_jobs=n_jobs, backend=backend, tune=tune,
-            **options,
+            matrix, level, rng=rng, jobs=jobs, backend=backend, tune=tune,
+            policy=policy, **options,
         )
         return RRRResult(tuple(outcome.indices), "mdrrr", level, guarantee=level)
     if method == "mdrc":
         if d < 2:
             raise ValidationError("mdrc requires d >= 2")
-        outcome = mdrc(matrix, level, n_jobs=n_jobs, backend=backend, tune=tune, **options)
+        outcome = mdrc(
+            matrix, level, jobs=jobs, backend=backend, tune=tune, policy=policy,
+            **options,
+        )
         return RRRResult(tuple(outcome.indices), "mdrc", level, guarantee=d * level)
     raise ValidationError(f"unknown method {method!r}")

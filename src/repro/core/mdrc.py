@@ -56,6 +56,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._compat import renamed_kwargs
 from repro.engine import ScoreEngine, pack_membership, packed_width
 from repro.exceptions import InvalidDataError, ValidationError
 from repro.ranking.functions import weights_from_angles_batch
@@ -326,6 +327,7 @@ class CornerCache:
             level.corners = remap[level.corners]
 
 
+@renamed_kwargs(n_jobs="jobs")
 def mdrc(
     values: np.ndarray,
     k: int,
@@ -334,9 +336,10 @@ def mdrc(
     choice: str = "first",
     use_cache: bool = True,
     engine: ScoreEngine | None = None,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    policy=None,
     corner_cache: CornerCache | None = None,
 ) -> MDRCResult:
     """MDRC (Algorithm 5): frontier-batched function-space partitioning.
@@ -363,11 +366,11 @@ def mdrc(
         Optional pre-built :class:`~repro.engine.ScoreEngine` over
         ``values`` to share its GEMM chunking and memo across calls;
         built on the fly when omitted.
-    n_jobs:
+    jobs:
         Workers for the engine's fan-out layer when the engine is built
         here (``None``/``1`` = serial, ``-1`` = all cores); ignored when
         ``engine`` is passed — the caller's engine keeps its own
-        configuration.
+        configuration.  (``n_jobs`` is the deprecated spelling.)
     backend:
         Execution backend for the fan-out (``"auto"`` | ``"serial"`` |
         ``"thread"`` | ``"process"``), as in :class:`ScoreEngine`;
@@ -376,6 +379,11 @@ def mdrc(
         Runtime tuning for the engine built here (``None`` | ``"auto"``
         | a :class:`~repro.engine.TuningProfile`); ignored when
         ``engine`` is passed.  Results are bit-identical either way.
+    policy:
+        Failure handling for the engine built here (a
+        :class:`~repro.engine.RetryPolicy`, or ``None`` for the
+        process-wide default); likewise ignored when ``engine`` is
+        passed.
     corner_cache:
         Optional :class:`CornerCache` carrying corner evaluations across
         calls (the maintained-view replay path).  Requires ``use_cache``;
@@ -411,7 +419,9 @@ def mdrc(
         raise ValidationError(f"unknown choice policy {choice!r}")
     own_engine = engine is None
     if engine is None:
-        engine = ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune)
+        engine = ScoreEngine(
+            matrix, n_jobs=jobs, backend=backend, tune=tune, resilience=policy
+        )
     else:
         # Settle any journaled row mutations before reading the engine's
         # matrix: a caller who mutated and then passed ``engine.values``

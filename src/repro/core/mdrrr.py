@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro._compat import renamed_kwargs
 from repro.exceptions import ValidationError
 from repro.geometry.ksets import enumerate_ksets_2d, enumerate_ksets_bfs, sample_ksets
 from repro.setcover.epsnet import epsnet_hitting_set
@@ -52,15 +53,17 @@ class MDRRRResult:
     sample_draws: int = 0
 
 
+@renamed_kwargs(n_jobs="jobs")
 def collect_ksets(
     values: np.ndarray,
     k: int,
     enumerator: str = "auto",
     patience: int = 100,
     rng: int | np.random.Generator | None = None,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    policy=None,
     engine=None,
     kset_state=None,
 ) -> tuple[list[frozenset[int]], str, int]:
@@ -90,13 +93,14 @@ def collect_ksets(
         return enumerate_ksets_bfs(matrix, k), "exact-bfs", 0
     if enumerator == "sample":
         outcome = sample_ksets(
-            matrix, k, patience=patience, rng=rng, n_jobs=n_jobs, backend=backend,
-            tune=tune, engine=engine, state=kset_state,
+            matrix, k, patience=patience, rng=rng, jobs=jobs, backend=backend,
+            tune=tune, policy=policy, engine=engine, state=kset_state,
         )
         return outcome.ksets, "sample", outcome.draws
     raise ValidationError(f"unknown enumerator {enumerator!r}")
 
 
+@renamed_kwargs(n_jobs="jobs")
 def md_rrr(
     values: np.ndarray,
     k: int,
@@ -107,9 +111,10 @@ def md_rrr(
     ksets: Sequence[frozenset[int]] | None = None,
     verify_functions: int = 0,
     max_repair_rounds: int = 10,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    policy=None,
     engine=None,
     kset_state=None,
 ) -> MDRRRResult:
@@ -144,9 +149,10 @@ def md_rrr(
         verification restores the observed always-≤-k behaviour of §6.2.
     max_repair_rounds:
         Cap on verification/repair iterations.
-    n_jobs:
+    jobs:
         Workers for K-SETr's batched scoring (``None``/``1`` = serial,
         ``-1`` = all cores); draws are bit-identical either way.
+        (``n_jobs`` is the deprecated spelling.)
     backend:
         Execution backend for that scoring (``"auto"`` | ``"serial"`` |
         ``"thread"`` | ``"process"``), as in
@@ -167,7 +173,7 @@ def md_rrr(
     if ksets is None:
         collection, used, draws = collect_ksets(
             matrix, k, enumerator=enumerator, patience=patience, rng=rng,
-            n_jobs=n_jobs, backend=backend, tune=tune,
+            jobs=jobs, backend=backend, tune=tune, policy=policy,
             engine=engine, kset_state=kset_state,
         )
     else:

@@ -58,6 +58,7 @@ float64, and the same fallback applies with a float32-wide band.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import NamedTuple
 
@@ -350,6 +351,11 @@ class ScoreEngine:
         self._resilience_policy = resilience
         self._supervisor = None
         self._degraded: str | None = None
+        # Async submission seam (see ``submit``): one lazily-created
+        # dispatch thread that serializes queries and mutations so an
+        # asyncio caller can await engine work without blocking its loop.
+        self._submit_pool = None
+        self._submit_lock = threading.Lock()
         # Adaptive rank-tier policy inputs (see _rank_functions).
         self._rank_float_columns = 0
         self._rank_float_fallbacks = 0
@@ -538,7 +544,7 @@ class ScoreEngine:
         self._grid_cache.clear()
         self._max_row_norm = None
         self._chunk_cols = max(1, self._chunk_bytes // (8 * self.n))
-        self.close()
+        self._close_pools()
 
     # ------------------------------------------------------------------
     # parallel execution layer (see repro.engine.parallel)
@@ -644,18 +650,69 @@ class ScoreEngine:
         """The most capable live executor, if any (introspection only)."""
         return self._executors.get("process") or self._executors.get("thread")
 
-    def close(self) -> None:
-        """Shut down the worker pools and shared segment, if any.
+    def submit(self, method: str, /, *args, **kwargs):
+        """Run ``self.<method>(*args, **kwargs)`` (or a bare callable)
+        off-thread; return a :class:`concurrent.futures.Future`.
 
-        Degradation state (``_degraded``) survives close(): pools are
-        rebuilt routinely (tuning changes, row mutations), but a host
-        that killed two backends stays suspect for this engine's life.
+        The async submission seam used by :mod:`repro.serve`: all
+        submitted work — batched queries and row mutations alike — runs
+        on ONE lazily-created dispatch thread, so submissions execute in
+        submission order and never interleave.  That serialization is
+        what makes coalesced serving deterministic: a query submitted
+        before a mutation sees the pre-mutation revision, one submitted
+        after sees the post-mutation revision, with no third outcome.
+        An asyncio caller bridges the returned
+        :class:`concurrent.futures.Future` with
+        :func:`asyncio.wrap_future`; synchronous callers just
+        ``.result()`` it.
+
+        The dispatch thread is torn down by :meth:`close` (pending work
+        is cancelled, the in-flight call finishes first) and — like the
+        worker pools — rebuilt lazily if the engine is used again.
         """
+        if callable(method):
+            # A composite operation (e.g. a view refresh) that must
+            # serialize with engine work; runs on the dispatch thread.
+            fn = method
+        else:
+            fn = getattr(self, method, None)
+            if fn is None or not callable(fn) or method.startswith("_"):
+                raise ValidationError(
+                    f"submit() target must be a public engine method or a "
+                    f"callable, got {method!r}"
+                )
+        if self._submit_pool is None:
+            with self._submit_lock:
+                if self._submit_pool is None:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    self._submit_pool = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="engine-submit"
+                    )
+        return self._submit_pool.submit(fn, *args, **kwargs)
+
+    def _close_pools(self) -> None:
+        """Tear down the worker pools only (rebuilt lazily on next use)."""
         executors, self._executors = self._executors, {}
         for executor in executors.values():
             executor.close()
         if self._supervisor is not None:
             self._supervisor.reset()
+
+    def close(self) -> None:
+        """Shut down the worker pools, shared segment and dispatch thread.
+
+        Degradation state (``_degraded``) survives close(): pools are
+        rebuilt routinely (tuning changes, row mutations), but a host
+        that killed two backends stays suspect for this engine's life.
+        """
+        pool, self._submit_pool = self._submit_pool, None
+        if pool is not None:
+            # A submitted call may itself close the engine; the dispatch
+            # thread cannot join itself, so skip the wait in that case.
+            on_pool = threading.current_thread() in getattr(pool, "_threads", ())
+            pool.shutdown(wait=not on_pool, cancel_futures=True)
+        self._close_pools()
 
     def __enter__(self) -> "ScoreEngine":
         return self
@@ -676,11 +733,17 @@ class ScoreEngine:
         state = self.__dict__.copy()
         state["_executors"] = {}
         state["_supervisor"] = None
+        state["_submit_pool"] = None
+        del state["_submit_lock"]  # locks don't pickle; restored in __setstate__
         # Subscribers are repair hooks of views living in THIS process;
         # a pickled copy must not invoke them (and they may be
         # unpicklable bound methods holding whole view states).
         state["_delta_subscribers"] = []
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._submit_lock = threading.Lock()
 
     def _ensure_orderings(self) -> list["_Ordering"]:
         if self._orderings is None:
@@ -704,6 +767,8 @@ class ScoreEngine:
         clone.backend = "serial"
         clone._executors = {}
         clone._supervisor = None
+        clone._submit_pool = None
+        clone._submit_lock = threading.Lock()
         clone._memo = OrderedDict()
         clone._grid_cache = {}
         clone._excess_work = 0

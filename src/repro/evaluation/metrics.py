@@ -14,6 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro._compat import renamed_kwargs
 from repro.engine import ScoreEngine
 from repro.evaluation.regret import (
     rank_regret_exact_2d,
@@ -50,6 +51,7 @@ class RepresentativeReport:
     exact: bool
 
 
+@renamed_kwargs(n_jobs="jobs")
 def evaluate_representative(
     values: np.ndarray,
     subset: Iterable[int],
@@ -57,17 +59,21 @@ def evaluate_representative(
     exact: bool | None = None,
     num_functions: int = 10_000,
     rng: int | np.random.Generator | None = 0,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    policy=None,
+    engine: ScoreEngine | None = None,
 ) -> RepresentativeReport:
     """Measure a representative set the way the paper's §6 does.
 
     ``exact=None`` (default) picks the exact 2-D sweep when d = 2 and the
     sampled estimator otherwise; pass True/False to force either.
-    ``n_jobs``/``backend`` fan the Monte-Carlo measurements out over
+    ``jobs``/``backend`` fan the Monte-Carlo measurements out over
     the engine's worker pool (``None``/``1`` = serial, ``-1`` = all
-    cores; thread, process or auto backend).
+    cores; thread, process or auto backend); ``n_jobs`` is the
+    deprecated spelling.  Pass a pre-built ``engine`` over the same
+    matrix to reuse its pool/orderings across calls.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -77,8 +83,18 @@ def evaluate_representative(
         raise ValidationError("subset must be non-empty")
     use_exact = (matrix.shape[1] == 2) if exact is None else bool(exact)
     # One engine serves both Monte-Carlo estimators, so the pool /
-    # shared-memory copy / pruning orderings are paid for once per call.
-    with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune) as engine:
+    # shared-memory copy / pruning orderings are paid for once per call
+    # (or once per Session, when the caller shares a long-lived engine).
+    own_engine = engine is None
+    if engine is None:
+        engine = ScoreEngine(
+            matrix, n_jobs=jobs, backend=backend, tune=tune, resilience=policy
+        )
+    else:
+        engine.compact()  # settle journaled row mutations before validating
+        if engine.n != matrix.shape[0]:
+            raise ValidationError("engine was built over a different matrix")
+    try:
         if use_exact:
             if matrix.shape[1] != 2:
                 raise ValidationError("exact rank-regret is only available in 2-D")
@@ -94,6 +110,9 @@ def evaluate_representative(
             matrix, members, num_functions=min(num_functions, 1000), rng=rng,
             engine=engine,
         )
+    finally:
+        if own_engine:
+            engine.close()
     return RepresentativeReport(
         size=len(members),
         rank_regret=int(regret),

@@ -14,6 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro._compat import renamed_kwargs
 from repro.engine import ScoreEngine
 from repro.exceptions import ValidationError
 from repro.geometry.sweep import AngularSweep
@@ -95,15 +96,17 @@ def rank_regret_exact_2d(values: np.ndarray, subset: Iterable[int]) -> int:
     return worst + 1
 
 
+@renamed_kwargs(n_jobs="jobs")
 def rank_regret_sampled(
     values: np.ndarray,
     subset: Iterable[int],
     num_functions: int = DEFAULT_NUM_FUNCTIONS,
     rng: int | np.random.Generator | None = None,
     return_distribution: bool = False,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    policy=None,
     engine: ScoreEngine | None = None,
 ) -> int | np.ndarray:
     """Monte-Carlo estimate of RR_L(X) over uniformly sampled functions.
@@ -120,12 +123,12 @@ def rank_regret_sampled(
     in exact float64, so blocked-BLAS noise between (near-)identical
     rows cannot inflate a rank — the estimator agrees with the scalar
     :func:`repro.ranking.topk.rank_of` even on degenerate data.
-    ``n_jobs``/``backend`` fan the counting out over the engine's
+    ``jobs``/``backend`` fan the counting out over the engine's
     worker pool (``None``/``1`` = serial, ``-1`` = all cores; thread,
-    process or auto backend) with bit-identical results.  Pass a
-    pre-built ``engine`` over the same matrix to reuse its
-    pool/orderings across calls (``n_jobs``/``backend`` are then
-    ignored — the engine keeps its own configuration).
+    process or auto backend) with bit-identical results (``n_jobs`` is
+    the deprecated spelling).  Pass a pre-built ``engine`` over the same
+    matrix to reuse its pool/orderings across calls (``jobs``/``backend``
+    are then ignored — the engine keeps its own configuration).
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
@@ -140,7 +143,9 @@ def rank_regret_sampled(
             raise ValidationError("engine was built over a different matrix")
         regrets = engine.rank_of_best_batch(weights, members)
     else:
-        with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune) as own:
+        with ScoreEngine(
+            matrix, n_jobs=jobs, backend=backend, tune=tune, resilience=policy
+        ) as own:
             regrets = own.rank_of_best_batch(weights, members)
     if return_distribution:
         return regrets
@@ -162,14 +167,16 @@ def regret_ratio_for_function(
     return max(0.0, (top - float(scores[members].max())) / top)
 
 
+@renamed_kwargs(n_jobs="jobs")
 def regret_ratio_sampled(
     values: np.ndarray,
     subset: Iterable[int],
     num_functions: int = 1000,
     rng: int | np.random.Generator | None = None,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    policy=None,
     engine: ScoreEngine | None = None,
 ) -> float:
     """Monte-Carlo maximum regret-ratio of ``subset`` over sampled functions.
@@ -189,7 +196,9 @@ def regret_ratio_sampled(
             raise ValidationError("engine was built over a different matrix")
         score_matrix = engine.score_batch(weights)
     else:
-        with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune) as own:
+        with ScoreEngine(
+            matrix, n_jobs=jobs, backend=backend, tune=tune, resilience=policy
+        ) as own:
             score_matrix = own.score_batch(weights)
     top = score_matrix.max(axis=0)
     achieved = score_matrix[members].max(axis=0)

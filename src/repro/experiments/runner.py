@@ -15,6 +15,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro._compat import renamed_kwargs
 from repro.baselines.hd_rrms import hd_rrms
 from repro.core.api import resolve_k
 from repro.core.mdrc import mdrc
@@ -87,7 +88,7 @@ def _run_algorithm(
     seed: int,
     mdrc_size_hint: int | None,
     verify_functions: int = 2000,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
 ) -> tuple[list[int], float]:
@@ -98,10 +99,10 @@ def _run_algorithm(
     elif name == "mdrrr":
         indices = md_rrr(
             values, k, rng=seed, verify_functions=verify_functions,
-            n_jobs=n_jobs, backend=backend, tune=tune,
+            jobs=jobs, backend=backend, tune=tune,
         ).indices
     elif name == "mdrc":
-        indices = mdrc(values, k, n_jobs=n_jobs, backend=backend, tune=tune).indices
+        indices = mdrc(values, k, jobs=jobs, backend=backend, tune=tune).indices
     elif name == "hd_rrms":
         budget = mdrc_size_hint if mdrc_size_hint else max(1, min(20, values.shape[0]))
         indices = list(hd_rrms(values, budget, rng=seed).indices)
@@ -111,16 +112,17 @@ def _run_algorithm(
     return list(indices), elapsed
 
 
+@renamed_kwargs(n_jobs="jobs")
 def run_experiment(
     config: ExperimentConfig,
     progress: Callable[[str], None] | None = None,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
 ) -> list[ExperimentRow]:
     """Execute a comparison experiment and return its measurement rows.
 
-    ``n_jobs``/``backend`` fan the engine-backed algorithms and the
+    ``jobs``/``backend`` fan the engine-backed algorithms and the
     Monte-Carlo quality measurement out over the engine's worker pool;
     measured outputs are bit-identical to the serial run.
     """
@@ -144,7 +146,7 @@ def run_experiment(
             indices, elapsed = _run_algorithm(
                 algorithm, values, k, config.seed, mdrc_size,
                 verify_functions=config.eval_functions,
-                n_jobs=n_jobs, backend=backend, tune=tune,
+                jobs=jobs, backend=backend, tune=tune,
             )
             if algorithm == "mdrc":
                 mdrc_size = len(indices)
@@ -154,7 +156,7 @@ def run_experiment(
                 k,
                 num_functions=config.eval_functions,
                 rng=config.seed,
-                n_jobs=n_jobs,
+                jobs=jobs,
                 backend=backend,
                 tune=tune,
             )
@@ -190,6 +192,7 @@ class MaintenanceRow:
     identical: bool
 
 
+@renamed_kwargs(n_jobs="jobs")
 def run_maintenance(
     values: np.ndarray,
     k: int,
@@ -199,7 +202,7 @@ def run_maintenance(
     algorithm: str = "mdrc",
     num_functions: int = 2000,
     verify: bool = True,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
     progress: Callable[[str], None] | None = None,
@@ -230,7 +233,7 @@ def run_maintenance(
         raise ValidationError(f"unknown maintained algorithm {algorithm!r}")
     rng = np.random.default_rng(seed)
     rows: list[MaintenanceRow] = []
-    with ScoreEngine(matrix, n_jobs=n_jobs, backend=backend, tune=tune) as engine:
+    with ScoreEngine(matrix, n_jobs=jobs, backend=backend, tune=tune) as engine:
         if algorithm == "mdrc":
             view = MDRCView(engine, k)
         else:
@@ -290,10 +293,11 @@ def run_maintenance(
     return rows
 
 
+@renamed_kwargs(n_jobs="jobs")
 def run_kset_count(
     config: KSetCountConfig,
     progress: Callable[[str], None] | None = None,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
 ) -> list[KSetCountRow]:
@@ -315,7 +319,7 @@ def run_kset_count(
         else:
             outcome = sample_ksets(
                 values, k, patience=config.patience, rng=config.seed,
-                n_jobs=n_jobs, backend=backend, tune=tune,
+                jobs=jobs, backend=backend, tune=tune,
             )
             ksets = outcome.ksets
             draws = outcome.draws

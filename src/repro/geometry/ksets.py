@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._compat import renamed_kwargs
 from repro.engine import ScoreEngine
 from repro.exceptions import InvalidDataError, ValidationError
 from repro.geometry.halfspace import is_separable
@@ -189,6 +190,7 @@ class KSetDrawState:
         return sum(len(weights) for weights in self.weights)
 
 
+@renamed_kwargs(n_jobs="jobs")
 def sample_ksets(
     values: np.ndarray,
     k: int,
@@ -196,9 +198,10 @@ def sample_ksets(
     rng: int | np.random.Generator | None = None,
     max_draws: int = 1_000_000,
     batch_size: int = 1024,
-    n_jobs: int | None = None,
+    jobs: int | None = None,
     backend: str = "auto",
     tune=None,
+    policy=None,
     engine: ScoreEngine | None = None,
     state: KSetDrawState | None = None,
 ) -> KSetSampleResult:
@@ -222,7 +225,7 @@ def sample_ksets(
     applied draw-by-draw within each batch, so any batch size yields the
     identical k-set sequence and draw count — larger batches only
     amortize per-call engine overhead (and, at worst, score up to one
-    surplus batch after the stopping draw).  ``n_jobs``/``backend`` fan
+    surplus batch after the stopping draw).  ``jobs``/``backend`` fan
     each batch's top-k out over the engine's worker pool (``None``/``1``
     = serial; see :mod:`repro.engine.parallel`) — bit-identical draws
     either way.
@@ -251,7 +254,10 @@ def sample_ksets(
     # while clean draws run at twice the GEMM/selection throughput.
     own_engine = engine is None
     if engine is None:
-        engine = ScoreEngine(matrix, float32=True, n_jobs=n_jobs, backend=backend, tune=tune)
+        engine = ScoreEngine(
+            matrix, float32=True, n_jobs=jobs, backend=backend, tune=tune,
+            resilience=policy,
+        )
     else:
         engine.compact()
         if engine.values.shape != matrix.shape or not np.array_equal(engine.values, matrix):

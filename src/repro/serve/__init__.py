@@ -1,0 +1,36 @@
+"""``repro.serve`` — the asyncio serving front-end.
+
+One long-lived, calibrated :class:`repro.Session` (engine + maintained
+representative views) behind an HTTP interface with request coalescing:
+concurrent top-k / rank queries are stacked into single
+``topk_batch`` / ``rank_of_best_batch`` engine calls and de-interleaved
+per requester, bit-identical to direct engine calls (the exactness
+contract extends to the serving path).  Mutations feed the delta
+journal and act as ordering barriers; admission control is a bounded
+queue with typed 429/503 overload responses.
+
+Pieces:
+
+* :class:`Server` / :class:`ServerConfig` — the asyncio server
+  (:mod:`repro.serve.app`); ``repro serve`` on the command line.
+* :class:`ServerThread` — the same server on a background event loop,
+  for tests, benches and in-process demos.
+* :class:`ServiceClient` — blocking stdlib client used by the example,
+  the CI smoke and the ``serving_load`` perf-gate op.
+* :mod:`repro.serve.coalesce` — the queue + dispatcher; see its
+  docstring for the determinism argument.
+* :mod:`repro.serve.http` — the minimal HTTP/1.1 layer (stdlib only).
+"""
+
+from repro.serve.app import Server, ServerConfig, ServerThread, serve
+from repro.serve.client import ServiceClient, ServiceError, ServiceOverloadedError
+
+__all__ = [
+    "Server",
+    "ServerConfig",
+    "ServerThread",
+    "serve",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloadedError",
+]

@@ -1,0 +1,475 @@
+"""The ``repro.serve`` server: a Session over asyncio HTTP.
+
+One :class:`repro.Session` (long-lived calibrated engine + maintained
+views) behind a coalescing request queue.  Endpoints:
+
+============================  ======================================================
+``GET  /health``              liveness + dataset shape + revision
+``GET  /v1/stats``            engine counters, coalescing counters, queue depth
+``POST /v1/topk``             ``{"weights": [[...]], "k": int}`` → members/order rows
+``POST /v1/rank``             ``{"weights": [[...]], "subset": [...]}`` → ranks
+``POST /v1/representative``   ``{"k": int, "method": "mdrc"|"mdrrr"}`` → indices
+``POST /v1/insert``           ``{"rows": [[...]]}`` → new indices (journaled)
+``POST /v1/delete``           ``{"indices": [...]}`` → deleted count (journaled)
+============================  ======================================================
+
+Queries coalesce (see :mod:`repro.serve.coalesce`); mutations and
+representative refreshes are barriers.  Mutations feed the engine's
+delta journal, and every maintained representative view hears about
+them through its delta subscription — the next ``/v1/representative``
+pays only the incremental repair.  Admission control is typed: **429**
+(queue full, ``Retry-After`` hint) under overload, **503** while
+draining for shutdown.  Failure handling inside the engine is the PR-6
+resilience ladder, configured by the same ``policy`` knob as everywhere
+else; a crashed worker degrades the backend, never the response.
+
+On boot the server warm-loads a checksummed
+:class:`~repro.engine.TuningProfile` if configured (recalibrating on a
+failed integrity check, like the CLI), so the first request is served
+by an already-tuned engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine import TuningProfile
+from repro.exceptions import CorruptStateError, ReproError, ValidationError
+from repro.serve import http
+from repro.serve.coalesce import Coalescer, WorkItem
+from repro.session import Session
+
+__all__ = ["ServerConfig", "Server", "serve", "ServerThread"]
+
+
+@dataclass
+class ServerConfig:
+    host: str = "127.0.0.1"
+    port: int = 8472
+    jobs: int | None = None
+    backend: str = "auto"
+    tuning_profile: str | None = None  # checksummed JSON path; None = "auto"
+    policy: object = None  # RetryPolicy | None
+    max_pending: int = 256  # admission bound: queued requests before 429
+    max_batch: int = 1024  # coalescing cap per engine call
+    max_body_bytes: int = 32 * 2**20
+    representative_method: str = "mdrc"  # default for /v1/representative
+
+
+def _warm_tuning(config: ServerConfig, values: np.ndarray):
+    """Boot-time profile: checksummed load, recalibrate on corruption."""
+    if config.tuning_profile is None:
+        return "auto"
+    try:
+        return TuningProfile.load(config.tuning_profile)
+    except FileNotFoundError:
+        pass
+    except CorruptStateError as exc:
+        print(
+            f"warning: tuning profile {config.tuning_profile!r} failed its "
+            f"integrity check ({exc}); recalibrating",
+            file=sys.stderr,
+        )
+    from repro.engine import ScoreEngine
+
+    with ScoreEngine(values, n_jobs=config.jobs) as probe:
+        profile = probe.calibrate()
+    profile.save(config.tuning_profile)
+    return profile
+
+
+class Server:
+    """The serving front-end; owns the Session, views and coalescer."""
+
+    def __init__(self, values: np.ndarray, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.session = Session(
+            values,
+            jobs=self.config.jobs,
+            backend=self.config.backend,
+            tune=_warm_tuning(self.config, np.asarray(values, dtype=np.float64)),
+            policy=self.config.policy,
+        )
+        self._coalescer = Coalescer(
+            self.session.engine,
+            max_pending=self.config.max_pending,
+            max_batch=self.config.max_batch,
+        )
+        self._views: dict[tuple[str, int], object] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._draining = False
+        self.port: int | None = None  # resolved at start (0 = ephemeral)
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        self._coalescer.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._coalescer.stop()
+        for view in self._views.values():
+            view.close()
+        self.session.close()
+
+    def drain(self) -> None:
+        """Stop admitting work; live requests finish, new ones get 503."""
+        self._draining = True
+
+    def pause(self) -> None:
+        """Hold the dispatcher between batches (overload/backlog testing)."""
+        self._coalescer.pause()
+
+    def resume(self) -> None:
+        self._coalescer.resume()
+
+    # -- connection loop ------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await http.read_request(reader, self.config.max_body_bytes)
+                except http.ProtocolError as exc:
+                    writer.write(
+                        http.render_response(
+                            exc.status, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                status, payload = await self._dispatch(request)
+                writer.write(
+                    http.render_response(status, payload, keep_alive=request.keep_alive)
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,  # server stopping mid-connection
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    # -- routing --------------------------------------------------------
+    async def _dispatch(self, request: http.Request) -> tuple[int, dict]:
+        route = (request.method, request.path)
+        if request.path == "/health" and request.method == "GET":
+            return 200, self._health()
+        if route == ("GET", "/v1/stats"):
+            return 200, self._stats()
+        handlers = {
+            ("POST", "/v1/topk"): self._handle_topk,
+            ("POST", "/v1/rank"): self._handle_rank,
+            ("POST", "/v1/representative"): self._handle_representative,
+            ("POST", "/v1/insert"): self._handle_insert,
+            ("POST", "/v1/delete"): self._handle_delete,
+        }
+        handler = handlers.get(route)
+        if handler is None:
+            known = {path for _method, path in handlers} | {"/health", "/v1/stats"}
+            if request.path in known:
+                return 405, {"error": f"wrong method for {request.path}"}
+            return 404, {"error": f"unknown endpoint {request.path}"}
+        if self._draining:
+            return 503, {"error": "server is draining; retry against a peer"}
+        try:
+            body = request.json()
+            return await handler(body)
+        except http.ProtocolError as exc:
+            return exc.status, {"error": str(exc)}
+        except asyncio.QueueFull:
+            return 429, {
+                "error": "request queue is full",
+                "queue_depth": self._coalescer.depth,
+                "retry_after_ms": 50,
+            }
+        except (ValidationError, ReproError, ValueError, TypeError) as exc:
+            return 400, {"error": str(exc)}
+        except ConnectionResetError:
+            return 503, {"error": "server stopped while the request was queued"}
+
+    # -- endpoint bodies ------------------------------------------------
+    def _health(self) -> dict:
+        engine = self.session.engine
+        return {
+            "status": "draining" if self._draining else "ok",
+            "n": engine.n,
+            "d": engine.d,
+            "revision": engine.revision,
+            "queue_depth": self._coalescer.depth,
+        }
+
+    def _stats(self) -> dict:
+        return {
+            "engine": dict(self.session.engine.stats),
+            "coalescing": self.stats(),
+            "views": {
+                f"{method}:{k}": dict(view.stats)
+                for (method, k), view in self._views.items()
+            },
+        }
+
+    def stats(self) -> dict:
+        return self._coalescer.stats.as_dict()
+
+    async def _handle_topk(self, body: dict) -> tuple[int, dict]:
+        weights = _parse_matrix(body, "weights", self.session.engine.d)
+        k = _parse_int(body, "k", low=1)
+        future = self._offer(
+            WorkItem(
+                kind="topk",
+                payload=body,
+                future=asyncio.get_running_loop().create_future(),
+                key=k,
+                weights=weights,
+            )
+        )
+        members, order, revision = await future
+        return 200, {
+            "members": members.tolist(),
+            "order": order.tolist(),
+            "revision": revision,
+        }
+
+    async def _handle_rank(self, body: dict) -> tuple[int, dict]:
+        weights = _parse_matrix(body, "weights", self.session.engine.d)
+        subset = _parse_indices(body, "subset")
+        item = WorkItem(
+            kind="rank",
+            payload={"subset": subset},
+            future=asyncio.get_running_loop().create_future(),
+            key=subset.tobytes(),
+            weights=weights,
+        )
+        ranks, revision = await self._offer(item)
+        return 200, {"ranks": ranks.tolist(), "revision": revision}
+
+    async def _handle_representative(self, body: dict) -> tuple[int, dict]:
+        k = _parse_int(body, "k", low=1)
+        method = body.get("method", self.config.representative_method)
+        if method not in ("mdrc", "mdrrr"):
+            raise http.ProtocolError(
+                400, f"method must be 'mdrc' or 'mdrrr', got {method!r}"
+            )
+        view = self._view(method, k)
+        result, revision = await self._barrier(
+            lambda: (view.refresh(), self.session.engine.revision)
+        )
+        return 200, {
+            "method": method,
+            "k": k,
+            "indices": [int(i) for i in result.indices],
+            "revision": revision,
+        }
+
+    async def _handle_insert(self, body: dict) -> tuple[int, dict]:
+        rows = _parse_matrix(body, "rows", self.session.engine.d)
+        engine = self.session.engine
+
+        def run():
+            indices = engine.insert_rows(rows)
+            engine.compact()  # settle now: views repair, revision bumps
+            return indices, engine.revision
+
+        indices, revision = await self._barrier(run)
+        return 200, {"indices": indices.tolist(), "revision": revision}
+
+    async def _handle_delete(self, body: dict) -> tuple[int, dict]:
+        indices = _parse_indices(body, "indices")
+        engine = self.session.engine
+
+        def run():
+            deleted = engine.delete_rows(indices)
+            engine.compact()
+            return deleted, engine.revision
+
+        deleted, revision = await self._barrier(run)
+        return 200, {"deleted": int(deleted), "revision": revision}
+
+    # -- helpers --------------------------------------------------------
+    def _offer(self, item: WorkItem) -> asyncio.Future:
+        return self._coalescer.offer(item)
+
+    def _barrier(self, run) -> asyncio.Future:
+        return self._offer(
+            WorkItem(
+                kind="barrier",
+                payload={},
+                future=asyncio.get_running_loop().create_future(),
+                run=run,
+            )
+        )
+
+    def _view(self, method: str, k: int):
+        key = (method, k)
+        view = self._views.get(key)
+        if view is None:
+            from repro.engine import MDRCView, MDRRRView
+
+            if method == "mdrc":
+                view = MDRCView(self.session.engine, k)
+            else:
+                view = MDRRRView(self.session.engine, k, rng=0)
+            self._views[key] = view
+        return view
+
+
+def _parse_matrix(body: dict, name: str, d: int) -> np.ndarray:
+    raw = body.get(name)
+    if raw is None:
+        raise http.ProtocolError(400, f"missing required field {name!r}")
+    try:
+        matrix = np.asarray(raw, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise http.ProtocolError(400, f"{name!r} is not a numeric matrix") from None
+    if matrix.ndim == 1 and matrix.size == d:
+        matrix = matrix.reshape(1, d)
+    if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] != d:
+        raise http.ProtocolError(
+            400, f"{name!r} must be a non-empty (m, {d}) matrix"
+        )
+    return np.ascontiguousarray(matrix)
+
+
+def _parse_indices(body: dict, name: str) -> np.ndarray:
+    raw = body.get(name)
+    if raw is None:
+        raise http.ProtocolError(400, f"missing required field {name!r}")
+    try:
+        indices = np.asarray(raw, dtype=np.int64).reshape(-1)
+    except (TypeError, ValueError):
+        raise http.ProtocolError(400, f"{name!r} is not an index list") from None
+    if indices.size == 0:
+        raise http.ProtocolError(400, f"{name!r} must not be empty")
+    return indices
+
+
+def _parse_int(body: dict, name: str, *, low: int) -> int:
+    raw = body.get(name)
+    if not isinstance(raw, int) or isinstance(raw, bool) or raw < low:
+        raise http.ProtocolError(400, f"{name!r} must be an integer >= {low}")
+    return raw
+
+
+def serve(values: np.ndarray, config: ServerConfig | None = None) -> None:
+    """Run the server until interrupted (the ``repro serve`` entry)."""
+
+    async def _main() -> None:
+        server = Server(values, config)
+        await server.start()
+        print(
+            f"repro.serve listening on http://{server.config.host}:{server.port} "
+            f"(n={server.session.engine.n}, d={server.session.engine.d})",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro.serve: interrupted, shutting down", file=sys.stderr)
+
+
+class ServerThread:
+    """Run a :class:`Server` on a background event loop (tests, benches,
+    the example client's ``--local`` mode).
+
+    ::
+
+        with ServerThread(values, ServerConfig(port=0)) as url:
+            client = ServiceClient(url)
+    """
+
+    def __init__(self, values: np.ndarray, config: ServerConfig | None = None) -> None:
+        config = config or ServerConfig(port=0)
+        self.server = Server(values, config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.config.host}:{self.server.port}"
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        finally:
+            self._started.set()  # unblock start() even on boot failure
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.server.start()
+        self._started.set()
+        serve_task = asyncio.ensure_future(self.server.serve_forever())
+        stop_task = asyncio.ensure_future(self._stop_event.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            serve_task.cancel()
+            stop_task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            await self.server.stop()
+
+    def call(self, fn, *args) -> None:
+        """Run ``fn`` on the server's loop (pause/resume/drain from tests)."""
+        if self._loop is None:
+            raise RuntimeError("server is not running")
+        self._loop.call_soon_threadsafe(fn, *args)
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+            self._thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> str:
+        self.start()
+        return self.url
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

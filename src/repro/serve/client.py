@@ -1,0 +1,134 @@
+"""Blocking HTTP client for a :mod:`repro.serve` server.
+
+Stdlib-only (:mod:`http.client`), one keep-alive connection per
+instance — the shape every consumer in this repo needs (the example
+client, the CI smoke, the ``serving_load`` bench op and the serving
+test-suite).  Responses come back as numpy arrays so bit-identity
+against direct engine calls can be asserted with ``array_equal``.
+
+Overload is a first-class outcome, not an exception bucket: a 429/503
+raises :class:`ServiceOverloadedError` (with the server's
+``retry_after_ms`` hint when present) so callers can implement backoff;
+every other non-2xx raises :class:`ServiceError` with the server's
+status and error message.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+
+import numpy as np
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceOverloadedError"]
+
+
+class ServiceError(Exception):
+    """Non-2xx response from the server."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceOverloadedError(ServiceError):
+    """429 (queue full) or 503 (draining) — retry later, elsewhere."""
+
+    @property
+    def retry_after_ms(self) -> int:
+        return int(self.payload.get("retry_after_ms", 50))
+
+
+class ServiceClient:
+    """One keep-alive connection to a serving front-end.
+
+    ::
+
+        client = ServiceClient("http://127.0.0.1:8472")
+        batch = client.topk(weights, k=10)       # {"members", "order", "revision"}
+    """
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        if "://" in url:
+            url = url.split("://", 1)[1]
+        host, _, port = url.strip("/").partition(":")
+        self._conn = HTTPConnection(host, int(port or 80), timeout=timeout)
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (ConnectionError, BrokenPipeError):
+            # The server closed the keep-alive connection (e.g. after an
+            # error response); reconnect once.
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        decoded = json.loads(data) if data else {}
+        if response.status in (429, 503):
+            raise ServiceOverloadedError(response.status, decoded)
+        if not 200 <= response.status < 300:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- endpoints ------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def topk(self, weights, k: int) -> dict:
+        """Batched top-k; ``members``/``order`` come back as int arrays."""
+        out = self._request(
+            "POST", "/v1/topk", {"weights": np.asarray(weights).tolist(), "k": int(k)}
+        )
+        out["members"] = np.asarray(out["members"], dtype=np.int64)
+        out["order"] = np.asarray(out["order"], dtype=np.int64)
+        return out
+
+    def rank(self, weights, subset) -> dict:
+        out = self._request(
+            "POST",
+            "/v1/rank",
+            {
+                "weights": np.asarray(weights).tolist(),
+                "subset": [int(i) for i in subset],
+            },
+        )
+        out["ranks"] = np.asarray(out["ranks"], dtype=np.int64)
+        return out
+
+    def representative(self, k: int, method: str | None = None) -> dict:
+        payload: dict = {"k": int(k)}
+        if method is not None:
+            payload["method"] = method
+        return self._request("POST", "/v1/representative", payload)
+
+    def insert(self, rows) -> dict:
+        out = self._request("POST", "/v1/insert", {"rows": np.asarray(rows).tolist()})
+        out["indices"] = np.asarray(out["indices"], dtype=np.int64)
+        return out
+
+    def delete(self, indices) -> dict:
+        return self._request(
+            "POST", "/v1/delete", {"indices": [int(i) for i in indices]}
+        )

@@ -1,0 +1,123 @@
+"""Minimal asyncio HTTP/1.1 layer for :mod:`repro.serve`.
+
+Just enough protocol to host the serving endpoints on stdlib asyncio
+streams — request-line + header parsing, ``Content-Length`` bodies,
+keep-alive — with hard limits on header and body size so a misbehaving
+client cannot balloon server memory.  Not a general web server: no
+chunked transfer, no TLS, no multipart.  JSON in, JSON out.
+
+Floats survive the JSON round trip bit-exactly: both :mod:`json` and
+every mainstream client serializer emit the shortest decimal that
+parses back to the same IEEE-754 double, which is what makes the
+serving path's bit-identity contract testable end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+MAX_HEADER_BYTES = 16 * 1024
+HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed or over-limit request; carries the HTTP status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except ValueError as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader, max_body_bytes: int) -> Request | None:
+    """Parse one request from the stream; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial == b"":
+            return None  # clean close between requests
+        raise ProtocolError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(400, "request head exceeds the header limit") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(400, "request head exceeds the header limit")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}") from None
+    parts = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length", "0")
+    try:
+        body_len = int(length)
+    except ValueError:
+        raise ProtocolError(400, f"bad Content-Length: {length!r}") from None
+    if body_len < 0 or body_len > max_body_bytes:
+        raise ProtocolError(413, f"request body of {body_len} bytes exceeds the limit")
+    body = await reader.readexactly(body_len) if body_len else b""
+    return Request(
+        method=method.upper(),
+        path=parts.path,
+        query=dict(parse_qsl(parts.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(status: int, payload: dict, *, keep_alive: bool = True) -> bytes:
+    """Serialize a JSON response (headers + body) to raw bytes."""
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    reason = HTTP_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body

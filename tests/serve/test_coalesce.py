@@ -1,0 +1,244 @@
+"""Coalescing determinism: the exactness contract over the serving path.
+
+The load-bearing claim of :mod:`repro.serve.coalesce`: any mix of
+concurrent top-k / rank queries, coalesced into shared engine calls,
+yields responses bit-identical to direct engine calls over the same
+matrix at the same revision — under every backend, and with faults
+firing inside the serving engine.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import FaultInjector, RetryPolicy, ScoreEngine, faults
+from repro.serve import (
+    ServerConfig,
+    ServerThread,
+    ServiceClient,
+    ServiceOverloadedError,
+)
+from repro.serve.coalesce import Coalescer, WorkItem, _adjacent_groups
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return np.random.default_rng(42).random((3000, 4))
+
+
+def _storm(url, jobs, k=5, m=3, seed=0):
+    """``jobs`` concurrent single-connection clients; returns results."""
+    results = [None] * jobs
+
+    def worker(i):
+        with ServiceClient(url, timeout=60) as client:
+            weights = np.random.default_rng(seed + i).random((m, 4))
+            results[i] = (weights, client.topk(weights, k))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(jobs)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_concurrent_distinct_queries_bit_identical(matrix, backend):
+    """Distinct concurrent queries coalesce; every response is exact."""
+    jobs = 2 if backend != "serial" else None
+    config = ServerConfig(port=0, jobs=jobs, backend=backend)
+    with ServerThread(matrix, config) as url:
+        results = _storm(url, jobs=6, seed=100)
+    with ScoreEngine(matrix, float32=True) as direct:
+        for weights, response in results:
+            reference = direct.topk_batch(weights, 5)
+            assert np.array_equal(response["members"], reference.members)
+            assert np.array_equal(response["order"], reference.order)
+
+
+def test_concurrent_identical_queries_bit_identical(matrix):
+    """Many clients asking the same query get the same exact answer."""
+    with ServerThread(matrix, ServerConfig(port=0)) as url:
+        results = _storm(url, jobs=6, seed=7)  # same seed -> same weights?
+        # distinct seeds per worker inside _storm; force identical:
+        identical = [None] * 5
+        weights = np.random.default_rng(1).random((2, 4))
+
+        def worker(i):
+            with ServiceClient(url, timeout=60) as client:
+                identical[i] = client.topk(weights, 5)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    with ScoreEngine(matrix, float32=True) as direct:
+        reference = direct.topk_batch(weights, 5)
+        for response in identical:
+            assert np.array_equal(response["members"], reference.members)
+            assert np.array_equal(response["order"], reference.order)
+        for w, response in results:
+            ref = direct.topk_batch(w, 5)
+            assert np.array_equal(response["members"], ref.members)
+
+
+def test_backlogged_mixed_queries_coalesce_and_match(matrix):
+    """A paused dispatcher accumulates a mixed backlog; on resume the
+    adjacent compatible runs coalesce and every response stays exact."""
+    subset = [1, 17, 123, 999]
+    server = ServerThread(matrix, ServerConfig(port=0, max_pending=32))
+    with server as url:
+        probe = ServiceClient(url, timeout=60)
+        probe.health()
+        server.call(server.server.pause)
+        time.sleep(0.1)
+        outputs = {}
+
+        def topk_worker(i):
+            with ServiceClient(url, timeout=60) as client:
+                w = np.random.default_rng(200 + i).random((2, 4))
+                outputs[("topk", i)] = (w, client.topk(w, 5))
+
+        def rank_worker(i):
+            with ServiceClient(url, timeout=60) as client:
+                w = np.random.default_rng(300 + i).random((2, 4))
+                outputs[("rank", i)] = (w, client.rank(w, subset))
+
+        threads = [threading.Thread(target=topk_worker, args=(i,)) for i in range(4)]
+        threads += [threading.Thread(target=rank_worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        deadline = time.time() + 10
+        while time.time() < deadline and server.server._coalescer.depth < 7:
+            time.sleep(0.02)
+        server.call(server.server.resume)
+        for t in threads:
+            t.join()
+        stats = probe.stats()["coalescing"]
+        probe.close()
+    assert stats["coalesced"] >= 2, stats
+    with ScoreEngine(matrix, float32=True) as direct:
+        for (kind, i), (w, response) in outputs.items():
+            if kind == "topk":
+                ref = direct.topk_batch(w, 5)
+                assert np.array_equal(response["members"], ref.members)
+                assert np.array_equal(response["order"], ref.order)
+            else:
+                ref = direct.rank_of_best_batch(w, subset)
+                assert np.array_equal(response["ranks"], ref)
+
+
+def test_mutations_are_barriers_and_revisions_are_ordered(matrix):
+    """A query enqueued before a mutation must not see its revision."""
+    with ServerThread(matrix, ServerConfig(port=0)) as url:
+        with ServiceClient(url, timeout=60) as client:
+            r0 = client.topk(np.random.default_rng(0).random((1, 4)), 3)["revision"]
+            ins = client.insert(np.random.default_rng(1).random((5, 4)))
+            assert ins["revision"] > r0
+            r1 = client.topk(np.random.default_rng(2).random((1, 4)), 3)["revision"]
+            assert r1 == ins["revision"]
+            dele = client.delete(ins["indices"][:2].tolist())
+            assert dele["deleted"] == 2
+            assert dele["revision"] > r1
+            assert client.health()["n"] == matrix.shape[0] + 3
+
+
+def test_serving_with_fault_injection_stays_exact(matrix):
+    """Worker crashes inside the serving engine never corrupt a response."""
+    injector = FaultInjector(seed=3, crash=0.2, max_faults=6)
+    faults.install(injector)
+    try:
+        config = ServerConfig(
+            port=0,
+            jobs=2,
+            backend="process",
+            policy=RetryPolicy(max_retries=3, backoff_base_s=0.0),
+        )
+        with ServerThread(matrix, config) as url:
+            results = _storm(url, jobs=4, seed=500)
+    finally:
+        faults.uninstall()
+    with ScoreEngine(matrix, float32=True) as direct:
+        for weights, response in results:
+            reference = direct.topk_batch(weights, 5)
+            assert np.array_equal(response["members"], reference.members)
+            assert np.array_equal(response["order"], reference.order)
+
+
+def test_adjacent_grouping_respects_barriers_and_keys():
+    loop = asyncio.new_event_loop()
+    try:
+        fut = loop.create_future
+        t1 = WorkItem(kind="topk", payload={}, future=fut(), key=5)
+        t2 = WorkItem(kind="topk", payload={}, future=fut(), key=5)
+        t3 = WorkItem(kind="topk", payload={}, future=fut(), key=7)
+        r1 = WorkItem(kind="rank", payload={}, future=fut(), key=b"a")
+        r2 = WorkItem(kind="rank", payload={}, future=fut(), key=b"a")
+        b = WorkItem(kind="barrier", payload={}, future=fut(), run=lambda: None)
+        t4 = WorkItem(kind="topk", payload={}, future=fut(), key=5)
+        groups = _adjacent_groups([t1, t2, t3, r1, r2, b, t4])
+        assert [len(g) for g in groups] == [2, 1, 2, 1, 1]
+        assert groups[0] == [t1, t2]
+        assert groups[2] == [r1, r2]
+        assert groups[3][0].kind == "barrier"
+    finally:
+        loop.close()
+
+
+def test_queue_full_raises_and_counts():
+    async def scenario():
+        class _Engine:  # never dispatched: coalescer not started
+            pass
+
+        coalescer = Coalescer(_Engine(), max_pending=2)
+        loop = asyncio.get_running_loop()
+        for _ in range(2):
+            coalescer.offer(
+                WorkItem(kind="topk", payload={}, future=loop.create_future(), key=1)
+            )
+        with pytest.raises(asyncio.QueueFull):
+            coalescer.offer(
+                WorkItem(kind="topk", payload={}, future=loop.create_future(), key=1)
+            )
+        assert coalescer.stats.rejected == 1
+        assert coalescer.stats.requests == 2
+
+    asyncio.run(scenario())
+
+
+def test_overload_returns_typed_429(matrix):
+    server = ServerThread(matrix, ServerConfig(port=0, max_pending=2))
+    with server as url:
+        warm = ServiceClient(url, timeout=60)
+        warm.topk(np.random.default_rng(0).random((1, 4)), 3)
+        server.call(server.server.pause)
+        time.sleep(0.1)
+        outcomes = []
+
+        def worker(i):
+            try:
+                with ServiceClient(url, timeout=60) as client:
+                    client.topk(np.random.default_rng(i).random((1, 4)), 3)
+                outcomes.append("ok")
+            except ServiceOverloadedError as exc:
+                assert exc.status == 429
+                assert exc.retry_after_ms > 0
+                outcomes.append("429")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        deadline = time.time() + 10
+        while time.time() < deadline and "429" not in outcomes:
+            time.sleep(0.02)
+        server.call(server.server.resume)
+        for t in threads:
+            t.join()
+        warm.close()
+    assert outcomes.count("429") >= 1
+    assert outcomes.count("ok") >= 1

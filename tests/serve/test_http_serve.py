@@ -1,0 +1,241 @@
+"""HTTP layer + server endpoints: parsing, routing, errors, lifecycle."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ServerConfig,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.serve.http import ProtocolError, Request, render_response
+
+
+@pytest.fixture(scope="module")
+def served():
+    matrix = np.random.default_rng(11).random((800, 3))
+    server = ServerThread(matrix, ServerConfig(port=0))
+    server.start()
+    yield matrix, server
+    server.stop()
+
+
+# -- request object ----------------------------------------------------
+
+
+def test_request_json_rejects_non_object():
+    with pytest.raises(ProtocolError) as err:
+        Request(method="POST", path="/x", body=b"[1,2]").json()
+    assert err.value.status == 400
+
+
+def test_request_json_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        Request(method="POST", path="/x", body=b"{nope").json()
+
+
+def test_request_keep_alive_default_and_close():
+    assert Request(method="GET", path="/").keep_alive
+    assert not Request(
+        method="GET", path="/", headers={"connection": "Close"}
+    ).keep_alive
+
+
+def test_render_response_roundtrip_floats():
+    # JSON float serialization is shortest-round-trip: exact.
+    import json
+
+    value = 0.1 + 0.2
+    raw = render_response(200, {"x": value})
+    body = raw.split(b"\r\n\r\n", 1)[1]
+    assert json.loads(body)["x"] == value
+
+
+# -- endpoints ---------------------------------------------------------
+
+
+def test_health_and_stats(served):
+    matrix, server = served
+    with ServiceClient(server.url, timeout=30) as client:
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["d"] == 3
+        stats = client.stats()
+        assert "engine" in stats and "coalescing" in stats
+
+
+def test_unknown_endpoint_404(served):
+    _, server = served
+    with ServiceClient(server.url, timeout=30) as client:
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+
+def test_wrong_method_405(served):
+    _, server = served
+    with ServiceClient(server.url, timeout=30) as client:
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/v1/topk")
+        assert err.value.status == 405
+
+
+def test_missing_fields_400(served):
+    _, server = served
+    with ServiceClient(server.url, timeout=30) as client:
+        for path, payload in [
+            ("/v1/topk", {"k": 3}),
+            ("/v1/topk", {"weights": [[0.1, 0.2, 0.3]]}),
+            ("/v1/rank", {"weights": [[0.1, 0.2, 0.3]]}),
+            ("/v1/insert", {}),
+            ("/v1/delete", {"indices": []}),
+        ]:
+            with pytest.raises(ServiceError) as err:
+                client._request("POST", path, payload)
+            assert err.value.status == 400, (path, payload)
+
+
+def test_dimension_mismatch_400(served):
+    _, server = served
+    with ServiceClient(server.url, timeout=30) as client:
+        with pytest.raises(ServiceError) as err:
+            client.topk([[0.5, 0.5]], 3)  # d=2 against a d=3 dataset
+        assert err.value.status == 400
+
+
+def test_bad_k_400(served):
+    _, server = served
+    with ServiceClient(server.url, timeout=30) as client:
+        for bad_k in (0, -1, "five", True):
+            with pytest.raises(ServiceError) as err:
+                client._request(
+                    "POST", "/v1/topk", {"weights": [[0.1, 0.2, 0.3]], "k": bad_k}
+                )
+            assert err.value.status == 400, bad_k
+
+
+def test_representative_endpoint_matches_direct_mdrc(served):
+    matrix, server = served
+    from repro.core.mdrc import mdrc
+
+    with ServiceClient(server.url, timeout=120) as client:
+        response = client.representative(5, method="mdrc")
+    direct = mdrc(matrix, 5)
+    assert response["indices"] == [int(i) for i in direct.indices]
+    assert response["method"] == "mdrc"
+
+
+def test_representative_rejects_unknown_method(served):
+    _, server = served
+    with ServiceClient(server.url, timeout=30) as client:
+        with pytest.raises(ServiceError) as err:
+            client.representative(5, method="2drrr")
+        assert err.value.status == 400
+
+
+def test_mutations_update_views_and_queries():
+    matrix = np.random.default_rng(5).random((600, 3))
+    from repro.core.mdrc import mdrc
+    from repro.engine import ScoreEngine
+
+    with ServerThread(matrix, ServerConfig(port=0)) as url:
+        with ServiceClient(url, timeout=120) as client:
+            before = client.representative(4)
+            rows = np.random.default_rng(6).random((6, 3))
+            inserted = client.insert(rows)
+            assert inserted["indices"].tolist() == list(range(600, 606))
+            client.delete([0, 1])
+            after = client.representative(4)
+            assert after["revision"] > before["revision"]
+            health = client.health()
+            assert health["n"] == 604
+            # Served representative == fresh mdrc over the mutated matrix.
+            mutated = np.vstack([matrix, rows])[2:]
+            direct = mdrc(mutated, 4)
+            assert after["indices"] == [int(i) for i in direct.indices]
+            # Served top-k == direct engine over the mutated matrix.
+            weights = np.random.default_rng(7).random((4, 3))
+            served = client.topk(weights, 5)
+            with ScoreEngine(mutated, float32=True) as engine:
+                reference = engine.topk_batch(weights, 5)
+            assert np.array_equal(served["members"], reference.members)
+            assert np.array_equal(served["order"], reference.order)
+
+
+def test_rank_endpoint_matches_direct(served):
+    matrix, server = served
+    from repro.engine import ScoreEngine
+
+    weights = np.random.default_rng(8).random((6, 3))
+    subset = [3, 44, 199]
+    with ServiceClient(server.url, timeout=30) as client:
+        served_ranks = client.rank(weights, subset)["ranks"]
+    with ScoreEngine(matrix, float32=True) as engine:
+        reference = engine.rank_of_best_batch(weights, subset)
+    assert np.array_equal(served_ranks, reference)
+
+
+def test_draining_returns_503():
+    matrix = np.random.default_rng(9).random((300, 3))
+    server = ServerThread(matrix, ServerConfig(port=0))
+    with server as url:
+        client = ServiceClient(url, timeout=30)
+        client.health()
+        server.call(server.server.drain)
+        time.sleep(0.1)
+        assert client.health()["status"] == "draining"
+        with pytest.raises(ServiceOverloadedError) as err:
+            client.topk(np.random.default_rng(0).random((1, 3)), 3)
+        assert err.value.status == 503
+        client.close()
+
+
+def test_payload_too_large_413():
+    matrix = np.random.default_rng(10).random((300, 3))
+    with ServerThread(matrix, ServerConfig(port=0, max_body_bytes=1024)) as url:
+        with ServiceClient(url, timeout=30) as client:
+            with pytest.raises(ServiceError) as err:
+                client.topk(np.random.default_rng(0).random((200, 3)), 3)
+            assert err.value.status == 413
+
+
+def test_malformed_http_gets_400():
+    import socket
+
+    matrix = np.random.default_rng(12).random((300, 3))
+    with ServerThread(matrix, ServerConfig(port=0)) as url:
+        host, port = url.split("://")[1].split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(b"NOT-HTTP\r\n\r\n")
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+
+
+def test_server_thread_context_manager_cleans_up():
+    matrix = np.random.default_rng(13).random((300, 3))
+    server = ServerThread(matrix, ServerConfig(port=0))
+    with server as url:
+        with ServiceClient(url, timeout=30) as client:
+            client.health()
+    # After stop, the port is closed: a new connection must fail.
+    import socket
+
+    host, port = url.split("://")[1].split(":")
+    with pytest.raises(OSError):
+        socket.create_connection((host, int(port)), timeout=2).close()
+
+
+def test_cli_serve_parser_wiring():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--dataset", "dot", "--n", "500", "--port", "0", "--max-pending", "9"]
+    )
+    assert args.command == "serve"
+    assert args.max_pending == 9
+    assert args.port == 0

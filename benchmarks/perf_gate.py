@@ -14,7 +14,11 @@ Four bench-scale workloads (the ops the ``repro.engine`` refactor targets):
 * ``serving_load``        — the async HTTP front-end (:mod:`repro.serve`)
   under concurrent clients: request coalescing vs sequential keep-alive
   requests, sustained QPS + p50/p99 latency, every response asserted
-  bit-identical to a direct engine call.
+  bit-identical to a direct engine call;
+* ``recovery``            — crash recovery of the durable serving state
+  (:mod:`repro.engine.wal`): newest-snapshot load + WAL-suffix replay vs
+  replaying the entire mutation history onto the boot matrix, both
+  asserted bit-identical to the engine that lived through the churn.
 
 ``--history`` prints a cross-PR table of every op's median/speedup from
 all committed ``BENCH_PR*.json`` files instead of running anything.
@@ -54,7 +58,12 @@ written in this mode; the timing gate stays a local/dev concern.
 (:mod:`repro.engine.faults` + :mod:`repro.engine.resilience`): injected
 worker crashes, hangs, corrupted payloads, shm allocation failures and a
 torn tuning profile must all recover without process death, bit-identical
-to the fault-free serial run, leaking no ``/dev/shm`` segment.
+to the fault-free serial run, leaking no ``/dev/shm`` segment.  It also
+runs the kill-9 chaos drill: a real ``repro serve --data-dir`` process is
+SIGKILLed mid-churn, restarted on the same data dir, handed a keyed retry
+of the in-flight mutation (which must apply exactly once), and asserted
+bit-identical — top-k, rank and representative — against an in-process
+oracle server that never died.
 """
 
 from __future__ import annotations
@@ -71,7 +80,7 @@ from pathlib import Path
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_NAME = "BENCH_PR8.json"
+BENCH_NAME = "BENCH_PR9.json"
 REGRESSION_SLACK = 1.20  # fail when median_s exceeds previous by >20%
 
 
@@ -510,6 +519,108 @@ def _bench_serving_load(repeats: int, quick: bool) -> dict:
     }
 
 
+def _bench_recovery(repeats: int, quick: bool) -> dict:
+    """Crash recovery: snapshot + WAL-suffix replay vs full-history replay.
+
+    Builds a durable serving history in a temp data dir — boot matrix,
+    churn commits fsync'd through an attached :class:`DurableStore`, a
+    snapshot cut midway so the WAL holds only the suffix — then measures
+    what a restart pays: open the dir, load the newest snapshot, rebuild
+    the engine on its matrix and replay the WAL commits beyond the
+    watermark.  The baseline is recovery without snapshots: replaying
+    the *entire* mutation history onto the boot matrix.  Both paths must
+    land bit-identical to the engine that lived through the churn
+    (matrix bytes, revision counter, and a top-k probe) — recovery speed
+    only counts if the recovered answers are exact.
+    """
+    import tempfile
+
+    from repro.engine import DurableStore, ScoreEngine, replay_commits
+    from repro.engine.delta import replay_event
+    from repro.ranking.sampling import sample_functions
+
+    n, d, k = (5_000, 4, 10) if quick else (20_000, 4, 10)
+    commits = 16 if quick else 48
+    churn = 8
+    rng = np.random.default_rng(17)
+    boot = rng.random((n, d))
+    weights = sample_functions(d, 32, 1)
+    history: list[tuple[np.ndarray, np.ndarray]] = []
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        store = DurableStore(tmpdir).open()
+        engine = ScoreEngine(boot)
+        engine.subscribe_delta(
+            lambda ev: history.append(
+                (np.array(ev.deleted_ids), np.array(ev.inserted_rows))
+            )
+        )
+        store.attach(engine)
+        for i in range(commits):
+            engine.delete_rows(rng.choice(engine.n, churn, replace=False))
+            engine.insert_rows(rng.random((churn, d)))
+            engine.compact()
+            store.commit(None, None, engine.revision)
+            if i == commits // 2 - 1:
+                store.snapshot(engine.values, engine.revision)
+        final_bytes = engine.values.tobytes()
+        revision = engine.revision
+        ref = engine.topk_batch(weights, k)
+        wal_bytes = store.wal_bytes
+        engine.close()
+        store.close()
+        snapshot_bytes = sum(
+            p.stat().st_size for p in Path(tmpdir).glob("snapshot-*.snap")
+        )
+
+        def check(eng) -> None:
+            assert eng.revision == revision, "recovery lost the revision counter"
+            assert eng.values.tobytes() == final_bytes, (
+                "recovered matrix is not bit-identical"
+            )
+            got = eng.topk_batch(weights, k)
+            assert np.array_equal(got.order, ref.order), (
+                "recovered top-k diverged from the engine that lived"
+            )
+            eng.close()
+
+        def recover() -> None:
+            s2 = DurableStore(tmpdir).open()
+            try:
+                snap, wal_commits = s2.load()
+                eng = ScoreEngine(snap.values)
+                eng.revision = snap.revision
+                replay_commits(eng, wal_commits)
+            finally:
+                s2.close()
+            check(eng)
+
+        def rebuild() -> None:
+            eng = ScoreEngine(boot)
+            for deleted_ids, inserted_rows in history:
+                replay_event(eng, deleted_ids, inserted_rows)
+            check(eng)
+
+        rec_s, _ = _median_time(recover, repeats)
+        cold_s, _ = _median_time(rebuild, repeats)
+
+    return {
+        "op": "recovery",
+        "dataset": "uniform",
+        "n": n,
+        "d": d,
+        "k": k,
+        "commits": commits,
+        "replayed_commits": commits - commits // 2,
+        "churn": churn,
+        "median_s": rec_s,
+        "baseline_median_s": cold_s,
+        "speedup": cold_s / rec_s,
+        "snapshot_bytes": snapshot_bytes,
+        "wal_bytes": wal_bytes,
+    }
+
+
 def _quant_hit_rates(quick: bool) -> dict:
     """Quantized-tier hit rate: resolved / screened columns per workload."""
     from repro.datasets import independent, synthetic_dot
@@ -732,6 +843,139 @@ def _smoke_fault_identity(jobs: int | None) -> None:
     print("fault probe [shm-leak]: no leaked segments")
 
 
+def _smoke_crash_recovery() -> None:
+    """Kill-9 chaos drill: SIGKILL a durable server mid-churn, restart, same answers.
+
+    Boots a real ``repro serve --data-dir`` subprocess and an in-process
+    oracle server on the same deterministic dataset, drives both through
+    an identical keyed mutation script, SIGKILLs the subprocess at a
+    seeded point mid-script (after a mutation was acknowledged but
+    before the client moved on — the ambiguous-retry window), restarts
+    it on the same data dir, retries the in-flight mutation with its
+    idempotency key (it must answer with the stored response and apply
+    nothing), finishes the script on both, and asserts every top-k /
+    rank / representative response bit-identical to the oracle that
+    never died.  A final SIGTERM must drain, snapshot and exit 0.
+    """
+    import os
+    import signal
+    import subprocess
+    import tempfile
+
+    from repro.experiments.runner import make_dataset
+    from repro.serve import ServerConfig, ServerThread, ServiceClient
+
+    n, d, k = 400, 3, 7
+    values = make_dataset("dot", n, d, seed=0).values
+
+    def spawn(data_dir: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--dataset", "dot", "--n", str(n), "--d", str(d),
+                "--port", "0", "--jobs", "1", "--data-dir", data_dir,
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        line = proc.stderr.readline()
+        assert "listening on http://" in line, f"serve did not boot: {line!r}"
+        port = int(line.split("http://", 1)[1].split()[0].rsplit(":", 1)[1])
+        return proc, f"http://127.0.0.1:{port}"
+
+    rng = np.random.default_rng(23)
+    script = []
+    for i in range(12):
+        script.append(("insert", rng.random((2, d)).tolist(), f"ins-{i}"))
+        script.append(
+            ("delete", sorted({int(x) for x in rng.integers(0, n // 2, 2)}), f"del-{i}")
+        )
+    kill_at = int(rng.integers(4, len(script) - 4))
+
+    def apply(client, step):
+        kind, payload, key = step
+        if kind == "insert":
+            return client.insert(payload, idempotency_key=key)
+        return client.delete(payload, idempotency_key=key)
+
+    with tempfile.TemporaryDirectory() as data_dir:
+        oracle_thread = ServerThread(values, ServerConfig(port=0, jobs=1)).start()
+        proc = None
+        try:
+            oracle = ServiceClient(oracle_thread.url)
+            proc, url = spawn(data_dir)
+            client = ServiceClient(url, timeout=30)
+            for step in script[:kill_at]:
+                apply(client, step)
+                apply(oracle, step)
+            ambiguous = script[kill_at]
+            pending = apply(client, ambiguous)
+            apply(oracle, ambiguous)
+
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            assert os.path.exists(os.path.join(data_dir, "LOCK")), (
+                "SIGKILL must leave the stale lock for the next boot to reclaim"
+            )
+
+            proc, url = spawn(data_dir)
+            client = ServiceClient(url, timeout=30)
+            retried = apply(client, ambiguous)  # same key: exactly once
+            assert retried["revision"] == pending["revision"] and all(
+                np.array_equal(retried[f], pending[f])
+                for f in ("indices", "deleted")
+                if f in pending
+            ), "keyed retry after SIGKILL did not replay the stored response"
+            assert client.health()["n"] == oracle.health()["n"], (
+                "keyed retry after SIGKILL re-applied the mutation"
+            )
+            for step in script[kill_at + 1 :]:
+                apply(client, step)
+                apply(oracle, step)
+
+            weights = np.random.default_rng(29).random((5, d))
+            got, want = client.topk(weights, k), oracle.topk(weights, k)
+            assert np.array_equal(got["members"], want["members"]), (
+                "post-recovery top-k diverged from the never-killed oracle"
+            )
+            assert np.array_equal(got["order"], want["order"]), (
+                "post-recovery top-k order diverged"
+            )
+            assert got["revision"] == want["revision"], (
+                "post-recovery revision counter diverged"
+            )
+            got = client.rank(weights, [0, 3, 9])
+            want = oracle.rank(weights, [0, 3, 9])
+            assert np.array_equal(got["ranks"], want["ranks"]), (
+                "post-recovery rank counting diverged"
+            )
+            rep = client.representative(4, "mdrc")["indices"]
+            assert rep == oracle.representative(4, "mdrc")["indices"], (
+                "post-recovery representative diverged"
+            )
+            replayed = client.stats()["durability"]["recovery"]["replayed_commits"]
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0, "SIGTERM drain did not exit 0"
+            proc = None
+        finally:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            oracle_thread.stop()
+    print(
+        f"fault probe [kill-9 drill]: SIGKILL at step {kill_at}/{len(script)}, "
+        f"replayed {replayed} WAL commits on restart, keyed retry "
+        "exactly-once, all responses bit-identical to the uninterrupted oracle"
+    )
+
+
 def _discover_benches(skip: Path | None = None) -> list[tuple[int, Path, dict]]:
     """All committed BENCH_PR*.json files, sorted by PR number."""
     benches = []
@@ -810,8 +1054,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--faults", action="store_true",
         help="with --smoke: also run the deterministic fault-injection "
-        "probe (crash/hang/corrupt/shm + torn profile) and assert every "
-        "recovery path is bit-identical and leak-free",
+        "probe (crash/hang/corrupt/shm + torn profile) and the kill-9 "
+        "durability drill, asserting every recovery path is "
+        "bit-identical and leak-free",
     )
     parser.add_argument(
         "--history", action="store_true",
@@ -833,6 +1078,7 @@ def main(argv: list[str] | None = None) -> int:
         _bench_update_throughput(repeats, quick),
         _bench_view_maintenance(repeats, quick),
         _bench_serving_load(repeats, quick),
+        _bench_recovery(repeats, quick),
     ]
     quant = _quant_hit_rates(quick)
 
@@ -876,6 +1122,15 @@ def main(argv: list[str] | None = None) -> int:
         f"({serving['speedup']:.1f}x vs sequential HTTP, every response "
         f"bit-identical)"
     )
+    recovery = next(row for row in ops if row["op"] == "recovery")
+    print(
+        f"recovery[{recovery['n']}x{recovery['d']}, "
+        f"{recovery['replayed_commits']}/{recovery['commits']} commits in WAL]: "
+        f"snapshot+replay {recovery['median_s']:.3f}s vs full-history replay "
+        f"{recovery['baseline_median_s']:.3f}s ({recovery['speedup']:.1f}x, "
+        f"bit-identical, snapshot {recovery['snapshot_bytes'] / 1024:.0f}KiB + "
+        f"WAL {recovery['wal_bytes'] / 1024:.0f}KiB)"
+    )
     for name, stats in quant.items():
         rate = stats["resolved"] / max(1, stats["screened"])
         print(
@@ -887,10 +1142,12 @@ def main(argv: list[str] | None = None) -> int:
         _smoke_parallel_identity(args.jobs)
         if args.faults:
             _smoke_fault_identity(args.jobs)
+            _smoke_crash_recovery()
         print("smoke mode: exactness checks passed; timing gate skipped")
         return 0
     if args.faults:
         _smoke_fault_identity(args.jobs)
+        _smoke_crash_recovery()
 
     report = {
         "schema": 1,

@@ -25,13 +25,20 @@ then exercises the full serving surface:
 4. **Faults.**  With ``--faults`` a deterministic injector
    (:mod:`repro.engine.faults`) fires worker crashes inside the serving
    engine while queries keep answering bit-identically.
+5. **Durability.**  With ``--durability`` a second server boots on a
+   ``data_dir``, acknowledges a keyed mutation, dies without warning
+   (the in-process ``kill -9``), restarts from its write-ahead log, and
+   answers the retried mutation from the stored response — exactly
+   once, bit-identical after the crash.
 
 Run:  python examples/streaming_service.py
       python examples/streaming_service.py --smoke   # bounded CI run
+      python examples/streaming_service.py --smoke --durability
       python examples/streaming_service.py --url http://127.0.0.1:8472
 """
 
 import argparse
+import tempfile
 import threading
 import time
 
@@ -87,7 +94,15 @@ def main(argv=None) -> None:
         "--faults", action="store_true",
         help="install a deterministic fault injector in the local server",
     )
+    parser.add_argument(
+        "--durability", action="store_true",
+        help="run the crash-recovery drill: kill a durable server "
+        "without warning, restart it from its WAL, retry the in-flight "
+        "keyed mutation (applied exactly once)",
+    )
     args = parser.parse_args(argv)
+    if args.durability and args.url is not None:
+        raise SystemExit("--durability needs the in-process server (no --url)")
     n = 4_000 if args.smoke else 20_000
     ticks = 2 if args.smoke else 5
     storm = 6 if args.smoke else 16
@@ -175,7 +190,7 @@ def main(argv=None) -> None:
 
             def burst_worker(i):
                 try:
-                    with ServiceClient(url, timeout=60) as one:
+                    with ServiceClient(url, timeout=60, max_retries=0) as one:
                         one.topk(burst_weights[i], k)
                     outcomes.append("ok")
                 except ServiceOverloadedError as exc:
@@ -199,6 +214,38 @@ def main(argv=None) -> None:
                 f"    {total} bursted: {outcomes.count('ok')} served after "
                 f"resume, {rejected} answered 429 (typed, with retry hint)"
             )
+
+        if args.durability:
+            print("\n[4] durability: kill -9 a durable server, restart, same answers")
+            with tempfile.TemporaryDirectory() as data_dir:
+                dconfig = ServerConfig(port=0, jobs=1, data_dir=data_dir)
+                durable = ServerThread(matrix, dconfig).start()
+                dclient = ServiceClient(durable.url, timeout=60)
+                fresh = rng.random((2, d))
+                acked = dclient.insert(fresh, idempotency_key="demo-ambiguous")
+                durable.kill()  # no drain, no snapshot: SIGKILL semantics
+
+                durable = ServerThread(matrix, dconfig).start()
+                dclient = ServiceClient(durable.url, timeout=60)
+                try:
+                    # The ambiguous retry: same key, stored response,
+                    # nothing re-applied.
+                    retried = dclient.insert(fresh, idempotency_key="demo-ambiguous")
+                    assert np.array_equal(retried["indices"], acked["indices"])
+                    assert retried["revision"] == acked["revision"]
+                    oracle = ScoreEngine(np.vstack([matrix, fresh]), float32=True)
+                    check_bit_identity(dclient, oracle, rng.random((3, d)), k)
+                    oracle.close()
+                    recovered = dclient.stats()["durability"]["recovery"]
+                    print(
+                        f"    restarted from the WAL "
+                        f"({recovered['replayed_commits']} commits replayed); "
+                        "keyed retry applied exactly once; responses "
+                        "bit-identical after the crash"
+                    )
+                finally:
+                    dclient.close()
+                    durable.stop()
 
         check_bit_identity(client, reference, rng.random((5, d)), k)
         final = client.health()

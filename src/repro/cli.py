@@ -190,6 +190,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalescing cap: queries stacked into one engine call "
         "(default: 1024)",
     )
+    srv.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable serving state: write-ahead log + snapshots under "
+        "DIR; restart (even after kill -9) recovers bit-identical state "
+        "(default: memory-only)",
+    )
+    srv.add_argument(
+        "--snapshot-wal-bytes", type=int, default=4 * 2**20, metavar="BYTES",
+        help="cut a snapshot (and truncate the WAL) once the log grows "
+        "past BYTES (default: 4 MiB)",
+    )
+    srv.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SECONDS",
+        help="also snapshot when the oldest unsnapshotted mutation is "
+        "older than SECONDS (default: size policy only)",
+    )
     return parser
 
 
@@ -455,6 +471,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tuning_profile=args.tuning_profile,
         max_pending=args.max_pending,
         max_batch=args.max_batch,
+        data_dir=args.data_dir,
+        snapshot_wal_bytes=args.snapshot_wal_bytes,
+        snapshot_interval_s=args.snapshot_interval,
     )
     serve(data.values, config)
     return 0

@@ -60,6 +60,14 @@ delta events, invalidate only what a mutation's score bounds can touch,
 and replay the real algorithm over the surviving cache — maintained
 results bit-identical to a from-scratch recompute.
 
+:mod:`repro.engine.wal` is the durability layer for the serving tier:
+a CRC-framed, fsync'd write-ahead log of committed mutations (torn
+tails truncated, bit flips rejected), atomic checksummed snapshots, and
+:class:`DurableStore` — one locked data directory whose recovery path
+(newest valid snapshot + WAL-suffix replay through
+:func:`repro.engine.delta.replay_event`) restarts an engine
+bit-identical to one that never crashed, idempotency table included.
+
 :mod:`repro.engine.reference` keeps the frozen pre-engine
 implementations that the equivalence tests and the perf-regression gate
 (``benchmarks/perf_gate.py``) compare against.
@@ -92,6 +100,15 @@ from repro.engine.resilience import (
     set_default_policy,
 )
 from repro.engine.score_engine import ScoreEngine, TopKBatch
+from repro.engine.wal import (
+    Commit,
+    DurableStore,
+    Snapshot,
+    WriteAheadLog,
+    load_snapshot,
+    replay_commits,
+    write_snapshot,
+)
 from repro.engine.views import (
     KSetView,
     MaterializedView,
@@ -115,6 +132,13 @@ __all__ = [
     "get_default_policy",
     "set_default_policy",
     "FaultInjector",
+    "Commit",
+    "DurableStore",
+    "Snapshot",
+    "WriteAheadLog",
+    "load_snapshot",
+    "replay_commits",
+    "write_snapshot",
     "BACKENDS",
     "ParallelExecutor",
     "SharedMatrix",

@@ -80,7 +80,14 @@ import numpy as np
 
 from repro.exceptions import CorruptStateError, InvalidDataError, ValidationError
 
-__all__ = ["DeltaEvent", "MergePlan", "delete_rows", "flush_mutations", "insert_rows"]
+__all__ = [
+    "DeltaEvent",
+    "MergePlan",
+    "delete_rows",
+    "flush_mutations",
+    "insert_rows",
+    "replay_event",
+]
 
 # Compact eagerly once this many rows are queued in the journal: bounds
 # journal memory and keeps the eventual compaction pass from ballooning.
@@ -377,6 +384,36 @@ def flush_mutations(engine) -> None:
     engine.revision += 1
     for callback in list(engine._delta_subscribers):
         callback(event)
+
+
+def replay_event(engine, deleted_ids: np.ndarray, inserted_rows: np.ndarray) -> None:
+    """Re-apply one logged :class:`DeltaEvent` through the mutation path.
+
+    WAL recovery (:mod:`repro.engine.wal`) records each effective
+    compaction as its net effect — ``deleted_ids`` in the pre-event id
+    space plus the appended ``inserted_rows`` — and replays it here
+    against an engine sitting at the pre-event state.  Because the
+    engine's journal is clean at that point, the pre-event ids *are* the
+    current view's indices, so one ``delete_rows`` + ``insert_rows`` +
+    :func:`flush_mutations` reproduces exactly the original transition:
+    same surviving permutation, same appended ids, same single revision
+    bump.  Bit-identity of everything derived then follows from the
+    compaction contract above.
+    """
+    deleted_ids = np.asarray(deleted_ids, dtype=np.int64).reshape(-1)
+    inserted_rows = np.asarray(inserted_rows, dtype=np.float64)
+    if inserted_rows.size == 0:
+        inserted_rows = inserted_rows.reshape(0, engine.d)
+    if engine._dirty_rows:
+        raise CorruptStateError(
+            "replay_event requires a settled engine (dirty journal found); "
+            "recovery must replay onto the committed state only"
+        )
+    if deleted_ids.size:
+        delete_rows(engine, deleted_ids)
+    if inserted_rows.shape[0]:
+        insert_rows(engine, inserted_rows)
+    flush_mutations(engine)
 
 
 def _check_journal(engine, live: np.ndarray, cn: int, pending_total: int) -> None:

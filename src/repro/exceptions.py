@@ -57,6 +57,16 @@ class CorruptStateError(ReproError):
     """
 
 
+class DataDirLockedError(ReproError):
+    """A serving data directory is locked by another live process.
+
+    Two servers appending to one write-ahead log would interleave
+    revisions and corrupt recovery; the lock holder's pid is probed, so
+    a lock left behind by a killed process is reclaimed silently and
+    this error means the holder is actually alive.
+    """
+
+
 class GeometryError(ReproError):
     """A geometric computation failed (degenerate input, no hull, ...)."""
 

@@ -16,14 +16,28 @@ Pieces:
 * :class:`ServerThread` — the same server on a background event loop,
   for tests, benches and in-process demos.
 * :class:`ServiceClient` — blocking stdlib client used by the example,
-  the CI smoke and the ``serving_load`` perf-gate op.
+  the CI smoke and the ``serving_load`` perf-gate op; retries overload
+  with capped jittered backoff and ambiguous transport failures with
+  idempotency keys (exactly-once against a durable server).
 * :mod:`repro.serve.coalesce` — the queue + dispatcher; see its
   docstring for the determinism argument.
 * :mod:`repro.serve.http` — the minimal HTTP/1.1 layer (stdlib only).
+
+With ``ServerConfig(data_dir=...)`` (CLI: ``repro serve --data-dir``)
+the server is durable: every acknowledged mutation is in a fsync'd
+write-ahead log before its response is sent, snapshots are cut on a
+size/age policy and on graceful drain, and a restart — even after
+SIGKILL — recovers a bit-identical serving state
+(:mod:`repro.engine.wal`).
 """
 
 from repro.serve.app import Server, ServerConfig, ServerThread, serve
-from repro.serve.client import ServiceClient, ServiceError, ServiceOverloadedError
+from repro.serve.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceRetryExhaustedError,
+)
 
 __all__ = [
     "Server",
@@ -33,4 +47,5 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceOverloadedError",
+    "ServiceRetryExhaustedError",
 ]

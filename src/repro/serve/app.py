@@ -27,24 +27,47 @@ On boot the server warm-loads a checksummed
 :class:`~repro.engine.TuningProfile` if configured (recalibrating on a
 failed integrity check, like the CLI), so the first request is served
 by an already-tuned engine.
+
+**Durability** (``ServerConfig.data_dir``, :mod:`repro.engine.wal`):
+with a data directory configured, boot recovers the newest valid
+snapshot, replays the write-ahead-log suffix through the ordinary
+mutation path, and restores the revision counter — so after a crash
+(even SIGKILL mid-mutation) the restarted server answers every query
+bit-identically to one that never died.  Each mutation barrier appends
+one fsync'd WAL record *before its response leaves the engine thread*
+(the barrier ordering is the write-ahead discipline: durable first,
+acknowledged second), bundling the delta events with the request's
+idempotency key and response body.  A client that retries an ambiguous
+failure with the same ``idempotency_key`` gets the stored response back
+and the engine is untouched — exactly-once, across restarts.  Snapshots
+are cut on a WAL size/age policy and on graceful drain (SIGTERM /
+SIGINT in :func:`serve`: stop admissions with 503, drain the coalescer,
+snapshot, exit 0).
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import json
+import signal
 import sys
 import threading
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine import TuningProfile
+from repro.engine import DurableStore, TuningProfile, replay_commits
 from repro.exceptions import CorruptStateError, ReproError, ValidationError
 from repro.serve import http
 from repro.serve.coalesce import Coalescer, WorkItem
 from repro.session import Session
 
 __all__ = ["ServerConfig", "Server", "serve", "ServerThread"]
+
+# In-memory idempotency keys kept without a data_dir (with one, the
+# snapshot carries the table and this is just the live-table cap).
+_MAX_IDEMPOTENCY_KEYS = 65536
 
 
 @dataclass
@@ -59,6 +82,9 @@ class ServerConfig:
     max_batch: int = 1024  # coalescing cap per engine call
     max_body_bytes: int = 32 * 2**20
     representative_method: str = "mdrc"  # default for /v1/representative
+    data_dir: str | None = None  # WAL + snapshots; None = memory-only
+    snapshot_wal_bytes: int = 4 * 2**20  # snapshot once the WAL grows past this
+    snapshot_interval_s: float | None = None  # and/or this old (None = size-only)
 
 
 def _warm_tuning(config: ServerConfig, values: np.ndarray):
@@ -84,17 +110,23 @@ def _warm_tuning(config: ServerConfig, values: np.ndarray):
 
 
 class Server:
-    """The serving front-end; owns the Session, views and coalescer."""
+    """The serving front-end; owns the Session, views, coalescer and
+    (when configured) the durable store."""
 
     def __init__(self, values: np.ndarray, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
-        self.session = Session(
-            values,
-            jobs=self.config.jobs,
-            backend=self.config.backend,
-            tune=_warm_tuning(self.config, np.asarray(values, dtype=np.float64)),
-            policy=self.config.policy,
-        )
+        self._store: DurableStore | None = None
+        self._idempotency: dict[str, dict] = {}
+        self.recovery = {"snapshot_revision": 0, "replayed_commits": 0}
+        # Boot acquires resources in dependency order (lock + WAL handle,
+        # then the Session's pools) under one ExitStack: if any later
+        # step raises — a corrupt profile forcing recalibration that
+        # itself fails, an unrecoverable WAL, a dead snapshot set —
+        # everything already acquired is unwound and no stray lock file,
+        # WAL handle or half-built session survives the wreck.
+        with contextlib.ExitStack() as stack:
+            self._boot(np.asarray(values, dtype=np.float64), stack)
+            stack.pop_all()  # boot succeeded: resources now owned by stop()
         self._coalescer = Coalescer(
             self.session.engine,
             max_pending=self.config.max_pending,
@@ -104,6 +136,63 @@ class Server:
         self._server: asyncio.base_events.Server | None = None
         self._draining = False
         self.port: int | None = None  # resolved at start (0 = ephemeral)
+
+    def _boot(self, values: np.ndarray, stack: contextlib.ExitStack) -> None:
+        snapshot, commits = None, []
+        if self.config.data_dir is not None:
+            self._store = DurableStore(
+                self.config.data_dir,
+                snapshot_wal_bytes=self.config.snapshot_wal_bytes,
+                snapshot_interval_s=self.config.snapshot_interval_s,
+                max_idempotency_keys=_MAX_IDEMPOTENCY_KEYS,
+            ).open()
+            stack.callback(self._store.close)
+            snapshot, commits = self._store.load()
+        if snapshot is not None:
+            boot_values = snapshot.values
+            self._idempotency.update(snapshot.idempotency)
+        else:
+            boot_values = values
+        self.session = Session(
+            boot_values,
+            jobs=self.config.jobs,
+            backend=self.config.backend,
+            tune=self._boot_tuning(snapshot, boot_values),
+            policy=self.config.policy,
+        )
+        stack.callback(self.session.close)
+        engine = self.session.engine
+        if snapshot is not None:
+            # Durable revision numbers continue across restarts: response
+            # ``revision`` fields must match an uninterrupted run's.
+            engine.revision = snapshot.revision
+        if commits:
+            replay_commits(engine, commits, idempotency=self._idempotency)
+        self.recovery = {
+            "snapshot_revision": snapshot.revision if snapshot else 0,
+            "replayed_commits": len(commits),
+        }
+        if self._store is not None:
+            # Attach only now: replayed events must not be re-logged.
+            self._store.attach(engine)
+            if snapshot is None and not commits:
+                # First durable boot: persist the base state immediately,
+                # so recovery never depends on the caller re-supplying
+                # the exact boot matrix.
+                self._snapshot_now()
+
+    def _boot_tuning(self, snapshot, boot_values: np.ndarray):
+        """Tuning for the recovered engine: snapshot-pinned, else warm."""
+        if snapshot is not None and snapshot.profile is not None:
+            try:
+                return TuningProfile.from_json(json.dumps(snapshot.profile))
+            except (CorruptStateError, ValueError, TypeError) as exc:
+                print(
+                    f"warning: snapshot tuning profile unusable ({exc}); "
+                    "falling back to the configured profile",
+                    file=sys.stderr,
+                )
+        return _warm_tuning(self.config, boot_values)
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -120,6 +209,50 @@ class Server:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        """Graceful shutdown: stop admissions, drain, snapshot, release.
+
+        Every mutation acknowledged before the drain barrier is settled
+        in the final snapshot; the WAL is left empty.  If the drain
+        cannot complete (a hung engine call), shutdown proceeds without
+        the snapshot — the WAL still holds everything acknowledged, so
+        nothing durable is lost, only the next boot's replay is longer.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._store is not None and self._coalescer.running:
+            try:
+                await asyncio.wait_for(self._coalescer.drain(), timeout=30.0)
+                await asyncio.wrap_future(
+                    self.session.engine.submit(self._final_snapshot)
+                )
+            except Exception as exc:  # noqa: BLE001 - shutdown must proceed
+                print(
+                    f"warning: drain snapshot skipped ({exc!r}); the WAL "
+                    "covers all acknowledged mutations",
+                    file=sys.stderr,
+                )
+        await self._coalescer.stop()
+        for view in self._views.values():
+            view.close()
+        # Join the engine's dispatch thread before closing the WAL
+        # handle: a commit still running there must not hit a closed fd.
+        self.session.close()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    async def abort(self) -> None:
+        """Tear down as a crash would (tests' in-process kill -9 analog).
+
+        No drain, no snapshot, no WAL truncation — and the lock file
+        stays on disk exactly as SIGKILL would leave it (recovery
+        reclaims it via the dead-pid probe).  Only the in-process
+        resources (event loop task, thread pools, file handle) are
+        released, since a real dead process cannot leak those.
+        """
         self._draining = True
         if self._server is not None:
             self._server.close()
@@ -128,7 +261,10 @@ class Server:
         await self._coalescer.stop()
         for view in self._views.values():
             view.close()
-        self.session.close()
+        self.session.close()  # join the engine thread before dropping the fd
+        if self._store is not None:
+            self._store.abandon()
+            self._store = None
 
     def drain(self) -> None:
         """Stop admitting work; live requests finish, new ones get 503."""
@@ -225,10 +361,11 @@ class Server:
             "d": engine.d,
             "revision": engine.revision,
             "queue_depth": self._coalescer.depth,
+            "durable": self._store is not None,
         }
 
     def _stats(self) -> dict:
-        return {
+        out = {
             "engine": dict(self.session.engine.stats),
             "coalescing": self.stats(),
             "views": {
@@ -236,6 +373,14 @@ class Server:
                 for (method, k), view in self._views.items()
             },
         }
+        if self._store is not None:
+            out["durability"] = {
+                **self._store.stats,
+                "wal_bytes": self._store.wal_bytes,
+                "idempotency_keys": len(self._idempotency),
+                "recovery": dict(self.recovery),
+            }
+        return out
 
     def stats(self) -> dict:
         return self._coalescer.stats.as_dict()
@@ -292,27 +437,73 @@ class Server:
 
     async def _handle_insert(self, body: dict) -> tuple[int, dict]:
         rows = _parse_matrix(body, "rows", self.session.engine.d)
+        key = _parse_key(body)
         engine = self.session.engine
 
         def run():
+            stored = self._idempotency.get(key) if key is not None else None
+            if stored is not None:
+                return dict(stored)  # exactly-once: engine untouched
             indices = engine.insert_rows(rows)
             engine.compact()  # settle now: views repair, revision bumps
-            return indices, engine.revision
+            response = {"indices": indices.tolist(), "revision": engine.revision}
+            self._commit_mutation(key, response)
+            return response
 
-        indices, revision = await self._barrier(run)
-        return 200, {"indices": indices.tolist(), "revision": revision}
+        return 200, await self._barrier(run)
 
     async def _handle_delete(self, body: dict) -> tuple[int, dict]:
         indices = _parse_indices(body, "indices")
+        key = _parse_key(body)
         engine = self.session.engine
 
         def run():
+            stored = self._idempotency.get(key) if key is not None else None
+            if stored is not None:
+                return dict(stored)
             deleted = engine.delete_rows(indices)
             engine.compact()
-            return deleted, engine.revision
+            response = {"deleted": int(deleted), "revision": engine.revision}
+            self._commit_mutation(key, response)
+            return response
 
-        deleted, revision = await self._barrier(run)
-        return 200, {"deleted": int(deleted), "revision": revision}
+        return 200, await self._barrier(run)
+
+    # -- durability -----------------------------------------------------
+    def _commit_mutation(self, key: str | None, response: dict) -> None:
+        """Make one applied mutation durable; engine dispatch thread only.
+
+        Runs inside the mutation's barrier, after compact and before the
+        response future resolves — the write-ahead discipline: the
+        fsync'd record (delta events + key + response) is what makes the
+        acknowledgment safe to send.  The size/age snapshot policy is
+        checked here too, on the same thread, while the engine is
+        settled.
+        """
+        if key is not None:
+            self._idempotency[key] = response
+            while len(self._idempotency) > _MAX_IDEMPOTENCY_KEYS:
+                self._idempotency.pop(next(iter(self._idempotency)))
+        if self._store is not None:
+            self._store.commit(key, response if key is not None else None,
+                               self.session.engine.revision)
+            if self._store.should_snapshot():
+                self._snapshot_now()
+
+    def _snapshot_now(self) -> None:
+        """Snapshot the settled engine state (engine thread / boot only)."""
+        engine = self.session.engine
+        self._store.snapshot(
+            engine.values,
+            engine.revision,
+            idempotency=dict(self._idempotency),
+            profile=json.loads(engine.tuning.to_json()),
+        )
+
+    def _final_snapshot(self) -> None:
+        """The graceful-drain snapshot: only if the WAL holds anything."""
+        if self._store is not None and self._store.wal_dirty:
+            self._snapshot_now()
 
     # -- helpers --------------------------------------------------------
     def _offer(self, item: WorkItem) -> asyncio.Future:
@@ -379,22 +570,65 @@ def _parse_int(body: dict, name: str, *, low: int) -> int:
     return raw
 
 
+def _parse_key(body: dict) -> str | None:
+    raw = body.get("idempotency_key")
+    if raw is None:
+        return None
+    if not isinstance(raw, str) or not raw or len(raw) > 256:
+        raise http.ProtocolError(
+            400, "'idempotency_key' must be a non-empty string of <= 256 chars"
+        )
+    return raw
+
+
 def serve(values: np.ndarray, config: ServerConfig | None = None) -> None:
-    """Run the server until interrupted (the ``repro serve`` entry)."""
+    """Run the server until SIGTERM/SIGINT (the ``repro serve`` entry).
+
+    Both signals trigger the graceful path: admissions stop (503), the
+    coalescer drains, a final snapshot is cut (when a ``data_dir`` is
+    configured), and the process exits 0 — so an orchestrator's ordinary
+    terminate never loses an acknowledged mutation and never pays WAL
+    replay on the next boot.
+    """
 
     async def _main() -> None:
         server = Server(values, config)
+        loop = asyncio.get_running_loop()
+        stop_signal = asyncio.Event()
+        handled: list[int] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop_signal.set)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix loop: KeyboardInterrupt fallback below
         await server.start()
+        recovery = server.recovery
         print(
             f"repro.serve listening on http://{server.config.host}:{server.port} "
-            f"(n={server.session.engine.n}, d={server.session.engine.d})",
+            f"(n={server.session.engine.n}, d={server.session.engine.d}, "
+            f"revision={server.session.engine.revision}, "
+            f"recovered_commits={recovery['replayed_commits']})",
             file=sys.stderr,
         )
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop_signal.wait())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if stop_signal.is_set():
+                print(
+                    "repro.serve: signal received — draining, snapshotting, "
+                    "exiting",
+                    file=sys.stderr,
+                )
         finally:
+            serve_task.cancel()
+            stop_task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            for sig in handled:
+                loop.remove_signal_handler(sig)
             await server.stop()
 
     try:
@@ -419,6 +653,7 @@ class ServerThread:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
+        self._aborted = False
 
     @property
     def url(self) -> str:
@@ -452,7 +687,10 @@ class ServerThread:
             serve_task.cancel()
             stop_task.cancel()
             await asyncio.gather(serve_task, stop_task, return_exceptions=True)
-            await self.server.stop()
+            if self._aborted:
+                await self.server.abort()
+            else:
+                await self.server.stop()
 
     def call(self, fn, *args) -> None:
         """Run ``fn`` on the server's loop (pause/resume/drain from tests)."""
@@ -466,6 +704,18 @@ class ServerThread:
             self._thread.join(timeout=30)
         self._loop = None
         self._thread = None
+
+    def kill(self) -> None:
+        """Crash the server: no drain, no snapshot, stale lock left behind.
+
+        The in-process analogue of ``kill -9`` for the durability tests:
+        the on-disk state afterwards (untruncated WAL, lock file
+        pointing at a "dead" holder) is exactly what a SIGKILLed server
+        leaves, while the process-local resources a real crash cannot
+        leak are still released.
+        """
+        self._aborted = True
+        self.stop()
 
     def __enter__(self) -> str:
         self.start()

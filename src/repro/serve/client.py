@@ -6,21 +6,40 @@ client, the CI smoke, the ``serving_load`` bench op and the serving
 test-suite).  Responses come back as numpy arrays so bit-identity
 against direct engine calls can be asserted with ``array_equal``.
 
-Overload is a first-class outcome, not an exception bucket: a 429/503
-raises :class:`ServiceOverloadedError` (with the server's
-``retry_after_ms`` hint when present) so callers can implement backoff;
-every other non-2xx raises :class:`ServiceError` with the server's
-status and error message.
+Retry policy (all stdlib, no caller-side loops needed):
+
+* **Overload** (429 queue-full / 503 draining) backs off with capped
+  exponential delay plus jitter, honoring the server's
+  ``retry_after_ms`` hint as the floor; after ``max_retries`` attempts
+  it gives up with a typed :class:`ServiceRetryExhaustedError`.
+  ``max_retries=0`` restores the raw behavior — the first 429/503
+  raises :class:`ServiceOverloadedError` immediately — for callers that
+  drive their own backoff (the overload tests do).
+* **Ambiguous transport failures** (connection reset mid-request, a
+  died-and-restarted server) retry only requests that are safe to
+  repeat: reads always, mutations only when they carry an idempotency
+  key.  :meth:`insert` / :meth:`delete` generate a key automatically
+  (``uuid4``) unless given one, so by default every mutation is
+  exactly-once end to end — the durable server replays the stored
+  response instead of re-applying, even across a crash and restart.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
+import uuid
 from http.client import HTTPConnection
 
 import numpy as np
 
-__all__ = ["ServiceClient", "ServiceError", "ServiceOverloadedError"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceRetryExhaustedError",
+]
 
 
 class ServiceError(Exception):
@@ -40,6 +59,21 @@ class ServiceOverloadedError(ServiceError):
         return int(self.payload.get("retry_after_ms", 50))
 
 
+class ServiceRetryExhaustedError(ServiceError):
+    """The retry budget ran out; ``last`` holds the final failure."""
+
+    def __init__(self, attempts: int, last: Exception) -> None:
+        status = getattr(last, "status", 0)
+        payload = getattr(last, "payload", {"error": str(last)})
+        Exception.__init__(
+            self, f"gave up after {attempts} attempts: {last}"
+        )
+        self.status = status
+        self.payload = payload
+        self.attempts = attempts
+        self.last = last
+
+
 class ServiceClient:
     """One keep-alive connection to a serving front-end.
 
@@ -49,36 +83,78 @@ class ServiceClient:
         batch = client.topk(weights, k=10)       # {"members", "order", "revision"}
     """
 
-    def __init__(self, url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 60.0,
+        *,
+        max_retries: int = 4,
+        backoff_base_ms: float = 25.0,
+        backoff_cap_ms: float = 1000.0,
+    ) -> None:
         if "://" in url:
             url = url.split("://", 1)[1]
         host, _, port = url.strip("/").partition(":")
         self._conn = HTTPConnection(host, int(port or 80), timeout=timeout)
+        self._max_retries = int(max_retries)
+        self._backoff_base_ms = float(backoff_base_ms)
+        self._backoff_cap_ms = float(backoff_cap_ms)
+        self._rng = random.Random()
+        self._sleep = time.sleep  # overridable in tests
 
     # -- transport ------------------------------------------------------
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self, method: str, path: str, payload: dict | None = None, *,
+        idempotent: bool = True,
+    ) -> dict:
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
-        try:
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            data = response.read()
-        except (ConnectionError, BrokenPipeError):
-            # The server closed the keep-alive connection (e.g. after an
-            # error response); reconnect once.
-            self._conn.close()
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            data = response.read()
+        overload_attempts = 0
+        conn_failures = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, headers)
+            except ServiceOverloadedError as exc:
+                overload_attempts += 1
+                if overload_attempts > self._max_retries:
+                    if self._max_retries == 0:
+                        raise  # raw semantics for caller-driven backoff
+                    raise ServiceRetryExhaustedError(overload_attempts, exc) from exc
+                self._sleep(self._backoff_ms(overload_attempts, exc) / 1000.0)
+            except (ConnectionError, BrokenPipeError, TimeoutError) as exc:
+                # The server closed the keep-alive connection — routine
+                # after an error response, ambiguous mid-request.
+                self._conn.close()
+                conn_failures += 1
+                if conn_failures == 1 and idempotent:
+                    continue  # immediate reconnect, as before
+                if not idempotent or conn_failures > self._max_retries:
+                    # Repeating a non-idempotent request could apply the
+                    # mutation twice; surface the ambiguity instead.
+                    raise
+                self._sleep(self._backoff_ms(conn_failures, None) / 1000.0)
+
+    def _request_once(self, method: str, path: str, body, headers) -> dict:
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        data = response.read()
         decoded = json.loads(data) if data else {}
         if response.status in (429, 503):
             raise ServiceOverloadedError(response.status, decoded)
         if not 200 <= response.status < 300:
             raise ServiceError(response.status, decoded)
         return decoded
+
+    def _backoff_ms(self, attempt: int, exc: ServiceOverloadedError | None) -> float:
+        """Capped exponential with jitter, floored at the server's hint."""
+        delay = min(self._backoff_cap_ms, self._backoff_base_ms * 2 ** (attempt - 1))
+        delay *= self._rng.uniform(0.5, 1.5)
+        if exc is not None:
+            delay = max(delay, float(exc.retry_after_ms))
+        return delay
 
     def close(self) -> None:
         self._conn.close()
@@ -123,12 +199,23 @@ class ServiceClient:
             payload["method"] = method
         return self._request("POST", "/v1/representative", payload)
 
-    def insert(self, rows) -> dict:
-        out = self._request("POST", "/v1/insert", {"rows": np.asarray(rows).tolist()})
+    def insert(self, rows, *, idempotency_key: str | None = None) -> dict:
+        """Insert rows, exactly once: a key is generated when not given,
+        so a retried/reconnected request can never double-apply against
+        a durable server."""
+        key = idempotency_key or uuid.uuid4().hex
+        out = self._request(
+            "POST",
+            "/v1/insert",
+            {"rows": np.asarray(rows).tolist(), "idempotency_key": key},
+        )
         out["indices"] = np.asarray(out["indices"], dtype=np.int64)
         return out
 
-    def delete(self, indices) -> dict:
+    def delete(self, indices, *, idempotency_key: str | None = None) -> dict:
+        key = idempotency_key or uuid.uuid4().hex
         return self._request(
-            "POST", "/v1/delete", {"indices": [int(i) for i in indices]}
+            "POST",
+            "/v1/delete",
+            {"indices": [int(i) for i in indices], "idempotency_key": key},
         )

@@ -27,6 +27,14 @@ Correctness rests on two facts:
 Admission control is the queue bound: :meth:`Coalescer.offer` raises
 :class:`asyncio.QueueFull` when ``max_pending`` requests are already
 waiting, which the HTTP layer maps to a typed 429.
+
+The barrier ordering is also the durability ordering: a mutation
+barrier's ``run`` executes apply → compact → WAL append+fsync → build
+response as one unit on the engine thread, so the write-ahead commit is
+serialized exactly where the mutation is — no query can observe a
+revision whose WAL record might still be in flight, and a drain barrier
+(:meth:`Coalescer.drain`) that resolves after a mutation proves that
+mutation durable.
 """
 
 from __future__ import annotations
@@ -120,12 +128,41 @@ class Coalescer:
             if not item.future.done():
                 item.future.set_exception(ConnectionResetError("server stopped"))
 
+    @property
+    def running(self) -> bool:
+        return self._task is not None
+
     def pause(self) -> None:
         """Hold the dispatcher between batches (overload testing)."""
         self._paused.clear()
 
     def resume(self) -> None:
         self._paused.set()
+
+    async def drain(self) -> None:
+        """Wait until everything enqueued before this call has executed.
+
+        Enqueues a no-op barrier and awaits it: the dispatcher executes
+        groups strictly in arrival order, so when the sentinel's future
+        resolves every earlier item — including any mutation barrier and
+        its write-ahead commit — has fully settled on the engine thread.
+        Used by graceful shutdown (after admissions stop) so the final
+        snapshot captures every acknowledged mutation.  Resumes a paused
+        dispatcher: drain and pause are mutually exclusive states.
+        """
+        if self._task is None:
+            return
+        self.resume()
+        sentinel = WorkItem(
+            kind="barrier",
+            payload={},
+            future=asyncio.get_running_loop().create_future(),
+            run=lambda: None,
+        )
+        # Blocking put, not offer(): the drain sentinel must get in even
+        # when the queue is at the admission bound.
+        await self._queue.put(sentinel)
+        await sentinel.future
 
     # -- dispatch -------------------------------------------------------
     async def _run(self) -> None:

@@ -222,7 +222,7 @@ def test_overload_returns_typed_429(matrix):
 
         def worker(i):
             try:
-                with ServiceClient(url, timeout=60) as client:
+                with ServiceClient(url, timeout=60, max_retries=0) as client:
                     client.topk(np.random.default_rng(i).random((1, 4)), 3)
                 outcomes.append("ok")
             except ServiceOverloadedError as exc:

@@ -184,7 +184,7 @@ def test_draining_returns_503():
     matrix = np.random.default_rng(9).random((300, 3))
     server = ServerThread(matrix, ServerConfig(port=0))
     with server as url:
-        client = ServiceClient(url, timeout=30)
+        client = ServiceClient(url, timeout=30, max_retries=0)
         client.health()
         server.call(server.server.drain)
         time.sleep(0.1)

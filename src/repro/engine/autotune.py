@@ -239,6 +239,12 @@ class TuningProfile:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)
+            # Durable-rename discipline: fsync the directory too, or a
+            # machine-level crash can undo the replace (losing the rename
+            # even though the file's bytes were synced).
+            from repro.engine.wal import _fsync_dir
+
+            _fsync_dir(directory)
         except BaseException:
             try:
                 os.unlink(tmp)

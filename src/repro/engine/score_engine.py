@@ -1559,14 +1559,26 @@ class ScoreEngine:
         # scoring strictly above the bound would be silently dropped from
         # BOTH the `above` and `near` counts, so the near-band mismatch
         # check that normally forces the exact fallback never fires and
-        # the rank is undercounted.  Functions whose magnitude bounds
-        # (||w||, max ||row||, or their product — the score bound) leave
-        # the float32 range therefore skip the float32 tier entirely and
-        # count with the exact float64 kernel.
+        # the rank is undercounted.  The same silent escape happens at
+        # the *bottom* of the range: when the score bound is subnormal
+        # in float32 the band ``_TIE_BAND_ULPS * eps32 * nscale``
+        # flushes to zero, every score collapses onto ``best`` exactly,
+        # and the strict two-sided band test counts nothing on either
+        # side — rows genuinely above the bound (e.g. 1e-300 vs 0.0)
+        # are dropped without ever being flagged contested.  Functions
+        # whose magnitude bounds (||w||, max ||row||, or their product
+        # — the score bound) leave the float32 range in either
+        # direction therefore skip the float32 tier entirely and count
+        # with the exact float64 kernel.
         f32_lim = float(np.finfo(np.float32).max) / 8.0
+        f32_sub = float(np.finfo(np.float32).tiny) / float(np.finfo(np.float32).eps)
         nscale = self._noise_scale(W)
         w_norms = np.linalg.norm(W, axis=1)
-        unsafe = (nscale >= f32_lim) | (w_norms >= f32_lim)
+        unsafe = (
+            (nscale >= f32_lim)
+            | (w_norms >= f32_lim)
+            | ((nscale > 0.0) & (nscale <= f32_sub))
+        )
         if self._max_row_norm >= f32_lim:
             unsafe[:] = True
         if unsafe.any():

@@ -1,0 +1,1688 @@
+"""Fault-isolated sharded engine: row partitions, supervision, exactly-once.
+
+:class:`ShardedScoreEngine` is a router over N **shards**, each a full
+:class:`~repro.engine.ScoreEngine` owning a contiguous-at-boot slice of
+the rows, optionally running in its own worker process with its own
+:class:`~repro.engine.wal.DurableStore` (shard-local WAL + snapshot
+cycle).  The router merges per-shard query results under the repo's
+exactness contract and routes each mutation to the one shard that owns
+the affected rows — a 1% churn burst journals and repairs on one shard,
+not the fleet.
+
+Why the router keeps a full **reference engine**
+------------------------------------------------
+The exactness contract pins every query to the scalar reference
+convention: per-function float64 GEMV over the *full* matrix
+(``values @ w``), ties broken by smaller row id.  Per-row GEMV bits are
+**not** stable across matrix heights on real BLAS builds (kernel choice
+depends on shape — measurably so for ``d >= 8``), so no amount of
+per-shard arithmetic can reproduce the reference bits for contested
+(within-ulp-band) decisions.  The router therefore keeps a serial
+reference :class:`ScoreEngine` over the assembled matrix:
+
+* shards do the heavy screening in parallel — each returns a
+  band-inflated candidate superset (:meth:`ScoreEngine.
+  topk_candidates_slice` semantics) or banded strictly-above counts;
+* decisions separated by more than the ulp band are accumulation-
+  invariant, so the shard GEMMs decide them exactly;
+* anything inside the band falls back to the reference engine's scalar
+  kernel, bit-identical to an unsharded engine by construction.
+
+The reference engine is also the delta journal of record: fleet
+mutations apply to it through the ordinary
+:mod:`repro.engine.delta` path, so ``revision``, the
+:class:`~repro.engine.delta.DeltaEvent` stream (in global row ids — the
+materialized views subsystem works unchanged) and the ``values`` matrix
+all behave exactly like an unsharded engine.  The memory cost — one
+router-resident float64 copy — is the explicit trade of this layer; the
+ROADMAP's out-of-core/mmap follow-on removes it.
+
+Robustness core
+---------------
+:class:`ShardSupervisor` wraps every shard call: a dead shard (pipe EOF,
+SIGKILL), a hung shard (per-call deadline from the
+:class:`~repro.engine.resilience.RetryPolicy`) or a corrupted payload
+(structural validation) marks the shard *recovering*, respawns it from
+its own snapshot + WAL suffix, and retries the call — queries against a
+recovering shard block until it is back (bounded by the retry budget)
+and then fail with the typed error; a partial merge is never returned
+silently.
+
+Exactly-once is two-level: the router's fleet table maps a client
+idempotency key ``K`` to the full response, and each shard keeps its own
+durable table keyed ``K#s<i>``.  A retried fleet mutation therefore
+re-applies only on shards whose commit record is missing.  With a
+``data_dir``, the router additionally write-ahead-logs each fleet
+mutation as an **intent / commit** frame pair (frame revisions are a plain WAL
+sequence counter; each frame's meta names its fleet revision); boot
+replays the frames
+onto the routing map and *rolls forward* a trailing intent by probing
+the shard-level tables — completing a fleet mutation whose shard commits
+landed, aborting one whose target shard never heard of it.  There is no
+state in which an acknowledged fleet mutation is half-applied after
+recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.engine import faults as fault_layer
+from repro.engine.bitset import pack_membership, packed_width
+from repro.engine.resilience import RetryPolicy, get_default_policy
+from repro.engine.score_engine import _TIE_BAND_ULPS, ScoreEngine, TopKBatch
+from repro.engine.wal import DurableStore
+from repro.exceptions import (
+    CorruptStateError,
+    ExecutionError,
+    ExecutionTimeoutError,
+    InvalidDataError,
+    ValidationError,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "LocalShardHost",
+    "ProcessShardHost",
+    "ShardSupervisor",
+    "ShardWorker",
+    "ShardedScoreEngine",
+]
+
+# Handshake budget for a freshly spawned shard process: covers a cold
+# spawn-context interpreter + numpy import + snapshot/WAL recovery.
+_SPAWN_TIMEOUT_S = 120.0
+_CLOSE_TIMEOUT_S = 30.0
+_MAX_FLEET_KEYS = 65536
+
+
+# ----------------------------------------------------------------------
+# the shard worker (runs in-process or inside a child process)
+
+
+class ShardWorker:
+    """One shard: a serial engine over its rows + optional durability.
+
+    The worker is deliberately process-agnostic: :class:`LocalShardHost`
+    calls it directly, :class:`ProcessShardHost` drives the same methods
+    over a pipe.  All ids in its API are **shard-local** current-view
+    indices; the router owns the global-id mapping.
+
+    With a ``data_dir`` the worker keeps a :class:`DurableStore`: every
+    mutation appends one commit record carrying its explicit delta event
+    and the shard-level idempotency key, and recovery *folds* the WAL
+    suffix onto the snapshot matrix and rebuilds the engine fresh — by
+    the delta layer's contract a fresh engine on the mutated matrix is
+    bit-identical to one that lived through the mutations, and folding
+    (unlike replay) is defined even across empty intermediate states
+    (a shard may legitimately shrink to zero rows).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray | None,
+        *,
+        data_dir: str | None = None,
+        engine_kwargs: dict | None = None,
+        snapshot_wal_bytes: int = 4 * 2**20,
+        snapshot_interval_s: float | None = None,
+    ) -> None:
+        kwargs = dict(engine_kwargs or {})
+        kwargs.setdefault("n_jobs", 1)
+        self._engine_kwargs = kwargs
+        self._store: DurableStore | None = None
+        self._idempotency: dict[str, dict] = {}
+        self._revision = 0  # shard-local durable revision (not engine.revision)
+        self.engine: ScoreEngine | None = None
+        self._d: int | None = None
+        if data_dir is None:
+            if values is None:
+                raise CorruptStateError(
+                    "shard has neither a boot matrix nor a data dir to "
+                    "recover from; a storeless shard cannot be respawned"
+                )
+            state = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+            self._adopt_state(state)
+            return
+        store = DurableStore(
+            data_dir,
+            snapshot_wal_bytes=snapshot_wal_bytes,
+            snapshot_interval_s=snapshot_interval_s,
+        ).open()
+        try:
+            self._recover(store, values)
+        except BaseException:
+            store.close()
+            raise
+        self._store = store
+
+    # -- boot / recovery ------------------------------------------------
+    def _adopt_state(self, state: np.ndarray) -> None:
+        self._d = int(state.shape[1])
+        self.engine = (
+            ScoreEngine(state, **self._engine_kwargs) if state.shape[0] else None
+        )
+
+    def _recover(self, store: DurableStore, boot_values) -> None:
+        snapshot, commits = store.load()
+        if snapshot is None and not commits:
+            if boot_values is None:
+                raise CorruptStateError(
+                    f"shard data dir {store.data_dir!r} is empty and no boot "
+                    "matrix was provided; nothing to recover"
+                )
+            state = np.ascontiguousarray(np.asarray(boot_values, dtype=np.float64))
+            self._adopt_state(state)
+            # Base snapshot immediately: a respawn after the very first
+            # crash must find a recoverable base, not an empty dir.
+            store.snapshot(state, 0, idempotency={})
+            return
+        state = (
+            np.ascontiguousarray(snapshot.values)
+            if snapshot is not None
+            else np.ascontiguousarray(np.asarray(boot_values, dtype=np.float64))
+        )
+        revision = snapshot.revision if snapshot is not None else 0
+        idem = dict(snapshot.idempotency) if snapshot is not None else {}
+        for commit in commits:
+            for deleted, inserted in commit.events:
+                state = np.vstack(
+                    [np.delete(state, np.asarray(deleted, dtype=np.int64), axis=0),
+                     np.asarray(inserted, dtype=np.float64).reshape(-1, state.shape[1])]
+                )
+            revision = commit.revision
+            if commit.key is not None:
+                idem[commit.key] = commit.response
+        self._revision = int(revision)
+        self._idempotency = idem
+        self._adopt_state(np.ascontiguousarray(state))
+
+    # -- introspection --------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.engine.n if self.engine is not None else 0
+
+    def status(self) -> dict:
+        out = {
+            "n": self.n,
+            "revision": self._revision,
+            "pid": os.getpid(),
+        }
+        if self._store is not None:
+            out["wal_bytes"] = self._store.wal_bytes
+            out["wal_dirty"] = self._store.wal_dirty
+            out["last_snapshot_age_s"] = self._store.last_snapshot_age_s
+            out["snapshots"] = self._store.stats["snapshots"]
+        return out
+
+    def lookup(self, key: str) -> dict | None:
+        """The stored response for a shard-level key, if the commit landed."""
+        return self._idempotency.get(key)
+
+    def max_row_norm(self) -> float:
+        if self.engine is None:
+            return 0.0
+        from repro.engine.score_engine import robust_row_norms
+
+        self.engine.compact()
+        return float(robust_row_norms(self.engine.values).max())
+
+    def rows(self, local_ids=None) -> np.ndarray:
+        """Row data (all rows, or the given local ids), float64 bits."""
+        if self.engine is None:
+            return np.empty((0, self._d or 0), dtype=np.float64)
+        self.engine.compact()
+        if local_ids is None:
+            return self.engine.values
+        return self.engine.values[np.asarray(local_ids, dtype=np.int64)]
+
+    # -- query work units ----------------------------------------------
+    def topk_candidates(self, W: np.ndarray, k: int) -> list[np.ndarray]:
+        """Band-inflated local top-k candidate ids, one array per function.
+
+        A superset of every local row that can appear in the *global*
+        top-k: a true global top-k row ranks in the top-k of its own
+        shard by exact scores, and the shard-local ulp band absorbs both
+        the GEMM deviation of its score and of the local k-th boundary
+        (both scale with shard row norms).  The router re-scores and
+        merges under the reference convention.
+        """
+        if self.engine is None:
+            return [np.empty(0, dtype=np.int64)] * int(np.asarray(W).shape[0])
+        self.engine.compact()
+        n = self.engine.n
+        if k >= n:
+            full = np.arange(n, dtype=np.int64)
+            return [full] * int(np.asarray(W).shape[0])
+        return self.engine.topk_candidates_slice(W, int(k), 0, n)
+
+    def rank_counts(
+        self,
+        W: np.ndarray,
+        best: np.ndarray,
+        tol: np.ndarray,
+        local_members: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Banded strictly-above counts over this shard's rows.
+
+        Mirrors :meth:`ScoreEngine.rank_count_slice` with the subset
+        best and the (fleet-wide) tolerance supplied by the router:
+        ``above`` counts rows clearly above ``best + tol`` (exact for
+        any accumulation, being outside the band), ``contested`` flags
+        functions where a non-member local row landed inside the band —
+        the router resolves those with the reference scalar kernel.
+        """
+        m = int(np.asarray(W).shape[0])
+        if self.engine is None:
+            return (
+                np.zeros(m, dtype=np.int64),
+                np.zeros(m, dtype=bool),
+            )
+        self.engine.compact()
+        W = np.asarray(W, dtype=np.float64)
+        best = np.asarray(best, dtype=np.float64)
+        tol = np.asarray(tol, dtype=np.float64)
+        members = np.asarray(local_members, dtype=np.int64)
+        S = W @ self.engine.values.T
+        self.engine.stats["gemm_columns"] += m
+        above = (S > (best + tol)[:, None]).sum(axis=1)
+        near = (S > (best - tol)[:, None]).sum(axis=1)
+        if members.size:
+            member_near = (S[:, members] > (best - tol)[:, None]).sum(axis=1)
+        else:
+            member_near = np.zeros(m, dtype=np.int64)
+        return above.astype(np.int64), (near - member_near) != above
+
+    # -- mutations (shard-level exactly-once) ---------------------------
+    def _remember(self, key: str | None, response: dict) -> None:
+        if key is None:
+            return
+        self._idempotency[key] = response
+        if len(self._idempotency) > _MAX_FLEET_KEYS:
+            self._idempotency.pop(next(iter(self._idempotency)))
+
+    def _commit(
+        self, key: str | None, response: dict, deleted: np.ndarray, inserted: np.ndarray
+    ) -> None:
+        self._revision += 1
+        if self._store is not None:
+            self._store.commit(
+                key,
+                response,
+                self._revision,
+                events=((deleted, inserted),),
+            )
+            if self._store.should_snapshot():
+                self.snapshot_now()
+
+    def insert(self, rows: np.ndarray, key: str | None = None) -> dict:
+        hit = self._idempotency.get(key) if key is not None else None
+        if hit is not None:
+            return dict(hit, replayed=True)
+        rows = np.ascontiguousarray(np.asarray(rows, dtype=np.float64))
+        if self.engine is None:
+            self._adopt_state(rows)
+        else:
+            self.engine.insert_rows(rows)
+            self.engine.compact()
+        response = {"n": self.n, "revision": self._revision + 1}
+        self._commit(key, response, np.empty(0, dtype=np.int64), rows)
+        self._remember(key, response)
+        return dict(response, replayed=False)
+
+    def delete(self, local_ids: np.ndarray, key: str | None = None) -> dict:
+        hit = self._idempotency.get(key) if key is not None else None
+        if hit is not None:
+            return dict(hit, replayed=True)
+        ids = np.asarray(local_ids, dtype=np.int64)
+        if self.engine is None or ids.size == 0:
+            raise ValidationError("shard delete got no engine or no ids")
+        self.engine.compact()
+        if ids.size >= self.engine.n:
+            # The delta layer (rightly) refuses to empty an engine; the
+            # fleet-level invariant only protects the fleet, so a shard
+            # empties by discarding its engine wholesale.
+            self.engine.close()
+            self.engine = None
+        else:
+            self.engine.delete_rows(ids)
+            self.engine.compact()
+        response = {"deleted": int(ids.size), "n": self.n, "revision": self._revision + 1}
+        self._commit(key, response, ids, np.empty((0, self._d), dtype=np.float64))
+        self._remember(key, response)
+        return dict(response, replayed=False)
+
+    # -- lifecycle ------------------------------------------------------
+    def snapshot_now(self) -> None:
+        if self._store is None:
+            return
+        if self.engine is not None:
+            self.engine.compact()
+            state = self.engine.values
+        else:
+            state = np.empty((0, self._d or 0), dtype=np.float64)
+        self._store.snapshot(state, self._revision, idempotency=self._idempotency)
+
+    def close(self) -> None:
+        if self._store is not None and self._store.wal_dirty:
+            self.snapshot_now()
+        if self.engine is not None:
+            self.engine.close()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def abandon(self) -> None:
+        """Crash simulation: drop handles, leave the disk as SIGKILL would."""
+        if self.engine is not None:
+            self.engine.close()
+        if self._store is not None:
+            self._store.abandon()
+            self._store = None
+
+    def call(self, method: str, args: tuple):
+        fn = getattr(self, method, None)
+        if fn is None or not callable(fn) or method.startswith("_"):
+            raise ValidationError(f"unknown shard method {method!r}")
+        return fn(*args)
+
+
+# ----------------------------------------------------------------------
+# shard hosts
+
+
+class LocalShardHost:
+    """In-process shard host: direct calls, crash simulation via abandon.
+
+    ``kill()`` abandons the worker's store exactly the way SIGKILL
+    abandons a process's file descriptors, so the recovery path a
+    respawn exercises is the same one a real process crash would —
+    deterministically and without fork/spawn cost, which is what the
+    bit-identity test suites want.
+    """
+
+    isolation = "local"
+    supports_pipeline = False
+
+    def __init__(self, index: int, factory) -> None:
+        self.index = index
+        self._factory = factory  # factory(values | None) -> ShardWorker
+        self._worker: ShardWorker | None = None
+        self.alive = False
+
+    def spawn(self, values) -> None:
+        self._worker = self._factory(values)
+        self.alive = True
+
+    def respawn(self) -> None:
+        self.spawn(None)
+
+    def request(self, method: str, args: tuple, timeout_s=None, fault=None):
+        if not self.alive or self._worker is None:
+            raise WorkerCrashError(f"shard {self.index} is down")
+        return self._worker.call(method, args)
+
+    def kill(self) -> None:
+        if self._worker is not None:
+            self._worker.abandon()
+        self._worker = None
+        self.alive = False
+
+    def close(self) -> None:
+        if self._worker is not None:
+            self._worker.close()
+        self._worker = None
+        self.alive = False
+
+
+class ProcessShardHost:
+    """One shard in a child process behind a duplex pipe.
+
+    The child runs :func:`_shard_child_main`: a strict request/response
+    loop over ``(method, args, fault)`` tuples.  The start method
+    defaults to ``spawn`` — shard processes are respawned after crashes
+    from whatever thread noticed, and forking a threaded parent is
+    undefined behaviour waiting to happen.
+
+    Fault tokens from an installed :class:`~repro.engine.faults.
+    FaultInjector` ride along with the request: ``"crash"`` hard-exits
+    the child before touching the worker, ``("hang", s)`` stalls it,
+    ``"corrupt"`` garbles the (otherwise computed) payload — exercising
+    exactly the kill / deadline / validation paths of the supervisor.
+    """
+
+    isolation = "process"
+    supports_pipeline = True
+
+    def __init__(self, index: int, init: dict, mp_method: str | None = None) -> None:
+        import multiprocessing as mp
+
+        self.index = index
+        self._init = dict(init)
+        self._ctx = mp.get_context(mp_method or "spawn")
+        self._proc = None
+        self._conn = None
+        self.alive = False
+        self.pid: int | None = None
+
+    def spawn(self, values) -> None:
+        parent, child = self._ctx.Pipe()
+        init = dict(self._init)
+        init["values"] = values
+        proc = self._ctx.Process(
+            target=_shard_child_main, args=(child, init), daemon=True
+        )
+        proc.start()
+        child.close()
+        try:
+            if not parent.poll(_SPAWN_TIMEOUT_S):
+                raise WorkerCrashError(
+                    f"shard {self.index} did not finish booting in "
+                    f"{_SPAWN_TIMEOUT_S:.0f}s"
+                )
+            status, payload = parent.recv()
+        except (EOFError, OSError) as exc:
+            parent.close()
+            proc.kill()
+            proc.join()
+            raise WorkerCrashError(
+                f"shard {self.index} died during boot: {exc!r}"
+            ) from None
+        except BaseException:
+            parent.close()
+            proc.kill()
+            proc.join()
+            raise
+        if status != "ok":
+            parent.close()
+            proc.join()
+            raise payload
+        self._proc, self._conn, self.alive = proc, parent, True
+        self.pid = proc.pid
+
+    def respawn(self) -> None:
+        self.spawn(None)
+
+    def _mark_dead(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._proc is not None:
+            self._proc.join(timeout=5)
+            self._proc = None
+        self.alive = False
+
+    def start(self, method: str, args: tuple, fault=None) -> None:
+        if not self.alive:
+            raise WorkerCrashError(f"shard {self.index} is down")
+        try:
+            self._conn.send((method, args, fault))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self._mark_dead()
+            raise WorkerCrashError(f"shard {self.index} pipe is gone") from None
+
+    def finish(self, timeout_s=None):
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            wait = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                ready = self._conn.poll(wait)
+            except (BrokenPipeError, ConnectionResetError, OSError, EOFError):
+                self._mark_dead()
+                raise WorkerCrashError(
+                    f"shard {self.index} died mid-call"
+                ) from None
+            if not ready:
+                # A hung shard holds the pipe; kill it so the respawned
+                # incarnation starts from a clean channel.
+                self.kill()
+                raise ExecutionTimeoutError(
+                    f"shard {self.index} exceeded its {timeout_s}s deadline; "
+                    "killed for rebuild"
+                )
+            try:
+                status, payload = self._conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                self._mark_dead()
+                raise WorkerCrashError(
+                    f"shard {self.index} died mid-call (pipe EOF)"
+                ) from None
+            if status == "error":
+                raise payload
+            return payload
+
+    def request(self, method: str, args: tuple, timeout_s=None, fault=None):
+        self.start(method, args, fault)
+        return self.finish(timeout_s)
+
+    def kill(self) -> None:
+        proc = self._proc
+        if proc is not None and proc.is_alive():
+            proc.kill()
+        self._mark_dead()
+
+    def close(self) -> None:
+        if not self.alive:
+            self.kill()
+            return
+        try:
+            self._conn.send(("__stop__", (), None))
+            if self._conn.poll(_CLOSE_TIMEOUT_S):
+                self._conn.recv()
+        except (BrokenPipeError, ConnectionResetError, OSError, EOFError):
+            pass
+        proc = self._proc
+        if proc is not None:
+            proc.join(timeout=_CLOSE_TIMEOUT_S)
+        self.kill()
+
+
+def _shard_child_main(conn, init: dict) -> None:
+    """Entry point of a shard child process (top-level for spawn)."""
+    try:
+        worker = ShardWorker(
+            init.get("values"),
+            data_dir=init.get("data_dir"),
+            engine_kwargs=init.get("engine_kwargs"),
+            snapshot_wal_bytes=init.get("snapshot_wal_bytes", 4 * 2**20),
+            snapshot_interval_s=init.get("snapshot_interval_s"),
+        )
+    except BaseException as exc:  # boot failure: ship it to the parent
+        _child_send(conn, ("error", _picklable(exc)))
+        return
+    _child_send(conn, ("ok", "ready"))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if not isinstance(msg, tuple) or not msg:
+            break
+        method = msg[0]
+        if method == "__stop__":
+            try:
+                worker.close()
+                _child_send(conn, ("ok", "bye"))
+            except BaseException as exc:
+                _child_send(conn, ("error", _picklable(exc)))
+            break
+        args = msg[1] if len(msg) > 1 else ()
+        fault = msg[2] if len(msg) > 2 else None
+        if fault == "crash":
+            os._exit(23)
+        if isinstance(fault, tuple) and fault and fault[0] == "hang":
+            time.sleep(float(fault[1]))
+        try:
+            result = worker.call(method, args)
+        except BaseException as exc:
+            if not _child_send(conn, ("error", _picklable(exc))):
+                break
+            continue
+        if fault == "corrupt":
+            result = "\x00corrupt-shard-payload"
+        if not _child_send(conn, ("ok", result)):
+            break
+
+
+def _child_send(conn, payload) -> bool:
+    try:
+        conn.send(payload)
+        return True
+    except (BrokenPipeError, ConnectionResetError, OSError):
+        return False
+    except Exception:
+        # Unpicklable payload (exotic exception): degrade to a repr.
+        try:
+            conn.send(("error", ExecutionError(f"unpicklable shard payload: {payload!r}")))
+            return True
+        except Exception:
+            return False
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles, else a faithful stand-in."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ExecutionError(f"shard raised {type(exc).__name__}: {exc}")
+
+
+# ----------------------------------------------------------------------
+# supervision
+
+
+class ShardSupervisor:
+    """Detect dead/hung/corrupting shards; rebuild them; retry the call.
+
+    Extends the :mod:`repro.engine.resilience` model from work units to
+    whole shards: the :class:`RetryPolicy` supplies the per-call
+    deadline and the retry budget.  Mutation retries are safe by the
+    shard-level idempotency table (a shard that committed before dying
+    replays the stored response on retry), query retries are safe by
+    being read-only.  A shard that cannot be recovered is marked
+    ``dead`` and the call fails with the typed error — the router never
+    merges around a missing shard silently.
+    """
+
+    def __init__(self, hosts: list, policy: RetryPolicy) -> None:
+        self.hosts = hosts
+        self.policy = policy
+        self._rng = np.random.default_rng(policy.seed)
+        self._lock = threading.RLock()
+        self._status = ["serving"] * len(hosts)
+        self.stats = {
+            "shard_crashes": 0,
+            "shard_timeouts": 0,
+            "shard_corrupt": 0,
+            "shard_recoveries": 0,
+        }
+
+    def status(self) -> list[str]:
+        return list(self._status)
+
+    # Faults only fire on the serving-path methods; garbling internal
+    # probes (status pings, recovery row reads) would chaos the recovery
+    # machinery itself instead of the traffic it protects.
+    _FAULTABLE = frozenset({"topk_candidates", "rank_counts", "insert", "delete"})
+
+    def _draw_fault(self, host, method: str):
+        injector = fault_layer.active()
+        if (
+            injector is None
+            or host.isolation != "process"
+            or method not in self._FAULTABLE
+        ):
+            return None
+        return injector.draw_unit()
+
+    def _recover(self, index: int) -> None:
+        self._status[index] = "recovering"
+        try:
+            self.hosts[index].respawn()
+            # Confirm the respawn actually serves before re-admitting it.
+            self.hosts[index].request("status", (), timeout_s=self.policy.timeout_s)
+        except BaseException:
+            self._status[index] = "dead"
+            raise
+        self._status[index] = "serving"
+        self.stats["shard_recoveries"] += 1
+
+    def call(self, index: int, method: str, args: tuple, *, validate=None):
+        with self._lock:
+            return self._call_locked(index, method, args, validate)
+
+    def _call_locked(self, index: int, method: str, args: tuple, validate):
+        policy = self.policy
+        failures = 0
+        last: BaseException | None = None
+        while True:
+            host = self.hosts[index]
+            if not host.alive:
+                try:
+                    self._recover(index)
+                except WorkerCrashError:
+                    raise
+                except BaseException as exc:
+                    raise WorkerCrashError(
+                        f"shard {index} could not be recovered: {exc}"
+                    ) from exc
+            try:
+                result = host.request(
+                    method, args, timeout_s=policy.timeout_s,
+                    fault=self._draw_fault(host, method),
+                )
+            except WorkerCrashError as exc:
+                self.stats["shard_crashes"] += 1
+                last = exc
+            except ExecutionTimeoutError as exc:
+                self.stats["shard_timeouts"] += 1
+                last = exc
+            else:
+                if validate is None or validate(result):
+                    return result
+                self.stats["shard_corrupt"] += 1
+                last = CorruptStateError(
+                    f"shard {index} returned a structurally invalid "
+                    f"{method!r} payload; retiring the worker"
+                )
+                # A corrupting shard is suspect wholesale: kill it so the
+                # retry runs on a rebuilt incarnation.
+                host.kill()
+            failures += 1
+            if failures > policy.max_retries:
+                self._status[index] = "dead"
+                raise last
+            self._backoff(failures)
+
+    def _backoff(self, failed_attempts: int) -> None:
+        policy = self.policy
+        if policy.backoff_base_s <= 0:
+            return
+        delay = min(
+            policy.backoff_max_s,
+            policy.backoff_base_s * (2.0 ** max(0, failed_attempts - 1)),
+        )
+        delay *= 1.0 + policy.backoff_jitter * float(self._rng.random())
+        time.sleep(delay)
+
+    def broadcast(self, method: str, per_shard_args: dict, *, validate=None) -> dict:
+        """Pipelined fan-out: send to every (process) shard, then collect.
+
+        Shards that fail the fast path fall back to :meth:`call`, which
+        recovers and retries them individually — so one dead shard costs
+        its own recovery, not the fleet's round.  Only used for
+        idempotent requests (queries / probes).
+        """
+        with self._lock:
+            results: dict = {}
+            started: list[int] = []
+            for index, args in per_shard_args.items():
+                host = self.hosts[index]
+                if (
+                    host.supports_pipeline
+                    and host.alive
+                    and self._status[index] == "serving"
+                ):
+                    try:
+                        host.start(method, args, self._draw_fault(host, method))
+                        started.append(index)
+                        continue
+                    except WorkerCrashError:
+                        self.stats["shard_crashes"] += 1
+                results[index] = _PENDING
+            for index in started:
+                host = self.hosts[index]
+                try:
+                    result = host.finish(self.policy.timeout_s)
+                except WorkerCrashError:
+                    self.stats["shard_crashes"] += 1
+                    results[index] = _PENDING
+                    continue
+                except ExecutionTimeoutError:
+                    self.stats["shard_timeouts"] += 1
+                    results[index] = _PENDING
+                    continue
+                if validate is None or validate(result):
+                    results[index] = result
+                else:
+                    self.stats["shard_corrupt"] += 1
+                    host.kill()
+                    results[index] = _PENDING
+            for index, args in per_shard_args.items():
+                if results.get(index) is _PENDING:
+                    results[index] = self._call_locked(
+                        index, method, args, validate
+                    )
+            return results
+
+    def close(self) -> None:
+        for host in self.hosts:
+            host.close()
+
+    def kill_all(self) -> None:
+        for host in self.hosts:
+            host.kill()
+
+
+_PENDING = object()
+
+
+# ----------------------------------------------------------------------
+# the router
+
+
+class ShardedScoreEngine:
+    """Row-sharded :class:`ScoreEngine` with the same query/mutation API.
+
+    See the module docstring for the architecture.  Drop-in for the
+    serving stack: exposes ``topk_batch`` / ``topk_orders`` /
+    ``rank_of_best_batch`` / ``score_batch`` / ``top_k``, the mutation
+    pair ``insert_rows`` / ``delete_rows`` (plus the keyed
+    ``fleet_insert`` / ``fleet_delete`` used by :mod:`repro.serve`),
+    the delta-subscription surface the materialized views need, and
+    ``submit`` for the async serving seam.  Every result is
+    bit-identical to an unsharded engine over the same rows.
+
+    Parameters
+    ----------
+    values:
+        Boot matrix; required for a fresh fleet, ignored (may be None)
+        when ``data_dir`` holds recoverable state.
+    shards:
+        Number of row partitions (1 <= shards <= n).
+    isolation:
+        ``"process"`` (default) runs each shard in its own child
+        process — crash isolation, parallel screening, per-shard
+        durability in a temp dir when no ``data_dir`` is given.
+        ``"local"`` keeps shards in-process: no fault isolation unless
+        a ``data_dir`` provides recovery, but deterministic and cheap —
+        the mode the bit-identity suites and benchmarks use.
+    data_dir:
+        Fleet state root.  Creates ``router/`` (fleet intent/commit WAL
+        + routing-map snapshots) and ``shard-NNN/`` per shard.  The
+        fleet then survives a full restart: boot recovers every shard,
+        rolls forward or aborts a half-logged fleet mutation, and
+        reassembles the router state bit-identically.
+    policy:
+        :class:`RetryPolicy` for shard supervision (deadline, retries,
+        backoff).  Defaults to the process-wide default policy.
+    engine_opts:
+        Extra kwargs for each shard's :class:`ScoreEngine` (e.g.
+        ``float32``, ``quantize``, ``tune`` — each shard keeps its own
+        tuning profile).
+    """
+
+    def __init__(
+        self,
+        values=None,
+        *,
+        shards: int = 2,
+        isolation: str = "process",
+        data_dir: str | None = None,
+        policy: RetryPolicy | None = None,
+        engine_opts: dict | None = None,
+        mp_method: str | None = None,
+        snapshot_wal_bytes: int = 4 * 2**20,
+        snapshot_interval_s: float | None = None,
+        max_idempotency_keys: int = _MAX_FLEET_KEYS,
+    ) -> None:
+        if isolation not in ("local", "process"):
+            raise ValidationError(
+                f"isolation must be 'local' or 'process', got {isolation!r}"
+            )
+        shards = int(shards)
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.isolation = isolation
+        self._policy = policy if policy is not None else get_default_policy()
+        if not isinstance(self._policy, RetryPolicy):
+            raise ValidationError("policy must be a RetryPolicy or None")
+        self._engine_opts = dict(engine_opts or {})
+        self._mp_method = mp_method
+        self._snapshot_wal_bytes = int(snapshot_wal_bytes)
+        self._snapshot_interval_s = snapshot_interval_s
+        self._max_keys = int(max_idempotency_keys)
+        self._idempotency: dict[str, dict] = {}
+        self._mutation_lock = threading.RLock()
+        self._submit_pool = None
+        self._submit_lock = threading.Lock()
+        self._tmpdir = None
+        self._store: DurableStore | None = None
+        self._stats = {
+            "fleet_inserts": 0,
+            "fleet_deletes": 0,
+            "idempotent_replays": 0,
+            "merged_topk_columns": 0,
+            "merged_rank_columns": 0,
+        }
+
+        root = data_dir
+        if root is None and isolation == "process":
+            # Process shards always get durable stores so a killed child
+            # can be respawned from its own snapshot + WAL suffix; the
+            # fleet itself stays volatile without an explicit data_dir.
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            root = self._tmpdir.name
+        self._root = root
+        try:
+            if data_dir is not None:
+                self._store = DurableStore(
+                    os.path.join(root, "router"),
+                    snapshot_wal_bytes=self._snapshot_wal_bytes,
+                    snapshot_interval_s=snapshot_interval_s,
+                ).open()
+                snapshot, frames = self._store.load()
+                if snapshot is None and not frames:
+                    self._boot_fresh(values)
+                else:
+                    self._boot_recover(snapshot, frames)
+            else:
+                self._boot_fresh(values)
+        except BaseException:
+            self._teardown_partial()
+            raise
+
+    # -- boot -----------------------------------------------------------
+    def _shard_dir(self, index: int) -> str | None:
+        if self._root is None:
+            return None
+        return os.path.join(self._root, f"shard-{index:03d}")
+
+    def _make_host(self, index: int):
+        if self.isolation == "process":
+            init = {
+                "data_dir": self._shard_dir(index),
+                "engine_kwargs": self._engine_opts,
+                "snapshot_wal_bytes": self._snapshot_wal_bytes,
+                "snapshot_interval_s": self._snapshot_interval_s,
+            }
+            return ProcessShardHost(index, init, self._mp_method)
+
+        def factory(values, _index=index):
+            return ShardWorker(
+                values,
+                data_dir=self._shard_dir(_index),
+                engine_kwargs=self._engine_opts,
+                snapshot_wal_bytes=self._snapshot_wal_bytes,
+                snapshot_interval_s=self._snapshot_interval_s,
+            )
+
+        return LocalShardHost(index, factory)
+
+    def _boot_fresh(self, values) -> None:
+        if values is None:
+            raise ValidationError(
+                "a fresh sharded fleet needs a boot matrix (values=None is "
+                "only valid when data_dir holds recoverable state)"
+            )
+        # The reference engine validates the matrix (shape, finiteness).
+        self._ref = ScoreEngine(
+            values, n_jobs=1, backend="serial", quantize=None
+        )
+        matrix = self._ref.values
+        n = matrix.shape[0]
+        if self.shards > n:
+            raise ValidationError(
+                f"cannot split {n} rows across {self.shards} shards"
+            )
+        bounds = np.array_split(np.arange(n, dtype=np.int64), self.shards)
+        self._members = [b.copy() for b in bounds]
+        self._owner = np.concatenate(
+            [np.full(b.size, s, dtype=np.int32) for s, b in enumerate(bounds)]
+        ) if n else np.empty(0, dtype=np.int32)
+        hosts = []
+        for s, b in enumerate(bounds):
+            host = self._make_host(s)
+            host.spawn(np.ascontiguousarray(matrix[b]))
+            hosts.append(host)
+        self._supervisor = ShardSupervisor(hosts, self._policy)
+        self._shard_revisions = [0] * self.shards
+        self._wal_seq = 0
+        if self._store is not None:
+            self._snapshot_router()
+
+    def _boot_recover(self, snapshot, frames) -> None:
+        if snapshot is None:
+            raise CorruptStateError(
+                "router WAL has frames but no routing-map snapshot; the "
+                "fleet base state is unrecoverable"
+            )
+        extra = snapshot.extra or {}
+        if int(extra.get("shards", -1)) != self.shards:
+            raise ValidationError(
+                f"data dir was written by a {extra.get('shards')}-shard "
+                f"fleet; asked to open it with shards={self.shards}"
+            )
+        owner = np.asarray(snapshot.values, dtype=np.float64).astype(np.int64)
+        members = [
+            np.flatnonzero(owner == s).astype(np.int64) for s in range(self.shards)
+        ]
+        fleet_rev = int(extra.get("fleet_revision", 0))
+        expected = [int(r) for r in extra.get("shard_revisions", [0] * self.shards)]
+        idem = {k: v for k, v in snapshot.idempotency.items()}
+        self._members = members
+        self._owner = owner.astype(np.int32)
+        self._idempotency = idem
+        # The router WAL's frame revisions are a plain sequence counter,
+        # deliberately decoupled from the fleet revision: an *aborted*
+        # roll-forward consumes frames without producing a fleet
+        # revision, and the log's strict monotonicity must survive that.
+        self._wal_seq = int(snapshot.revision)
+
+        pending_intent = None
+        for frame in frames:
+            meta = frame.meta or {}
+            phase = meta.get("phase")
+            if phase == "intent":
+                if pending_intent is not None:
+                    raise CorruptStateError(
+                        "router WAL holds two intent frames without a commit "
+                        "between them; overlapping routers wrote this log"
+                    )
+                pending_intent = frame
+            elif phase == "commit":
+                pending_intent = None
+                if meta.get("aborted"):
+                    continue
+                fleet_rev = int(meta["fleet"])
+                self._apply_frame_meta(meta, expected)
+                if frame.key is not None:
+                    self._idempotency[frame.key] = frame.response
+            else:
+                raise CorruptStateError(
+                    f"router WAL frame {frame.revision} has no phase marker"
+                )
+            self._wal_seq = int(frame.revision)
+
+        hosts = []
+        for s in range(self.shards):
+            host = self._make_host(s)
+            host.spawn(None)
+            hosts.append(host)
+        self._supervisor = ShardSupervisor(hosts, self._policy)
+
+        if pending_intent is not None:
+            fleet_rev = self._roll_forward(pending_intent, expected, fleet_rev)
+
+        for s in range(self.shards):
+            status = self._supervisor.call(s, "status", ())
+            if int(status["revision"]) != expected[s]:
+                raise CorruptStateError(
+                    f"shard {s} recovered at revision {status['revision']} "
+                    f"but the router expected {expected[s]}; the fleet logs "
+                    "disagree about history (two routers, or lost frames)"
+                )
+
+        n = int(self._owner.size)
+        parts = self._supervisor.broadcast(
+            "rows", {s: (None,) for s in range(self.shards)}
+        )
+        d = None
+        for s in range(self.shards):
+            rows = np.asarray(parts[s], dtype=np.float64)
+            if rows.ndim == 2 and rows.shape[1]:
+                d = int(rows.shape[1])
+                break
+        if d is None or n == 0:
+            raise CorruptStateError("recovered fleet has no rows")
+        assembled = np.empty((n, d), dtype=np.float64)
+        for s in range(self.shards):
+            rows = np.asarray(parts[s], dtype=np.float64).reshape(-1, d)
+            if rows.shape[0] != self._members[s].size:
+                raise CorruptStateError(
+                    f"shard {s} holds {rows.shape[0]} rows but the routing "
+                    f"map assigns it {self._members[s].size}"
+                )
+            assembled[self._members[s]] = rows
+        self._ref = ScoreEngine(assembled, n_jobs=1, backend="serial", quantize=None)
+        self._ref.revision = fleet_rev
+        self._shard_revisions = expected
+
+    def _apply_frame_meta(self, meta: dict, expected: list[int]) -> None:
+        """Apply one committed fleet mutation's routing effect to the map."""
+        op = meta["op"]
+        if op == "insert":
+            s = int(meta["shard"])
+            m = int(meta["m"])
+            gids = np.arange(self._owner.size, self._owner.size + m, dtype=np.int64)
+            self._members[s] = np.concatenate([self._members[s], gids])
+            self._owner = np.concatenate(
+                [self._owner, np.full(m, s, dtype=np.int32)]
+            )
+            expected[s] = int(meta["shard_revision"])
+        elif op == "delete":
+            doomed = np.asarray(meta["gids"], dtype=np.int64)
+            self._delete_from_map(doomed)
+            for s, rev in meta["shard_revisions"]:
+                expected[int(s)] = int(rev)
+        else:  # pragma: no cover - no other ops are written
+            raise CorruptStateError(f"router WAL frame has unknown op {op!r}")
+
+    def _roll_forward(self, intent, expected: list[int], fleet_rev: int) -> int:
+        """Complete or abort the fleet mutation a crash left half-logged."""
+        meta = intent.meta or {}
+        r = int(meta["fleet"])
+        client_key = meta.get("key")
+        fleet_key = client_key if client_key is not None else f"_auto:{r}"
+        if meta["op"] == "insert":
+            s = int(meta["shard"])
+            sub = self._supervisor.call(s, "lookup", (f"{fleet_key}#s{s}",))
+            if sub is None:
+                # The target shard never committed it: the mutation was
+                # never acknowledged and its rows exist nowhere durable.
+                # Abort so a client retry applies it fresh.
+                self._commit_frame(
+                    None, None,
+                    {"phase": "commit", "op": "insert", "aborted": True,
+                     "fleet": r},
+                )
+                return fleet_rev
+            m = int(meta["m"])
+            old_n = int(self._owner.size)
+            response = {
+                "indices": [int(i) for i in range(old_n, old_n + m)],
+                "revision": r,
+            }
+            commit_meta = {
+                "phase": "commit", "op": "insert", "fleet": r, "shard": s,
+                "m": m, "shard_revision": int(sub["revision"]), "key": client_key,
+            }
+            self._apply_frame_meta(commit_meta, expected)
+            self._commit_frame(
+                client_key, response if client_key is not None else None,
+                commit_meta,
+            )
+            if client_key is not None:
+                self._idempotency[client_key] = response
+            return r
+        # Delete roll-forward: re-issue the keyed per-shard deletes; the
+        # shard-level tables make each one exactly-once regardless of
+        # which commits already landed before the crash.
+        doomed = np.asarray(meta["gids"], dtype=np.int64)
+        shard_revisions = []
+        for s in range(self.shards):
+            locals_s = self._locals_of(s, doomed)
+            if locals_s.size == 0:
+                continue
+            sub = self._supervisor.call(
+                s, "delete", (locals_s, f"{fleet_key}#s{s}"),
+                validate=_valid_mutation,
+            )
+            shard_revisions.append([s, int(sub["revision"])])
+        response = {"deleted": int(doomed.size), "revision": r}
+        commit_meta = {
+            "phase": "commit", "op": "delete", "fleet": r,
+            "gids": [int(g) for g in doomed], "shard_revisions": shard_revisions,
+            "key": client_key,
+        }
+        self._apply_frame_meta(commit_meta, expected)
+        self._commit_frame(
+            client_key, response if client_key is not None else None,
+            commit_meta,
+        )
+        if client_key is not None:
+            self._idempotency[client_key] = response
+        return r
+
+    def _teardown_partial(self) -> None:
+        try:
+            supervisor = getattr(self, "_supervisor", None)
+            if supervisor is not None:
+                supervisor.kill_all()
+            if self._store is not None:
+                self._store.close()
+        finally:
+            if self._tmpdir is not None:
+                self._tmpdir.cleanup()
+
+    # -- facade properties ---------------------------------------------
+    @property
+    def reference_engine(self) -> ScoreEngine:
+        """The router's full engine over the assembled matrix.
+
+        The journal of record (its revision and delta stream are the
+        fleet's) and the algorithm-layer surface; bit-identical to the
+        fleet by the exactness contract.  Do not mutate it directly —
+        mutations go through :meth:`fleet_insert` / :meth:`fleet_delete`
+        so the shards stay in sync.
+        """
+        return self._ref
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._ref.values
+
+    @property
+    def n(self) -> int:
+        return self._ref.n
+
+    @property
+    def d(self) -> int:
+        return self._ref.d
+
+    @property
+    def revision(self) -> int:
+        return self._ref.revision
+
+    @property
+    def packed_width(self) -> int:
+        return packed_width(self.n)
+
+    @property
+    def tuning(self):
+        return self._ref.tuning
+
+    @property
+    def stats(self) -> dict:
+        out = dict(self._ref.stats)
+        out.update(self._stats)
+        out.update(self._supervisor.stats)
+        return out
+
+    def _noise_scale(self, W: np.ndarray) -> np.ndarray:
+        return self._ref._noise_scale(W)
+
+    def subscribe_delta(self, callback):
+        return self._ref.subscribe_delta(callback)
+
+    def unsubscribe_delta(self, callback) -> None:
+        self._ref.unsubscribe_delta(callback)
+
+    def compact(self) -> None:
+        # Fleet mutations apply eagerly (shard + reference engine inside
+        # the mutation call); there is never a dirty journal to settle.
+        self._ref.compact()
+
+    # -- queries --------------------------------------------------------
+    def _active_shards(self) -> list[int]:
+        return [s for s in range(self.shards) if self._members[s].size]
+
+    def topk_orders(self, weight_matrix: np.ndarray, k: int) -> np.ndarray:
+        W = self._ref._check_weights(weight_matrix)
+        k = self._ref._check_k(k)
+        m = W.shape[0]
+        active = self._active_shards()
+        sizes = {s: int(self._members[s].size) for s in active}
+        results = self._supervisor.broadcast(
+            "topk_candidates",
+            {s: (W, k) for s in active},
+            validate=lambda r, _m=m: _valid_candidates(r, _m),
+        )
+        parts = []
+        for s in active:
+            local = results[s]
+            gid_lists = []
+            for cand in local:
+                cand = np.asarray(cand, dtype=np.int64)
+                if cand.size and (cand.min() < 0 or cand.max() >= sizes[s]):
+                    raise CorruptStateError(
+                        f"shard {s} returned candidate ids outside its row "
+                        "range; refusing to merge"
+                    )
+                gid_lists.append(self._members[s][cand])
+            parts.append(gid_lists)
+        self._stats["merged_topk_columns"] += m
+        # The PR-3 row-split merge, verbatim, over per-shard candidate
+        # lists in global ids: re-score on the assembled matrix, order by
+        # (score desc, id asc), fall back to the reference scalar kernel
+        # for any within-band boundary.
+        return self._ref._topk_merge_candidates(W, k, parts)
+
+    def topk_batch(self, weight_matrix: np.ndarray, k: int) -> TopKBatch:
+        order = self.topk_orders(weight_matrix, k)
+        return TopKBatch(members=pack_membership(order, self.n), order=order)
+
+    def topk_order_batch(self, weight_matrix: np.ndarray, k: int) -> np.ndarray:
+        return self.topk_orders(weight_matrix, k)
+
+    def top_k_packed(self, weights: np.ndarray, k: int) -> TopKBatch:
+        w = np.ascontiguousarray(np.asarray(weights, dtype=np.float64).reshape(-1))
+        if w.size != self.d:
+            raise ValidationError(
+                f"weight vector has {w.size} entries for {self.d} attributes"
+            )
+        return self.topk_batch(w[None, :], k)
+
+    def top_k(self, weights: np.ndarray, k: int) -> np.ndarray:
+        return self.top_k_packed(weights, k).order[0]
+
+    def rank_of_best_batch(
+        self, weight_matrix: np.ndarray, subset: np.ndarray
+    ) -> np.ndarray:
+        W = self._ref._check_weights(weight_matrix)
+        members = self._ref._check_subset(subset)
+        m = W.shape[0]
+        best = (W @ self._ref.values[members].T).max(axis=1)
+        eps = float(np.finfo(np.float64).eps)
+        tol = _TIE_BAND_ULPS * eps * self._ref._noise_scale(W)
+        active = self._active_shards()
+        args = {}
+        for s in active:
+            locals_s = self._locals_of(s, members)
+            args[s] = (W, best, tol, locals_s)
+        results = self._supervisor.broadcast(
+            "rank_counts", args,
+            validate=lambda r, _m=m: _valid_rank_counts(r, _m),
+        )
+        above = np.zeros(m, dtype=np.int64)
+        contested = np.zeros(m, dtype=bool)
+        for s in active:
+            part_above, part_contested = results[s]
+            above += np.asarray(part_above, dtype=np.int64)
+            contested |= np.asarray(part_contested, dtype=bool)
+        for j in np.flatnonzero(contested):
+            exact = self._ref.values @ W[j]
+            above[j] = int((exact > exact[members].max()).sum())
+            self._ref.stats["verified_columns"] += 1
+        self._stats["merged_rank_columns"] += m
+        return above + 1
+
+    def score_batch(self, weight_matrix: np.ndarray) -> np.ndarray:
+        return self._ref.score_batch(weight_matrix)
+
+    # -- mutations ------------------------------------------------------
+    def _locals_of(self, s: int, gids: np.ndarray) -> np.ndarray:
+        """Shard-local indices of the given (sorted or not) global ids."""
+        gids = np.asarray(gids, dtype=np.int64)
+        mine = gids[self._owner[gids] == s]
+        return np.searchsorted(self._members[s], mine)
+
+    def _remember(self, key: str | None, response: dict) -> None:
+        if key is None:
+            return
+        self._idempotency[key] = response
+        if len(self._idempotency) > self._max_keys:
+            self._idempotency.pop(next(iter(self._idempotency)))
+
+    def _delete_from_map(self, doomed: np.ndarray) -> None:
+        for s in range(self.shards):
+            mine = doomed[self._owner[doomed] == s]
+            if mine.size:
+                positions = np.searchsorted(self._members[s], mine)
+                self._members[s] = np.delete(self._members[s], positions)
+            # Renumber the survivors down past the removed ids.
+            if self._members[s].size:
+                shift = np.searchsorted(doomed, self._members[s])
+                self._members[s] = self._members[s] - shift
+        self._owner = np.delete(self._owner, doomed)
+
+    def _check_insert(self, rows) -> np.ndarray:
+        try:
+            arr = np.array(rows, dtype=np.float64, copy=True, order="C", ndmin=2)
+        except (TypeError, ValueError) as exc:
+            raise InvalidDataError(f"inserted rows are not numeric: {exc}") from None
+        if arr.ndim != 2 or arr.shape[1] != self.d:
+            raise ValidationError(
+                f"inserted rows must be (m, {self.d}), got shape {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise InvalidDataError(
+                "inserted rows contain NaN or Inf entries; clean the rows "
+                "before inserting (NaN comparisons would corrupt every rank)"
+            )
+        return arr
+
+    def _check_delete(self, indices) -> np.ndarray:
+        arr = np.asarray(indices)
+        if arr.dtype == bool:
+            if arr.ndim != 1 or arr.size != self.n:
+                raise ValidationError(
+                    f"boolean delete mask must have length n={self.n}, "
+                    f"got shape {arr.shape}"
+                )
+            arr = np.flatnonzero(arr)
+        elif not (arr.dtype.kind in "iu" or arr.size == 0):
+            raise ValidationError(
+                f"delete indices must be integers or a boolean mask, "
+                f"got dtype {arr.dtype}"
+            )
+        idx = np.unique(arr.astype(np.int64).reshape(-1))
+        if idx.size == 0:
+            return idx
+        if idx[0] < 0 or idx[-1] >= self.n:
+            raise ValidationError(
+                f"delete indices must be in [0, n)={self.n}, got "
+                f"[{idx[0]}, {idx[-1]}]"
+            )
+        if idx.size >= self.n:
+            raise ValidationError(
+                "cannot delete every row (engine must stay non-empty)"
+            )
+        return idx
+
+    def _intent(self, meta: dict) -> None:
+        if self._store is not None:
+            self._wal_seq += 1
+            self._store.commit(None, None, self._wal_seq, meta=meta, events=())
+
+    def _commit_frame(
+        self, key: str | None, response: dict | None, meta: dict
+    ) -> None:
+        if self._store is None:
+            return
+        self._wal_seq += 1
+        self._store.commit(key, response, self._wal_seq, meta=meta, events=())
+        if self._store.should_snapshot():
+            self._snapshot_router()
+
+    def _snapshot_router(self) -> None:
+        if self._store is None:
+            return
+        r = self.revision
+        self._store.snapshot(
+            self._owner.astype(np.float64),
+            self._wal_seq,
+            idempotency=self._idempotency,
+            extra={
+                "shards": self.shards,
+                "fleet_revision": r,
+                "shard_revisions": [int(x) for x in self._shard_revisions],
+            },
+        )
+
+    def fleet_insert(self, rows, key: str | None = None) -> dict:
+        with self._mutation_lock:
+            # Replay check first: a retried mutation is validated against
+            # the state it originally applied to, not today's — a delete
+            # that already committed may name ids that no longer exist.
+            if key is not None:
+                hit = self._idempotency.get(key)
+                if hit is not None:
+                    self._stats["idempotent_replays"] += 1
+                    return dict(hit, replayed=True)
+            rows64 = self._check_insert(rows)
+            if rows64.shape[0] == 0:
+                return {"indices": [], "revision": self.revision, "replayed": False}
+            r = self.revision + 1
+            fleet_key = key if key is not None else f"_auto:{r}"
+            target = min(
+                range(self.shards), key=lambda s: (self._members[s].size, s)
+            )
+            m = rows64.shape[0]
+            old_n = self.n
+            self._intent(
+                {"phase": "intent", "op": "insert", "fleet": r,
+                 "shard": target, "m": m, "key": key},
+            )
+            sub = self._supervisor.call(
+                target, "insert", (rows64, f"{fleet_key}#s{target}"),
+                validate=_valid_mutation,
+            )
+            gids = np.arange(old_n, old_n + m, dtype=np.int64)
+            self._ref.insert_rows(rows64)
+            self._ref.compact()
+            self._members[target] = np.concatenate([self._members[target], gids])
+            self._owner = np.concatenate(
+                [self._owner, np.full(m, target, dtype=np.int32)]
+            )
+            self._shard_revisions[target] = int(sub["revision"])
+            response = {"indices": [int(i) for i in gids], "revision": r}
+            self._commit_frame(
+                key, response if key is not None else None,
+                {"phase": "commit", "op": "insert", "fleet": r, "shard": target,
+                 "m": m, "shard_revision": self._shard_revisions[target],
+                 "key": key},
+            )
+            self._remember(key, response)
+            self._stats["fleet_inserts"] += 1
+            return dict(response, replayed=False)
+
+    def fleet_delete(self, indices, key: str | None = None) -> dict:
+        with self._mutation_lock:
+            if key is not None:
+                hit = self._idempotency.get(key)
+                if hit is not None:
+                    self._stats["idempotent_replays"] += 1
+                    return dict(hit, replayed=True)
+            doomed = self._check_delete(indices)
+            if doomed.size == 0:
+                response = {"deleted": 0, "revision": self.revision}
+                self._remember(key, response)
+                return dict(response, replayed=False)
+            r = self.revision + 1
+            fleet_key = key if key is not None else f"_auto:{r}"
+            self._intent(
+                {"phase": "intent", "op": "delete", "fleet": r,
+                 "gids": [int(g) for g in doomed], "key": key},
+            )
+            shard_revisions = []
+            for s in range(self.shards):
+                locals_s = self._locals_of(s, doomed)
+                if locals_s.size == 0:
+                    continue
+                sub = self._supervisor.call(
+                    s, "delete", (locals_s, f"{fleet_key}#s{s}"),
+                    validate=_valid_mutation,
+                )
+                self._shard_revisions[s] = int(sub["revision"])
+                shard_revisions.append([s, self._shard_revisions[s]])
+            self._ref.delete_rows(doomed)
+            self._ref.compact()
+            self._delete_from_map(doomed)
+            response = {"deleted": int(doomed.size), "revision": r}
+            self._commit_frame(
+                key, response if key is not None else None,
+                {"phase": "commit", "op": "delete", "fleet": r,
+                 "gids": [int(g) for g in doomed],
+                 "shard_revisions": shard_revisions, "key": key},
+            )
+            self._remember(key, response)
+            self._stats["fleet_deletes"] += 1
+            return dict(response, replayed=False)
+
+    def insert_rows(self, rows) -> np.ndarray:
+        """ScoreEngine-compatible insert: returns the new global ids."""
+        response = self.fleet_insert(rows)
+        return np.asarray(response["indices"], dtype=np.int64)
+
+    def delete_rows(self, indices) -> int:
+        """ScoreEngine-compatible delete: returns how many were removed."""
+        return int(self.fleet_delete(indices)["deleted"])
+
+    # -- operator surface ----------------------------------------------
+    def supervisor_states(self) -> list[str]:
+        """Cached per-shard states (serving/recovering/dead), no shard I/O."""
+        return self._supervisor.status()
+
+    def shard_status(self) -> list[dict]:
+        """Per-shard operator view: serving/recovering/dead + durability."""
+        states = self._supervisor.status()
+        out = []
+        for s in range(self.shards):
+            entry = {
+                "shard": s,
+                "state": states[s],
+                "rows": int(self._members[s].size),
+                "isolation": self.isolation,
+            }
+            host = self._supervisor.hosts[s]
+            if states[s] == "serving" and host.alive:
+                try:
+                    entry.update(host.request("status", (), timeout_s=5.0))
+                except (WorkerCrashError, ExecutionTimeoutError):
+                    entry["state"] = "dead"
+            out.append(entry)
+        return out
+
+    def durability_stats(self) -> dict:
+        out = {
+            "mode": "sharded",
+            "shards": self.shard_status(),
+        }
+        if self._store is not None:
+            out["router"] = {
+                "wal_bytes_since_snapshot": self._store.wal_bytes,
+                "wal_dirty": self._store.wal_dirty,
+                "last_snapshot_age_s": self._store.last_snapshot_age_s,
+                "snapshots": self._store.stats["snapshots"],
+                "commits": self._store.stats["commits"],
+            }
+        return out
+
+    # -- async seam / lifecycle -----------------------------------------
+    def submit(self, method, /, *args, **kwargs):
+        """Run engine work on one dispatch thread (see ScoreEngine.submit)."""
+        if callable(method):
+            fn = method
+        else:
+            fn = getattr(self, method, None)
+            if fn is None or not callable(fn) or method.startswith("_"):
+                raise ValidationError(
+                    f"submit() target must be a public engine method or a "
+                    f"callable, got {method!r}"
+                )
+        if self._submit_pool is None:
+            with self._submit_lock:
+                if self._submit_pool is None:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    self._submit_pool = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="fleet-submit"
+                    )
+        return self._submit_pool.submit(fn, *args, **kwargs)
+
+    def close(self) -> None:
+        pool, self._submit_pool = self._submit_pool, None
+        if pool is not None:
+            on_pool = threading.current_thread() in getattr(pool, "_threads", ())
+            pool.shutdown(wait=not on_pool, cancel_futures=True)
+        supervisor = getattr(self, "_supervisor", None)
+        if supervisor is not None:
+            supervisor.close()
+        if self._store is not None:
+            if self._store.wal_dirty:
+                self._snapshot_router()
+            self._store.close()
+            self._store = None
+        ref = getattr(self, "_ref", None)
+        if ref is not None:
+            ref.close()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def abandon(self) -> None:
+        """Crash simulation: kill/abandon everything, leave disk untouched."""
+        pool, self._submit_pool = self._submit_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        supervisor = getattr(self, "_supervisor", None)
+        if supervisor is not None:
+            supervisor.kill_all()
+        if self._store is not None:
+            self._store.abandon()
+            self._store = None
+        ref = getattr(self, "_ref", None)
+        if ref is not None:
+            ref.close()
+
+    def __enter__(self) -> "ShardedScoreEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# payload validators (the supervisor's corruption firewall)
+
+
+def _valid_candidates(result, m: int) -> bool:
+    if not isinstance(result, list) or len(result) != m:
+        return False
+    for cand in result:
+        if not isinstance(cand, np.ndarray) or cand.ndim != 1:
+            return False
+        if cand.dtype.kind not in "iu":
+            return False
+    return True
+
+
+def _valid_rank_counts(result, m: int) -> bool:
+    if not isinstance(result, tuple) or len(result) != 2:
+        return False
+    above, contested = result
+    if not isinstance(above, np.ndarray) or above.shape != (m,):
+        return False
+    if not isinstance(contested, np.ndarray) or contested.shape != (m,):
+        return False
+    return above.dtype.kind in "iu" and contested.dtype == bool
+
+
+def _valid_mutation(result) -> bool:
+    return (
+        isinstance(result, dict)
+        and isinstance(result.get("revision"), int)
+        and isinstance(result.get("n"), int)
+    )

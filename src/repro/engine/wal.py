@@ -51,9 +51,15 @@ no window where the state change survived but the key did not.
 :class:`DurableStore` ties the pieces to one ``data-dir``::
 
     data-dir/
-      LOCK                    # pid lock; stale (dead-pid) locks are reclaimed
+      LOCK                    # flock-held lock (pid inside is diagnostic only)
       wal.log                 # CRC-framed commit records since the last snapshot
       snapshot-<revision>.snap  # atomic snapshots, newest + previous kept
+
+The LOCK file is held via ``fcntl.flock``: the kernel releases the lock
+the instant the holding process dies, so crash recovery needs no stale-
+pid probing and two concurrent reclaimers can never both win (the pid
+written inside is kept purely for operator diagnostics).  On platforms
+without ``fcntl`` a legacy pid-file protocol is used instead.
 
 Snapshots are taken on a size/age policy (``snapshot_wal_bytes`` /
 ``snapshot_interval_s``) and on graceful drain; each successful
@@ -75,6 +81,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+try:  # POSIX; the legacy pid-file protocol covers platforms without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 from repro.exceptions import CorruptStateError, DataDirLockedError, ValidationError
 
 __all__ = [
@@ -94,10 +105,14 @@ _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 # is treated as corruption, not an allocation request.
 _MAX_RECORD_BYTES = 1 << 30
 
-# Lock paths held by live DurableStore instances in THIS process.  A
-# lock file naming our own pid is a genuine conflict only while its
-# store is open here; otherwise it is a leftover of an earlier
-# incarnation (the in-process crash-simulation path) and is stale.
+# Legacy pid-file protocol only (no-fcntl platforms): lock paths held by
+# live DurableStore instances in THIS process.  A lock file naming our
+# own pid is a genuine conflict only while its store is open here;
+# otherwise it is a leftover of an earlier incarnation (the in-process
+# crash-simulation path) and is stale.  The flock protocol needs none of
+# this: each open() takes its own file description, so a second store in
+# the same process conflicts naturally and a closed fd releases the lock
+# exactly the way a dead process would.
 _HELD_LOCKS: set[str] = set()
 
 
@@ -157,6 +172,11 @@ class Commit:
     events: tuple
     key: str | None = None
     response: dict | None = None
+    # Optional JSON-safe dict for layers that log routing/coordination
+    # state alongside the mutation (the sharded router's fleet intent /
+    # commit frames); plain engine commits leave it None and their
+    # on-disk bytes are unchanged from earlier versions.
+    meta: dict | None = None
 
     def to_payload(self) -> bytes:
         body = {
@@ -168,6 +188,8 @@ class Commit:
             "key": self.key,
             "response": self.response,
         }
+        if self.meta is not None:
+            body["meta"] = self.meta
         return json.dumps(body, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -183,6 +205,7 @@ class Commit:
                 events=events,
                 key=body.get("key"),
                 response=body.get("response"),
+                meta=body.get("meta"),
             )
         except CorruptStateError:
             raise
@@ -328,6 +351,7 @@ class Snapshot:
     revision: int
     idempotency: dict[str, dict] = field(default_factory=dict)
     profile: dict | None = None  # TuningProfile JSON payload, if captured
+    extra: dict | None = None  # layer-specific JSON state (sharded router map)
 
 
 def write_snapshot(
@@ -337,6 +361,7 @@ def write_snapshot(
     *,
     idempotency: dict[str, dict] | None = None,
     profile: dict | None = None,
+    extra: dict | None = None,
 ) -> None:
     """Atomically persist a snapshot (mkstemp + fsync + ``os.replace``).
 
@@ -358,6 +383,7 @@ def write_snapshot(
             "matrix_sha256": hashlib.sha256(body).hexdigest(),
             "idempotency": idempotency or {},
             "profile": profile,
+            "extra": extra,
         },
         separators=(",", ":"),
     ).encode("utf-8")
@@ -408,6 +434,7 @@ def load_snapshot(path) -> Snapshot:
         revision = int(header["revision"])
         idempotency = dict(header.get("idempotency") or {})
         profile = header.get("profile")
+        extra = header.get("extra")
     except (KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
         raise CorruptStateError(f"{path}: snapshot header is malformed: {exc}") from None
     body = raw[offset + _FRAME.size + length :]
@@ -420,7 +447,11 @@ def load_snapshot(path) -> Snapshot:
         raise CorruptStateError(f"{path}: snapshot matrix failed its sha256")
     values = np.frombuffer(body, dtype=dtype).reshape(shape).copy()
     return Snapshot(
-        values=values, revision=revision, idempotency=idempotency, profile=profile
+        values=values,
+        revision=revision,
+        idempotency=idempotency,
+        profile=profile,
+        extra=extra,
     )
 
 
@@ -506,6 +537,7 @@ class DurableStore:
         self.max_idempotency_keys = int(max_idempotency_keys)
         self._wal: WriteAheadLog | None = None
         self._locked = False
+        self._lock_fd: int | None = None  # flock protocol; None under legacy
         self._engine = None
         self._subscriber = None
         self._pending_events: list = []
@@ -520,7 +552,7 @@ class DurableStore:
 
     # -- lifecycle ------------------------------------------------------
     def open(self) -> "DurableStore":
-        """Create the directory, take the pid lock, open the WAL."""
+        """Create the directory, take the flock, open the WAL."""
         os.makedirs(self.data_dir, exist_ok=True)
         self._acquire_lock()
         try:
@@ -541,13 +573,18 @@ class DurableStore:
     def abandon(self) -> None:
         """Drop in-process handles but leave the disk exactly as a crash
         would: WAL untruncated, lock file still present.  Test harnesses
-        use this to simulate SIGKILL without leaking file descriptors;
-        the next :meth:`open` reclaims the stale lock via the pid probe.
+        use this to simulate SIGKILL without leaking file descriptors.
+        Closing the lock fd releases the flock exactly the way process
+        death would, so the next :meth:`open` acquires it cleanly while
+        the stale pid file stays behind as the crash left it.
         """
         self.detach()
         if self._wal is not None:
             self._wal.close()
             self._wal = None
+        if self._lock_fd is not None:
+            os.close(self._lock_fd)  # kernel drops the flock, as death would
+            self._lock_fd = None
         self._locked = False  # the file stays; forget we own it
         _HELD_LOCKS.discard(os.path.realpath(self._lock_path()))
 
@@ -561,6 +598,62 @@ class DurableStore:
         return os.path.join(self.data_dir, self.LOCK_NAME)
 
     def _acquire_lock(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            self._acquire_lock_pidfile()
+            return
+        path = self._lock_path()
+        payload = f"{os.getpid()}\n".encode("ascii")
+        while True:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                holder = self._lock_pid_hint(fd)
+                os.close(fd)
+                raise DataDirLockedError(
+                    f"data dir {self.data_dir!r} is locked"
+                    + (f" by pid {holder}" if holder is not None else "")
+                    + "; two servers must not share a WAL"
+                ) from None
+            # The flock binds to the inode we opened; if a releasing
+            # owner unlinked the file between our open and our flock, we
+            # hold a lock on a dead inode while a rival may hold one on
+            # the live path.  Re-check identity and retry — at most once
+            # per release, so this terminates.
+            try:
+                same_inode = os.fstat(fd).st_ino == os.stat(path).st_ino
+            except FileNotFoundError:
+                same_inode = False
+            if not same_inode:
+                os.close(fd)
+                continue
+            # Lock held.  The pid inside is diagnostic only: liveness is
+            # the flock itself (released by the kernel on process death),
+            # never a pid probe — so two concurrent reclaimers of a dead
+            # holder's LOCK can't both win, they serialize on the flock.
+            os.ftruncate(fd, 0)
+            os.write(fd, payload)
+            os.fsync(fd)
+            self._lock_fd = fd
+            self._locked = True
+            return
+
+    @staticmethod
+    def _lock_pid_hint(fd: int) -> int | None:
+        """Best-effort pid recorded in the LOCK file (diagnostics only)."""
+        try:
+            data = os.pread(fd, 64, 0)
+            return int(data.split()[0])
+        except (OSError, ValueError, IndexError):
+            return None
+
+    def _acquire_lock_pidfile(self) -> None:  # pragma: no cover - non-POSIX
+        """Legacy pid-file protocol for platforms without ``fcntl``.
+
+        Subject to the inherent probe-then-unlink race between two
+        concurrent stale-lock reclaimers; POSIX builds use the flock
+        protocol above, which closes it.
+        """
         path = self._lock_path()
         payload = f"{os.getpid()}\n".encode("ascii")
         while True:
@@ -578,7 +671,7 @@ class DurableStore:
                 # recovery path, not an error.
                 try:
                     os.unlink(path)
-                except FileNotFoundError:  # pragma: no cover - racing reclaim
+                except FileNotFoundError:
                     pass
                 continue
             with os.fdopen(fd, "wb") as handle:
@@ -590,8 +683,8 @@ class DurableStore:
             return
 
     @staticmethod
-    def _lock_holder(path: str) -> int | None:
-        """The live pid holding ``path``, or None if the lock is stale."""
+    def _lock_holder(path: str) -> int | None:  # pragma: no cover - non-POSIX
+        """Legacy protocol: live pid holding ``path``, or None if stale."""
         try:
             with open(path, "rb") as handle:
                 pid = int(handle.read().split()[0])
@@ -611,13 +704,21 @@ class DurableStore:
         return pid
 
     def _release_lock(self) -> None:
-        if self._locked:
-            try:
-                os.unlink(self._lock_path())
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-            self._locked = False
-            _HELD_LOCKS.discard(os.path.realpath(self._lock_path()))
+        if not self._locked:
+            return
+        # Unlink while still holding the flock: a racer that opened the
+        # doomed inode before the unlink will flock it successfully only
+        # after our close, then detect the path/inode mismatch and retry
+        # against the live path.
+        try:
+            os.unlink(self._lock_path())
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        if self._lock_fd is not None:
+            os.close(self._lock_fd)
+            self._lock_fd = None
+        self._locked = False
+        _HELD_LOCKS.discard(os.path.realpath(self._lock_path()))
 
     # -- recovery -------------------------------------------------------
     def _snapshot_files(self) -> list[tuple[int, str]]:
@@ -713,19 +814,41 @@ class DurableStore:
             )
         )
 
-    def commit(self, key: str | None, response: dict | None, revision: int) -> None:
+    def commit(
+        self,
+        key: str | None,
+        response: dict | None,
+        revision: int,
+        *,
+        events=None,
+        meta: dict | None = None,
+    ) -> None:
         """Durably record one acknowledged mutation (events + key + response).
 
         Must run on the engine dispatch thread, after the mutation
         compacted and before its response is released: the fsync here is
         the moment the mutation becomes guaranteed-replayable, which is
         the moment an acknowledgment becomes safe to send.
+
+        By default the record carries the delta events buffered since
+        the last commit (the :meth:`attach` subscription).  Callers that
+        manage their own events — the sharded router's intent/commit
+        frames, shard workers committing explicit per-mutation deltas —
+        pass ``events`` directly; the pending buffer is left untouched.
+        ``meta`` rides along in the record for caller-defined framing.
         """
         if self._wal is None:
             raise ValidationError("DurableStore.commit() requires open() first")
-        events, self._pending_events = self._pending_events, []
+        if events is None:
+            events, self._pending_events = self._pending_events, []
         self._wal.append(
-            Commit(revision=int(revision), events=tuple(events), key=key, response=response)
+            Commit(
+                revision=int(revision),
+                events=tuple(events),
+                key=key,
+                response=response,
+                meta=meta,
+            )
         )
         self.stats["commits"] += 1
 
@@ -748,6 +871,7 @@ class DurableStore:
         *,
         idempotency: dict[str, dict] | None = None,
         profile: dict | None = None,
+        extra: dict | None = None,
     ) -> str:
         """Write a snapshot at ``revision``, truncate the WAL, prune old files."""
         if self._wal is None:
@@ -757,17 +881,26 @@ class DurableStore:
             f"{self.SNAPSHOT_PREFIX}{int(revision):016d}{self.SNAPSHOT_SUFFIX}",
         )
         write_snapshot(
-            path, values, revision, idempotency=idempotency, profile=profile
+            path, values, revision, idempotency=idempotency, profile=profile,
+            extra=extra,
         )
         # Only after the snapshot is durable may the WAL records it
         # covers be dropped; a crash in between replays them harmlessly
         # (their revisions sit at or below the new watermark).
         self._wal.reset()
+        pruned = False
         for _rev, old in self._snapshot_files()[self.keep_snapshots :]:
             try:
                 os.unlink(old)
+                pruned = True
             except OSError:  # pragma: no cover - concurrent cleanup
                 pass
+        if pruned:
+            # Make the unlinks durable: without a directory fsync a
+            # machine-level crash can resurrect pruned snapshot files,
+            # and a resurrected *newer-named* file from an earlier
+            # incarnation would shadow real state on the next boot.
+            _fsync_dir(self.data_dir)
         self._last_snapshot_t = time.monotonic()
         self.stats["snapshots"] += 1
         return path
@@ -775,6 +908,11 @@ class DurableStore:
     @property
     def wal_bytes(self) -> int:
         return self._wal.size_bytes if self._wal is not None else 0
+
+    @property
+    def last_snapshot_age_s(self) -> float:
+        """Seconds since the last snapshot (or since open, before one)."""
+        return time.monotonic() - self._last_snapshot_t
 
     @property
     def wal_dirty(self) -> bool:

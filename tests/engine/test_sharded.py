@@ -1,0 +1,552 @@
+"""Tests for the fault-isolated sharded engine.
+
+The load-bearing property: a :class:`ShardedScoreEngine` — any shard
+count, any isolation mode, before and after any mutation sequence,
+with or without shard kills and recoveries in between — answers every
+query **bit-identically** to an unsharded :class:`ScoreEngine` over the
+same rows, on clean data, tie-dense data, duplicate rows and denormal
+scales.  Alongside: the robustness machinery itself (supervision,
+per-shard durability, intent/commit roll-forward, two-level
+exactly-once) and the partial-fleet mutation retry drill the issue
+pins: kill a shard mid-fleet-insert, retry the same idempotency key,
+assert exactly-once per shard and a bit-identical final matrix.
+"""
+
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import FaultInjector, RetryPolicy, ScoreEngine, ShardedScoreEngine
+from repro.engine import faults as fault_layer
+from repro.engine.sharded import ShardWorker
+from repro.exceptions import ValidationError, WorkerCrashError
+
+FAST = RetryPolicy(timeout_s=30.0, max_retries=3, backoff_base_s=0.0)
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(11)
+    values = rng.standard_normal((60, 5))
+    values[7] = values[31]  # duplicate rows: ties through every merge
+    return values
+
+
+def _weights(m=7, d=5, seed=3):
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.standard_normal((m, d)))
+
+
+def _assert_parity(fleet, oracle, weights, k, subset):
+    got = fleet.topk_batch(weights, k)
+    want = oracle.topk_batch(weights, k)
+    assert np.array_equal(got.order, want.order)
+    assert np.array_equal(got.members, want.members)
+    assert np.array_equal(
+        fleet.rank_of_best_batch(weights, subset),
+        oracle.rank_of_best_batch(weights, subset),
+    )
+    assert np.array_equal(fleet.values, oracle.values)
+    assert np.array_equal(fleet.score_batch(weights), oracle.score_batch(weights))
+
+
+# ----------------------------------------------------------------------
+# hypothesis: sharded answers are bit-identical to the unsharded engine
+
+
+@st.composite
+def sharded_case(draw):
+    n = draw(st.integers(min_value=4, max_value=24))
+    d = draw(st.integers(min_value=2, max_value=4))
+    scale = draw(st.sampled_from([1.0, 1e-300, 1e150]))
+    # Small integer grids force ties and duplicates through every tier.
+    base = draw(
+        st.lists(
+            st.lists(st.integers(min_value=-3, max_value=3), min_size=d, max_size=d),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    matrix = np.asarray(base, dtype=np.float64) * scale
+    shards = draw(st.integers(min_value=1, max_value=min(4, n)))
+    m = draw(st.integers(min_value=1, max_value=5))
+    weights = draw(
+        st.lists(
+            st.lists(st.integers(min_value=-3, max_value=3), min_size=d, max_size=d),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    k = draw(st.integers(min_value=1, max_value=n))
+    subset_size = draw(st.integers(min_value=1, max_value=min(4, n)))
+    subset = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=subset_size,
+            max_size=subset_size,
+            unique=True,
+        )
+    )
+    n_ops = draw(st.integers(min_value=0, max_value=3))
+    ops = []
+    live = n
+    for _ in range(n_ops):
+        if live <= 3 or draw(st.booleans()):
+            rows = draw(
+                st.lists(
+                    st.lists(
+                        st.integers(min_value=-3, max_value=3),
+                        min_size=d,
+                        max_size=d,
+                    ),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+            ops.append(("insert", np.asarray(rows, dtype=np.float64) * scale))
+            live += len(rows)
+        else:
+            count = draw(st.integers(min_value=1, max_value=live - 2))
+            doomed = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=live - 1),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            ops.append(("delete", np.asarray(sorted(doomed), dtype=np.int64)))
+            live -= len(doomed)
+    return matrix, shards, np.asarray(weights, dtype=np.float64), k, subset, ops
+
+
+@given(sharded_case())
+@settings(max_examples=40, deadline=None)
+def test_sharded_bit_identical_to_unsharded(case):
+    matrix, shards, weights, k, subset, ops = case
+    oracle = ScoreEngine(matrix.copy())
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=shards, isolation="local", policy=FAST
+    )
+    try:
+        subset_arr = np.asarray(subset, dtype=np.int64)
+        if k <= oracle.n:
+            _assert_parity(fleet, oracle, weights, k, subset_arr)
+        for kind, payload in ops:
+            if kind == "insert":
+                ids_o = oracle.insert_rows(payload)
+                oracle.compact()
+                ids_f = fleet.insert_rows(payload)
+                assert np.array_equal(ids_o, ids_f)
+            else:
+                oracle.delete_rows(payload)
+                oracle.compact()
+                fleet.delete_rows(payload)
+            assert oracle.revision == fleet.revision
+        k2 = min(k, oracle.n)
+        subset2 = subset_arr[subset_arr < oracle.n]
+        if subset2.size == 0:
+            subset2 = np.asarray([0], dtype=np.int64)
+        _assert_parity(fleet, oracle, weights, k2, subset2)
+    finally:
+        fleet.close()
+        oracle.close()
+
+
+# ----------------------------------------------------------------------
+# construction and validation
+
+
+def test_validation_errors(matrix):
+    with pytest.raises(ValidationError):
+        ShardedScoreEngine(matrix, shards=0, isolation="local")
+    with pytest.raises(ValidationError):
+        ShardedScoreEngine(matrix, shards=2, isolation="threads")
+    with pytest.raises(ValidationError):
+        ShardedScoreEngine(matrix[:3], shards=4, isolation="local")
+    with pytest.raises(ValidationError):
+        ShardedScoreEngine(None, shards=2, isolation="local")
+    fleet = ShardedScoreEngine(matrix, shards=2, isolation="local", policy=FAST)
+    try:
+        with pytest.raises(ValidationError):
+            fleet.delete_rows(np.arange(fleet.n))  # fleet must stay non-empty
+        with pytest.raises(ValidationError):
+            fleet.delete_rows(np.asarray([fleet.n + 3]))
+        with pytest.raises(ValidationError):
+            fleet.insert_rows(np.ones((2, 3)))  # wrong width
+        with pytest.raises(ValidationError):
+            fleet.fleet_insert(np.asarray([[1.0, np.nan, 0, 0, 0]]))
+    finally:
+        fleet.close()
+
+
+def test_shard_can_empty_but_fleet_cannot(matrix):
+    fleet = ShardedScoreEngine(matrix, shards=2, isolation="local", policy=FAST)
+    oracle = ScoreEngine(matrix.copy())
+    try:
+        # Delete every row the first shard owns: legal (the fleet stays
+        # non-empty), and the emptied shard keeps serving empty results.
+        doomed = np.flatnonzero(fleet._owner == 0)
+        fleet.delete_rows(doomed)
+        oracle.delete_rows(doomed)
+        oracle.compact()
+        W = _weights()
+        _assert_parity(fleet, oracle, W, 5, np.asarray([0, 1]))
+        # The next insert lands on the emptied shard (smallest first).
+        rng = np.random.default_rng(0)
+        rows = rng.standard_normal((3, matrix.shape[1]))
+        fleet.insert_rows(rows)
+        oracle.insert_rows(rows)
+        oracle.compact()
+        assert fleet._members[0].size == 3
+        _assert_parity(fleet, oracle, W, 5, np.asarray([0, 1]))
+    finally:
+        fleet.close()
+        oracle.close()
+
+
+# ----------------------------------------------------------------------
+# exactly-once keyed mutations
+
+
+def test_keyed_mutations_are_exactly_once(matrix):
+    fleet = ShardedScoreEngine(matrix, shards=3, isolation="local", policy=FAST)
+    try:
+        rows = np.random.default_rng(1).standard_normal((2, matrix.shape[1]))
+        first = fleet.fleet_insert(rows, key="ins")
+        replay = fleet.fleet_insert(rows, key="ins")
+        assert not first["replayed"] and replay["replayed"]
+        assert first["indices"] == replay["indices"]
+        assert fleet.n == matrix.shape[0] + 2  # applied once
+
+        gone = fleet.fleet_delete(np.asarray([0, 5]), key="del")
+        again = fleet.fleet_delete(np.asarray([0, 5]), key="del")
+        assert gone["deleted"] == 2 and again["replayed"]
+        assert fleet.n == matrix.shape[0]  # applied once
+        # A replayed delete is served from the key table even though its
+        # indices no longer validate against today's matrix.
+        assert fleet.fleet_delete(np.asarray([10 ** 6]), key="del")["replayed"]
+        assert fleet.stats["idempotent_replays"] == 3
+    finally:
+        fleet.close()
+
+
+# ----------------------------------------------------------------------
+# durability: restart, per-shard recovery, roll-forward
+
+
+def test_restart_from_data_dir_bit_identical(matrix, tmp_path):
+    W = _weights()
+    oracle = ScoreEngine(matrix.copy())
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=3, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+    )
+    rows = np.random.default_rng(2).standard_normal((4, matrix.shape[1]))
+    fleet.fleet_insert(rows, key="a")
+    fleet.fleet_delete(np.asarray([1, 17, 40]), key="b")
+    oracle.insert_rows(rows)
+    oracle.delete_rows(np.asarray([1, 17, 40]))
+    oracle.compact()
+    fleet.abandon()  # crash: no final snapshots, WAL suffixes left dirty
+
+    rebooted = ShardedScoreEngine(
+        shards=3, isolation="local", data_dir=str(tmp_path), policy=FAST
+    )
+    try:
+        assert rebooted.revision == 2
+        _assert_parity(rebooted, oracle, W, 6, np.asarray([0, 2, 9]))
+        # The fleet key table survived the crash too.
+        assert rebooted.fleet_delete(np.asarray([1, 17, 40]), key="b")["replayed"]
+    finally:
+        rebooted.close()
+        oracle.close()
+
+
+def test_local_shard_kill_recovers_from_own_store(matrix, tmp_path):
+    oracle = ScoreEngine(matrix.copy())
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+    )
+    try:
+        W = _weights()
+        fleet.insert_rows(np.ones((1, matrix.shape[1])))
+        oracle.insert_rows(np.ones((1, matrix.shape[1])))
+        oracle.compact()
+        fleet._supervisor.hosts[0].kill()  # abandon the worker, store intact
+        assert fleet.supervisor_states() == ["serving", "serving"]  # not yet noticed
+        _assert_parity(fleet, oracle, W, 5, np.asarray([0, 3]))
+        assert fleet.stats["shard_recoveries"] == 1
+        assert fleet.supervisor_states() == ["serving", "serving"]
+    finally:
+        fleet.close()
+        oracle.close()
+
+
+def test_storeless_local_kill_is_typed_error_never_partial(matrix):
+    fleet = ShardedScoreEngine(matrix, shards=2, isolation="local", policy=FAST)
+    try:
+        fleet._supervisor.hosts[1].kill()
+        with pytest.raises(WorkerCrashError):
+            fleet.topk_batch(_weights(), 4)
+        assert fleet.supervisor_states()[1] == "dead"
+    finally:
+        fleet.close()
+
+
+def test_roll_forward_completes_insert_after_router_crash(matrix, tmp_path):
+    """Crash window: shard committed the keyed insert, router died before
+    its commit frame.  Boot must roll the intent forward — complete the
+    mutation, register the key — and end bit-identical to the oracle."""
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+    )
+    rows = np.random.default_rng(3).standard_normal((3, matrix.shape[1]))
+
+    def die(_rows):
+        raise RuntimeError("router crashed after the shard commit")
+
+    fleet._ref.insert_rows = die
+    with pytest.raises(RuntimeError):
+        fleet.fleet_insert(rows, key="K")
+    fleet.abandon()
+
+    oracle = ScoreEngine(matrix.copy())
+    oracle.insert_rows(rows)
+    oracle.compact()
+    rebooted = ShardedScoreEngine(
+        shards=2, isolation="local", data_dir=str(tmp_path), policy=FAST
+    )
+    try:
+        assert np.array_equal(rebooted.values, oracle.values)
+        assert rebooted.revision == 1
+        replay = rebooted.fleet_insert(rows, key="K")
+        assert replay["replayed"]  # rolled forward, so the retry replays
+        assert np.array_equal(rebooted.values, oracle.values)
+        W = _weights()
+        assert np.array_equal(
+            rebooted.topk_batch(W, 5).order, oracle.topk_batch(W, 5).order
+        )
+    finally:
+        rebooted.close()
+        oracle.close()
+
+
+def test_roll_forward_aborts_insert_the_shard_never_saw(matrix, tmp_path, monkeypatch):
+    """Crash window: intent frame landed, the target shard never
+    committed.  Boot must abort (the mutation was never acknowledged and
+    exists nowhere durable) and a client retry applies it fresh."""
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+    )
+    monkeypatch.setattr(
+        ShardWorker,
+        "insert",
+        lambda self, rows, key=None: (_ for _ in ()).throw(
+            RuntimeError("shard lost the request")
+        ),
+    )
+    rows = np.random.default_rng(4).standard_normal((2, matrix.shape[1]))
+    with pytest.raises(RuntimeError):
+        fleet.fleet_insert(rows, key="K")
+    monkeypatch.undo()
+    fleet.abandon()
+
+    rebooted = ShardedScoreEngine(
+        shards=2, isolation="local", data_dir=str(tmp_path), policy=FAST
+    )
+    try:
+        assert rebooted.revision == 0
+        assert np.array_equal(rebooted.values, matrix)  # aborted cleanly
+        fresh = rebooted.fleet_insert(rows, key="K")
+        assert not fresh["replayed"]  # applies fresh after the abort
+        assert rebooted.n == matrix.shape[0] + 2
+    finally:
+        rebooted.close()
+
+
+def test_roll_forward_finishes_partial_fleet_delete(matrix, tmp_path):
+    """Crash window: a delete spanning both shards committed on shard 0
+    but died before shard 1.  Boot re-issues the keyed per-shard deletes
+    (shard 0 replays, shard 1 applies) and completes the mutation."""
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+    )
+    doomed = np.asarray([2, 3, 40, 45])  # rows on both shards
+    assert set(fleet._owner[doomed]) == {0, 1}
+    real_call = fleet._supervisor.call
+    calls = {"delete": 0}
+
+    def die_on_second_delete(index, method, args, **kwargs):
+        if method == "delete":
+            calls["delete"] += 1
+            if calls["delete"] == 2:
+                raise RuntimeError("router crashed between shard deletes")
+        return real_call(index, method, args, **kwargs)
+
+    fleet._supervisor.call = die_on_second_delete
+    with pytest.raises(RuntimeError):
+        fleet.fleet_delete(doomed, key="K")
+    fleet.abandon()
+
+    oracle = ScoreEngine(matrix.copy())
+    oracle.delete_rows(doomed)
+    oracle.compact()
+    rebooted = ShardedScoreEngine(
+        shards=2, isolation="local", data_dir=str(tmp_path), policy=FAST
+    )
+    try:
+        assert np.array_equal(rebooted.values, oracle.values)
+        assert rebooted.fleet_delete(doomed, key="K")["replayed"]
+        W = _weights()
+        assert np.array_equal(
+            rebooted.topk_batch(W, 4).order, oracle.topk_batch(W, 4).order
+        )
+    finally:
+        rebooted.close()
+        oracle.close()
+
+
+# ----------------------------------------------------------------------
+# process isolation: real crashes, fault injection, the issue's drill
+
+
+def test_process_shard_kill_mid_insert_retry_is_exactly_once(matrix):
+    """The issue's drill: kill one shard mid-fleet-insert (injected
+    crash token), let supervision recover and complete it, then retry
+    with the same idempotency key — exactly-once per shard, final matrix
+    bit-identical to an uninterrupted oracle."""
+    oracle = ScoreEngine(matrix.copy())
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="process",
+        policy=RetryPolicy(timeout_s=60.0, max_retries=3, backoff_base_s=0.01),
+    )
+    try:
+        W = _weights()
+        assert np.array_equal(
+            oracle.topk_batch(W, 5).order, fleet.topk_batch(W, 5).order
+        )
+        # Hard kill (SIGKILL) one shard: the next query recovers it.
+        os.kill(fleet._supervisor.hosts[0].pid, signal.SIGKILL)
+        assert np.array_equal(
+            oracle.topk_batch(W, 5).order, fleet.topk_batch(W, 5).order
+        )
+        assert fleet.stats["shard_recoveries"] >= 1
+
+        # Crash token on the next mutation unit: the shard dies mid-insert.
+        injector = FaultInjector(seed=0, plan={0: "crash"})
+        fault_layer.install(injector)
+        try:
+            rows = np.random.default_rng(5).standard_normal((3, matrix.shape[1]))
+            first = fleet.fleet_insert(rows, key="burst")
+        finally:
+            fault_layer.uninstall()
+        assert injector.injected["crash"] == 1
+        oracle.insert_rows(rows)
+        oracle.compact()
+        retry = fleet.fleet_insert(rows, key="burst")
+        assert retry["replayed"] and retry["indices"] == first["indices"]
+        assert fleet.n == oracle.n  # applied exactly once
+        assert np.array_equal(fleet.values, oracle.values)
+        assert np.array_equal(
+            oracle.topk_batch(W, 5).order, fleet.topk_batch(W, 5).order
+        )
+        assert np.array_equal(
+            oracle.rank_of_best_batch(W, np.asarray([0, 8])),
+            fleet.rank_of_best_batch(W, np.asarray([0, 8])),
+        )
+    finally:
+        fleet.close()
+        oracle.close()
+
+
+def test_process_hang_and_corrupt_are_contained(matrix):
+    oracle = ScoreEngine(matrix.copy())
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="process",
+        policy=RetryPolicy(timeout_s=1.0, max_retries=3, backoff_base_s=0.01),
+    )
+    try:
+        W = _weights()
+        injector = FaultInjector(seed=0, plan={0: "corrupt", 1: "hang"}, hang_s=5.0)
+        fault_layer.install(injector)
+        try:
+            assert np.array_equal(
+                oracle.topk_batch(W, 5).order, fleet.topk_batch(W, 5).order
+            )
+        finally:
+            fault_layer.uninstall()
+        stats = fleet.stats
+        assert stats["shard_corrupt"] >= 1
+        assert stats["shard_timeouts"] >= 1
+        assert all(state == "serving" for state in fleet.supervisor_states())
+    finally:
+        fleet.close()
+        oracle.close()
+
+
+# ----------------------------------------------------------------------
+# serving-facade surface
+
+
+def test_operator_surfaces(matrix, tmp_path):
+    fleet = ShardedScoreEngine(
+        matrix, shards=2, isolation="local", data_dir=str(tmp_path), policy=FAST
+    )
+    try:
+        status = fleet.shard_status()
+        assert [entry["shard"] for entry in status] == [0, 1]
+        assert all(entry["state"] == "serving" for entry in status)
+        assert sum(entry["rows"] for entry in status) == fleet.n
+        durability = fleet.durability_stats()
+        assert durability["mode"] == "sharded"
+        assert "wal_bytes_since_snapshot" in durability["router"]
+        assert "last_snapshot_age_s" in durability["router"]
+    finally:
+        fleet.close()
+
+
+def test_submit_and_delta_subscription(matrix):
+    fleet = ShardedScoreEngine(matrix, shards=2, isolation="local", policy=FAST)
+    try:
+        W = _weights()
+        future = fleet.submit("topk_batch", W, 4)
+        direct = fleet.topk_batch(W, 4)
+        assert np.array_equal(future.result(timeout=30).order, direct.order)
+
+        events = []
+        fleet.subscribe_delta(events.append)
+        fleet.insert_rows(np.zeros((2, matrix.shape[1])))
+        assert len(events) == 1 and events[0].inserted_rows.shape == (
+            2,
+            matrix.shape[1],
+        )
+        assert threading.active_count() >= 1  # smoke: pool thread alive
+    finally:
+        fleet.close()
+
+
+def test_session_sharded_matches_unsharded(matrix):
+    from repro.session import Session
+
+    with Session(matrix.copy()) as plain, Session(
+        matrix.copy(), shards=2, shard_isolation="local", policy=FAST
+    ) as sharded:
+        assert sharded.sharded and not plain.sharded
+        W = _weights()
+        assert np.array_equal(plain.topk(W, 5).order, sharded.topk(W, 5).order)
+        assert np.array_equal(
+            plain.rank_of_best(W, [0, 4]), sharded.rank_of_best(W, [0, 4])
+        )
+        want = plain.mdrc(k=6)
+        got = sharded.mdrc(k=6)
+        assert list(want.indices) == list(got.indices)

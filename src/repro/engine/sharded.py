@@ -61,6 +61,16 @@ the shard-level tables — completing a fleet mutation whose shard commits
 landed, aborting one whose target shard never heard of it.  There is no
 state in which an acknowledged fleet mutation is half-applied after
 recovery.
+
+A fleet mutation that fails *in-process* (the supervisor exhausts its
+retry budget) resolves the same three ways, immediately: the failed
+shard's durable table is probed — a commit that actually landed lets the
+router finish the mutation and acknowledge it; a provably-absent commit
+aborts the intent frame and the fleet keeps serving untouched; an
+unreachable shard after a partial apply **fails the fleet closed**
+(every query/mutation raises :class:`CorruptStateError`) rather than
+merge through a stale routing map, and the next boot resolves the
+dangling intent via the same roll-forward.
 """
 
 from __future__ import annotations
@@ -317,8 +327,13 @@ class ShardWorker:
                 self._revision,
                 events=((deleted, inserted),),
             )
-            if self._store.should_snapshot():
-                self.snapshot_now()
+        # Register the key BEFORE any policy snapshot: snapshotting
+        # truncates the WAL record that carries it, so a snapshot cut
+        # with the key still unregistered would lose it durably and a
+        # keyed retry would re-apply the mutation.
+        self._remember(key, response)
+        if self._store is not None and self._store.should_snapshot():
+            self.snapshot_now()
 
     def insert(self, rows: np.ndarray, key: str | None = None) -> dict:
         hit = self._idempotency.get(key) if key is not None else None
@@ -332,7 +347,6 @@ class ShardWorker:
             self.engine.compact()
         response = {"n": self.n, "revision": self._revision + 1}
         self._commit(key, response, np.empty(0, dtype=np.int64), rows)
-        self._remember(key, response)
         return dict(response, replayed=False)
 
     def delete(self, local_ids: np.ndarray, key: str | None = None) -> dict:
@@ -354,7 +368,6 @@ class ShardWorker:
             self.engine.compact()
         response = {"deleted": int(ids.size), "n": self.n, "revision": self._revision + 1}
         self._commit(key, response, ids, np.empty((0, self._d), dtype=np.float64))
-        self._remember(key, response)
         return dict(response, replayed=False)
 
     # -- lifecycle ------------------------------------------------------
@@ -749,6 +762,12 @@ class ShardSupervisor:
                 last = exc
             else:
                 if validate is None or validate(result):
+                    # A host can answer again after being marked dead
+                    # (e.g. a later call's recovery, or a failure that
+                    # never killed the process); keep the operator view
+                    # truthful.
+                    if self._status[index] != "serving":
+                        self._status[index] = "serving"
                     return result
                 self.stats["shard_corrupt"] += 1
                 last = CorruptStateError(
@@ -810,6 +829,16 @@ class ShardSupervisor:
                     continue
                 except ExecutionTimeoutError:
                     self.stats["shard_timeouts"] += 1
+                    results[index] = _PENDING
+                    continue
+                except Exception:
+                    # A worker-propagated error ("error" status).  Its
+                    # response WAS consumed, so the channel is clean —
+                    # but raising here would leave every later started
+                    # shard's response undrained in its pipe, feeding the
+                    # *next* request a stale payload.  Defer to the
+                    # per-shard slow path below, which re-raises after
+                    # every pipe has been drained.
                     results[index] = _PENDING
                     continue
                 if validate is None or validate(result):
@@ -914,6 +943,21 @@ class ShardedScoreEngine:
         self._snapshot_interval_s = snapshot_interval_s
         self._max_keys = int(max_idempotency_keys)
         self._idempotency: dict[str, dict] = {}
+        # Auto-key uniqueness across failed attempts: the fleet revision
+        # does not advance when a mutation fails, so auto keys derive
+        # from the router WAL sequence (monotone across restarts) plus a
+        # per-process attempt counter (monotone when there is no WAL) —
+        # a retried *different* mutation can never collide with a stale
+        # shard-side commit record of a failed earlier attempt.
+        self._mutation_seq = 0
+        # Set when a fleet mutation failed with shard state possibly
+        # half-applied: serving would merge through a stale routing map
+        # (silently wrong results), so the fleet fails closed instead.
+        self._failed: str | None = None
+        # While booting, _commit_frame must not cut a router snapshot:
+        # roll-forward runs before self._ref / self._shard_revisions
+        # exist, and _snapshot_router needs both.
+        self._booting = True
         self._mutation_lock = threading.RLock()
         self._submit_pool = None
         self._submit_lock = threading.Lock()
@@ -952,6 +996,7 @@ class ShardedScoreEngine:
         except BaseException:
             self._teardown_partial()
             raise
+        self._booting = False
 
     # -- boot -----------------------------------------------------------
     def _shard_dir(self, index: int) -> str | None:
@@ -1053,12 +1098,13 @@ class ShardedScoreEngine:
                 pending_intent = frame
             elif phase == "commit":
                 pending_intent = None
-                if meta.get("aborted"):
-                    continue
-                fleet_rev = int(meta["fleet"])
-                self._apply_frame_meta(meta, expected)
-                if frame.key is not None:
-                    self._idempotency[frame.key] = frame.response
+                # Aborted frames carry no routing effect but still burn a
+                # WAL sequence number — _wal_seq must count them.
+                if not meta.get("aborted"):
+                    fleet_rev = int(meta["fleet"])
+                    self._apply_frame_meta(meta, expected)
+                    if frame.key is not None:
+                        self._idempotency[frame.key] = frame.response
             else:
                 raise CorruptStateError(
                     f"router WAL frame {frame.revision} has no phase marker"
@@ -1108,6 +1154,11 @@ class ShardedScoreEngine:
         self._ref = ScoreEngine(assembled, n_jobs=1, backend="serial", quantize=None)
         self._ref.revision = fleet_rev
         self._shard_revisions = expected
+        # A snapshot deferred by the _booting guard (e.g. the WAL crossed
+        # the size threshold just before the crash, or roll-forward wrote
+        # frames) is cut now that the full router state exists.
+        if self._store is not None and self._store.should_snapshot():
+            self._snapshot_router()
 
     def _apply_frame_meta(self, meta: dict, expected: list[int]) -> None:
         """Apply one committed fleet mutation's routing effect to the map."""
@@ -1134,7 +1185,12 @@ class ShardedScoreEngine:
         meta = intent.meta or {}
         r = int(meta["fleet"])
         client_key = meta.get("key")
-        fleet_key = client_key if client_key is not None else f"_auto:{r}"
+        # The intent records the exact fleet key its shard subkeys were
+        # derived from (auto keys are attempt-scoped, not derivable from
+        # the fleet revision); legacy frames fall back to the old scheme.
+        fleet_key = meta.get("fkey") or (
+            client_key if client_key is not None else f"_auto:{r}"
+        )
         if meta["op"] == "insert":
             s = int(meta["shard"])
             sub = self._supervisor.call(s, "lookup", (f"{fleet_key}#s{s}",))
@@ -1269,6 +1325,7 @@ class ShardedScoreEngine:
         return [s for s in range(self.shards) if self._members[s].size]
 
     def topk_orders(self, weight_matrix: np.ndarray, k: int) -> np.ndarray:
+        self._check_serving()
         W = self._ref._check_weights(weight_matrix)
         k = self._ref._check_k(k)
         m = W.shape[0]
@@ -1320,6 +1377,7 @@ class ShardedScoreEngine:
     def rank_of_best_batch(
         self, weight_matrix: np.ndarray, subset: np.ndarray
     ) -> np.ndarray:
+        self._check_serving()
         W = self._ref._check_weights(weight_matrix)
         members = self._ref._check_subset(subset)
         m = W.shape[0]
@@ -1349,6 +1407,7 @@ class ShardedScoreEngine:
         return above + 1
 
     def score_batch(self, weight_matrix: np.ndarray) -> np.ndarray:
+        self._check_serving()
         return self._ref.score_batch(weight_matrix)
 
     # -- mutations ------------------------------------------------------
@@ -1433,7 +1492,7 @@ class ShardedScoreEngine:
             return
         self._wal_seq += 1
         self._store.commit(key, response, self._wal_seq, meta=meta, events=())
-        if self._store.should_snapshot():
+        if not self._booting and self._store.should_snapshot():
             self._snapshot_router()
 
     def _snapshot_router(self) -> None:
@@ -1451,8 +1510,52 @@ class ShardedScoreEngine:
             },
         )
 
+    def _check_serving(self) -> None:
+        if self._failed is not None:
+            raise CorruptStateError(self._failed)
+
+    def _auto_key(self) -> str:
+        self._mutation_seq += 1
+        return f"_auto:{self._wal_seq}.{self._mutation_seq}"
+
+    def _probe_commit(self, s: int, subkey: str):
+        """The shard's commit record for ``subkey``: a dict when the
+        mutation landed shard-side, ``None`` when the shard provably
+        never committed it, ``_PENDING`` when the shard is unreachable
+        and the commit state cannot be determined."""
+        try:
+            return self._supervisor.call(s, "lookup", (subkey,))
+        except Exception:
+            return _PENDING
+
+    def _abort_frame(self, op: str, fleet_rev: int) -> None:
+        """Consume the dangling intent frame of a mutation that provably
+        touched no shard (mirrors :meth:`_roll_forward`'s abort), so the
+        router WAL stays single-intent and the fleet keeps serving."""
+        self._commit_frame(
+            None, None,
+            {"phase": "commit", "op": op, "aborted": True,
+             "fleet": fleet_rev},
+        )
+
+    def _fail_fleet(self, op: str, fleet_rev: int, exc: BaseException) -> None:
+        """Fail closed after a mutation left shard state half-applied (or
+        undeterminable): serving would merge shard results through a
+        stale routing map — silently wrong — so every query and mutation
+        raises until the fleet is rebooted.  With a ``data_dir`` the
+        dangling intent frame makes the reboot *complete* the mutation
+        via roll-forward; without one the volatile fleet is simply gone,
+        which is its documented contract."""
+        self._failed = (
+            f"fleet {op} at revision {fleet_rev} failed with shard state "
+            f"possibly half-applied ({exc!r}); the fleet fails closed "
+            "rather than serve a merge through a stale routing map — "
+            "restart from the data_dir to resolve it via WAL roll-forward"
+        )
+
     def fleet_insert(self, rows, key: str | None = None) -> dict:
         with self._mutation_lock:
+            self._check_serving()
             # Replay check first: a retried mutation is validated against
             # the state it originally applied to, not today's — a delete
             # that already committed may name ids that no longer exist.
@@ -1465,27 +1568,53 @@ class ShardedScoreEngine:
             if rows64.shape[0] == 0:
                 return {"indices": [], "revision": self.revision, "replayed": False}
             r = self.revision + 1
-            fleet_key = key if key is not None else f"_auto:{r}"
+            fleet_key = key if key is not None else self._auto_key()
             target = min(
                 range(self.shards), key=lambda s: (self._members[s].size, s)
             )
             m = rows64.shape[0]
             old_n = self.n
+            subkey = f"{fleet_key}#s{target}"
             self._intent(
                 {"phase": "intent", "op": "insert", "fleet": r,
-                 "shard": target, "m": m, "key": key},
+                 "shard": target, "m": m, "key": key, "fkey": fleet_key},
             )
-            sub = self._supervisor.call(
-                target, "insert", (rows64, f"{fleet_key}#s{target}"),
-                validate=_valid_mutation,
-            )
+            try:
+                sub = self._supervisor.call(
+                    target, "insert", (rows64, subkey),
+                    validate=_valid_mutation,
+                )
+            except BaseException as exc:
+                # The call failed terminally (retry budget exhausted) but
+                # the shard may still have committed before the failure
+                # surfaced.  Probe its durable table: committed — finish
+                # the mutation; provably absent — abort the intent and
+                # keep serving; unreachable — fail the fleet closed.
+                committed = self._probe_commit(target, subkey)
+                if isinstance(committed, dict):
+                    sub = committed
+                elif committed is None:
+                    self._abort_frame("insert", r)
+                    raise
+                else:
+                    self._fail_fleet("insert", r, exc)
+                    raise
             gids = np.arange(old_n, old_n + m, dtype=np.int64)
-            self._ref.insert_rows(rows64)
-            self._ref.compact()
-            self._members[target] = np.concatenate([self._members[target], gids])
-            self._owner = np.concatenate(
-                [self._owner, np.full(m, target, dtype=np.int32)]
-            )
+            try:
+                self._ref.insert_rows(rows64)
+                self._ref.compact()
+                self._members[target] = np.concatenate(
+                    [self._members[target], gids]
+                )
+                self._owner = np.concatenate(
+                    [self._owner, np.full(m, target, dtype=np.int32)]
+                )
+            except BaseException as exc:
+                # The shard committed but the router-side apply died: the
+                # in-memory map and reference engine are torn.  Fail
+                # closed; a reboot rolls the intent forward cleanly.
+                self._fail_fleet("insert", r, exc)
+                raise
             self._shard_revisions[target] = int(sub["revision"])
             response = {"indices": [int(i) for i in gids], "revision": r}
             self._commit_frame(
@@ -1500,6 +1629,7 @@ class ShardedScoreEngine:
 
     def fleet_delete(self, indices, key: str | None = None) -> dict:
         with self._mutation_lock:
+            self._check_serving()
             if key is not None:
                 hit = self._idempotency.get(key)
                 if hit is not None:
@@ -1511,25 +1641,46 @@ class ShardedScoreEngine:
                 self._remember(key, response)
                 return dict(response, replayed=False)
             r = self.revision + 1
-            fleet_key = key if key is not None else f"_auto:{r}"
+            fleet_key = key if key is not None else self._auto_key()
             self._intent(
                 {"phase": "intent", "op": "delete", "fleet": r,
-                 "gids": [int(g) for g in doomed], "key": key},
+                 "gids": [int(g) for g in doomed], "key": key,
+                 "fkey": fleet_key},
             )
             shard_revisions = []
             for s in range(self.shards):
                 locals_s = self._locals_of(s, doomed)
                 if locals_s.size == 0:
                     continue
-                sub = self._supervisor.call(
-                    s, "delete", (locals_s, f"{fleet_key}#s{s}"),
-                    validate=_valid_mutation,
-                )
+                subkey = f"{fleet_key}#s{s}"
+                try:
+                    sub = self._supervisor.call(
+                        s, "delete", (locals_s, subkey),
+                        validate=_valid_mutation,
+                    )
+                except BaseException as exc:
+                    # As in fleet_insert: the shard may have committed
+                    # before the failure surfaced — probe and either keep
+                    # completing, abort a provably untouched fleet, or
+                    # fail closed on a genuinely half-applied one.
+                    committed = self._probe_commit(s, subkey)
+                    if isinstance(committed, dict):
+                        sub = committed
+                    elif committed is None and not shard_revisions:
+                        self._abort_frame("delete", r)
+                        raise
+                    else:
+                        self._fail_fleet("delete", r, exc)
+                        raise
                 self._shard_revisions[s] = int(sub["revision"])
                 shard_revisions.append([s, self._shard_revisions[s]])
-            self._ref.delete_rows(doomed)
-            self._ref.compact()
-            self._delete_from_map(doomed)
+            try:
+                self._ref.delete_rows(doomed)
+                self._ref.compact()
+                self._delete_from_map(doomed)
+            except BaseException as exc:
+                self._fail_fleet("delete", r, exc)
+                raise
             response = {"deleted": int(doomed.size), "revision": r}
             self._commit_frame(
                 key, response if key is not None else None,
@@ -1580,6 +1731,8 @@ class ShardedScoreEngine:
             "mode": "sharded",
             "shards": self.shard_status(),
         }
+        if self._failed is not None:
+            out["failed"] = self._failed
         if self._store is not None:
             out["router"] = {
                 "wal_bytes_since_snapshot": self._store.wal_bytes,
@@ -1621,7 +1774,11 @@ class ShardedScoreEngine:
         if supervisor is not None:
             supervisor.close()
         if self._store is not None:
-            if self._store.wal_dirty:
+            # A failed fleet must NOT cut a final snapshot: snapshots
+            # truncate the WAL, and the dangling intent frame in it is
+            # exactly what lets the next boot roll the half-applied
+            # mutation forward.
+            if self._store.wal_dirty and self._failed is None:
                 self._snapshot_router()
             self._store.close()
             self._store = None

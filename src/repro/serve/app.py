@@ -265,12 +265,17 @@ class Server:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self._store is not None and self._coalescer.running:
+        if self._coalescer.running:
+            # Drain in every mode so admitted requests finish instead of
+            # dying with a reset; the server-level final snapshot only
+            # exists unsharded (a sharded session snapshots its own
+            # router/shard stores inside session.close() below).
             try:
                 await asyncio.wait_for(self._coalescer.drain(), timeout=30.0)
-                await asyncio.wrap_future(
-                    self.session.engine.submit(self._final_snapshot)
-                )
+                if self._store is not None:
+                    await asyncio.wrap_future(
+                        self.session.engine.submit(self._final_snapshot)
+                    )
             except Exception as exc:  # noqa: BLE001 - shutdown must proceed
                 print(
                     f"warning: drain snapshot skipped ({exc!r}); the WAL "

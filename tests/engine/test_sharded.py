@@ -24,7 +24,7 @@ from hypothesis import strategies as st
 from repro.engine import FaultInjector, RetryPolicy, ScoreEngine, ShardedScoreEngine
 from repro.engine import faults as fault_layer
 from repro.engine.sharded import ShardWorker
-from repro.exceptions import ValidationError, WorkerCrashError
+from repro.exceptions import CorruptStateError, ValidationError, WorkerCrashError
 
 FAST = RetryPolicy(timeout_s=30.0, max_retries=3, backoff_base_s=0.0)
 
@@ -417,6 +417,199 @@ def test_roll_forward_finishes_partial_fleet_delete(matrix, tmp_path):
 
 
 # ----------------------------------------------------------------------
+# in-process mutation failure: abort / complete / fail-closed
+
+
+def _cripple(host, methods, error=None):
+    """Make a live host's named RPCs fail terminally while probes (status,
+    lookup) keep working; returns the original request for un-crippling."""
+    real = host.request
+
+    def failing(method, args, timeout_s=None, fault=None):
+        if method in methods:
+            raise (error or WorkerCrashError)("injected terminal shard failure")
+        return real(method, args, timeout_s=timeout_s, fault=fault)
+
+    host.request = failing
+    return real
+
+
+def test_failed_insert_aborts_intent_and_fleet_keeps_serving(matrix, tmp_path):
+    """A fleet insert whose shard call exhausts its retry budget before
+    the shard ever committed must abort its intent frame in-process: the
+    fleet keeps serving untouched, a later mutation does not stack a
+    second intent, and the data dir reboots cleanly (no two-intent
+    CorruptStateError bricking it)."""
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+    )
+    rows = np.random.default_rng(5).standard_normal((2, matrix.shape[1]))
+    target = min(range(2), key=lambda s: (fleet._members[s].size, s))
+    real = _cripple(fleet._supervisor.hosts[target], ("insert",))
+    with pytest.raises(WorkerCrashError):
+        fleet.fleet_insert(rows, key="K")
+    fleet._supervisor.hosts[target].request = real
+
+    oracle = ScoreEngine(matrix.copy())
+    try:
+        # Untouched and still serving: the abort consumed the intent.
+        W = _weights()
+        _assert_parity(fleet, oracle, W, 5, np.asarray([1, 4]))
+        # The same key applies fresh (nothing was acknowledged) ...
+        fresh = fleet.fleet_insert(rows, key="K")
+        assert not fresh["replayed"]
+        oracle.insert_rows(rows)
+        oracle.compact()
+        _assert_parity(fleet, oracle, W, 5, np.asarray([1, 4]))
+        fleet.close()
+        # ... and the data dir reboots: intent/abort/intent/commit is a
+        # valid frame history, not the two-intent corruption signature.
+        rebooted = ShardedScoreEngine(
+            shards=2, isolation="local", data_dir=str(tmp_path), policy=FAST
+        )
+        try:
+            assert np.array_equal(rebooted.values, oracle.values)
+            assert rebooted.fleet_insert(rows, key="K")["replayed"]
+        finally:
+            rebooted.close()
+    finally:
+        oracle.close()
+
+
+def test_failed_insert_completes_when_the_shard_commit_landed(matrix, tmp_path):
+    """The lost-response window: the shard commits the keyed insert but
+    every response is lost (call raises after apply).  The router must
+    probe the shard's durable table, finish the mutation, and acknowledge
+    it — and a *subsequent different* mutation must not be poisoned by a
+    stale auto-key replay (keys are attempt-scoped, not revision-scoped)."""
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+    )
+    rng = np.random.default_rng(6)
+    rows_a = rng.standard_normal((2, matrix.shape[1]))
+    rows_b = rng.standard_normal((3, matrix.shape[1]))
+    target = min(range(2), key=lambda s: (fleet._members[s].size, s))
+    host = fleet._supervisor.hosts[target]
+    real = host.request
+
+    def lost_response(method, args, timeout_s=None, fault=None):
+        out = real(method, args, timeout_s=timeout_s, fault=fault)
+        if method == "insert":
+            raise WorkerCrashError("response lost on the wire")
+        return out
+
+    host.request = lost_response
+    response = fleet.fleet_insert(rows_a)  # auto-keyed, no client key
+    assert not response["replayed"]
+    assert response["revision"] == 1
+    host.request = real
+
+    oracle = ScoreEngine(matrix.copy())
+    try:
+        oracle.insert_rows(rows_a)
+        oracle.compact()
+        W = _weights()
+        _assert_parity(fleet, oracle, W, 6, np.asarray([0, 9]))
+        # The next (different) auto-keyed mutation applies for real on
+        # the same shard — a revision-derived key would replay rows_a's
+        # stale shard response here and silently diverge.
+        fleet.fleet_insert(rows_b)
+        oracle.insert_rows(rows_b)
+        oracle.compact()
+        _assert_parity(fleet, oracle, W, 6, np.asarray([0, 9]))
+    finally:
+        fleet.close()
+        oracle.close()
+
+
+@pytest.mark.parametrize("snapshot_wal_bytes", [4 * 2**20, 64])
+def test_partial_fleet_delete_fails_closed_and_reboot_completes(
+    matrix, tmp_path, snapshot_wal_bytes
+):
+    """A delete that committed on shard 0 but terminally failed on shard 1
+    leaves the routing map stale: the fleet must fail closed (every query
+    and mutation raises — never a silent wrong merge), close() must NOT
+    snapshot past the dangling intent, and the reboot completes the
+    mutation exactly-once via roll-forward.  The tiny-WAL-threshold
+    variant pins the boot-time snapshot deferral: roll-forward's commit
+    frame lands while should_snapshot() is already true, before the
+    reference engine exists."""
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+        snapshot_wal_bytes=snapshot_wal_bytes,
+    )
+    doomed = np.asarray([2, 3, 40, 45])  # rows on both shards
+    assert set(fleet._owner[doomed]) == {0, 1}
+    _cripple(fleet._supervisor.hosts[1], ("delete",))
+    with pytest.raises(WorkerCrashError):
+        fleet.fleet_delete(doomed)  # auto-keyed: roll-forward needs fkey
+    # Failed closed: serving through the stale map would be silently wrong.
+    with pytest.raises(CorruptStateError):
+        fleet.topk_batch(_weights(), 4)
+    with pytest.raises(CorruptStateError):
+        fleet.rank_of_best_batch(_weights(), np.asarray([0]))
+    with pytest.raises(CorruptStateError):
+        fleet.fleet_insert(np.zeros((1, matrix.shape[1])))
+    assert "failed" in fleet.durability_stats()
+    fleet.close()
+
+    oracle = ScoreEngine(matrix.copy())
+    oracle.delete_rows(doomed)
+    oracle.compact()
+    rebooted = ShardedScoreEngine(
+        shards=2, isolation="local", data_dir=str(tmp_path), policy=FAST,
+        snapshot_wal_bytes=snapshot_wal_bytes,
+    )
+    try:
+        # Roll-forward re-issued the keyed per-shard deletes: shard 0
+        # replayed its commit, shard 1 applied — exactly-once, and the
+        # fleet is bit-identical to the uninterrupted oracle.
+        assert rebooted.n == matrix.shape[0] - doomed.size
+        _assert_parity(rebooted, oracle, _weights(), 4, np.asarray([1, 2]))
+    finally:
+        rebooted.close()
+        oracle.close()
+
+
+def test_boot_aborts_insert_when_crash_precedes_abort_frame(
+    matrix, tmp_path, monkeypatch
+):
+    """Crash window: the in-process abort itself never lands (router died
+    between the shard failure and the abort frame).  Boot still sees the
+    dangling intent, probes the shard, and aborts via roll-forward."""
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="local",
+        data_dir=str(tmp_path), policy=FAST,
+    )
+    monkeypatch.setattr(
+        ShardWorker,
+        "insert",
+        lambda self, rows, key=None: (_ for _ in ()).throw(
+            RuntimeError("shard lost the request")
+        ),
+    )
+    fleet._commit_frame = lambda *a, **k: None  # the abort frame never lands
+    rows = np.random.default_rng(7).standard_normal((2, matrix.shape[1]))
+    with pytest.raises(RuntimeError):
+        fleet.fleet_insert(rows, key="K")
+    monkeypatch.undo()
+    fleet.abandon()
+
+    rebooted = ShardedScoreEngine(
+        shards=2, isolation="local", data_dir=str(tmp_path), policy=FAST
+    )
+    try:
+        assert rebooted.revision == 0
+        assert np.array_equal(rebooted.values, matrix)  # aborted at boot
+        assert not rebooted.fleet_insert(rows, key="K")["replayed"]
+    finally:
+        rebooted.close()
+
+
+# ----------------------------------------------------------------------
 # process isolation: real crashes, fault injection, the issue's drill
 
 
@@ -467,6 +660,33 @@ def test_process_shard_kill_mid_insert_retry_is_exactly_once(matrix):
     finally:
         fleet.close()
         oracle.close()
+
+
+def test_broadcast_drains_pipes_after_worker_error(matrix):
+    """A worker-propagated error mid-collection must not leave the other
+    started shards' responses sitting in their pipes: the next request on
+    those hosts would receive the previous call's stale payload (silent
+    cross-request result mixing when the shapes happen to line up)."""
+    fleet = ShardedScoreEngine(
+        matrix.copy(), shards=2, isolation="process",
+        policy=RetryPolicy(timeout_s=60.0, max_retries=1, backoff_base_s=0.01),
+    )
+    try:
+        sup = fleet._supervisor
+        # Both shards answer "error" (unknown method); before the fix the
+        # first raise aborted collection with shard 1's response undrained.
+        with pytest.raises(ValidationError):
+            sup.broadcast("frobnicate", {0: (), 1: ()})
+        status = sup.broadcast("status", {0: (), 1: ()})
+        assert status[0]["n"] + status[1]["n"] == matrix.shape[0]
+        oracle = ScoreEngine(matrix.copy())
+        try:
+            W = _weights()
+            _assert_parity(fleet, oracle, W, 5, np.asarray([2, 6]))
+        finally:
+            oracle.close()
+    finally:
+        fleet.close()
 
 
 def test_process_hang_and_corrupt_are_contained(matrix):
